@@ -1,0 +1,154 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus the design ablations of DESIGN.md §5. Each
+// benchmark wraps the corresponding internal/exp runner at the Tiny
+// scale so the full suite runs in minutes; `cmd/usim-exp -scale small`
+// (or `paper`) runs the same experiments at larger sizes.
+package usimrank_test
+
+import (
+	"io"
+	"testing"
+
+	"usimrank/internal/exp"
+	"usimrank/internal/gen"
+)
+
+func benchCfg() exp.Config {
+	return exp.Config{Scale: gen.Tiny, Seed: 1, Out: io.Discard}
+}
+
+func BenchmarkTable1WalkPr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table1WalkPr(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table2Datasets(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Bias(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7Table3Bias(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig8Convergence(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9Efficiency(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig10Accuracy(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11NSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig11NSweep(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig12Scalability(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Proteins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig13Proteins(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15ERTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig15ERTime(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5ERQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table5ERQuality(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSharedFilters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationSharedFilters(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationChoicePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationChoicePolicy(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStateMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationStateMerge(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGirth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationGirth(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationLSweep(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDiskTransPr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationDiskTransPr(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command usim-exp runs the experiments that regenerate the paper's
+// tables and figures.
+//
+// Usage:
+//
+//	usim-exp -run all -scale tiny
+//	usim-exp -run fig9 -scale small -seed 7
+//
+// Experiment ids: table1, table2, fig7 (includes Table III), fig8, fig9,
+// fig10, fig11, fig12, fig13 (includes Fig. 14), fig15, table5 (includes
+// Table IV), ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"usimrank/internal/exp"
+	"usimrank/internal/gen"
+)
+
+var runners = []struct {
+	id  string
+	run func(exp.Config) error
+}{
+	{"table1", wrap(exp.Table1WalkPr)},
+	{"table2", wrap(exp.Table2Datasets)},
+	{"fig7", wrap(exp.Fig7Table3Bias)},
+	{"fig8", wrap(exp.Fig8Convergence)},
+	{"fig9", wrap(exp.Fig9Efficiency)},
+	{"fig10", wrap(exp.Fig10Accuracy)},
+	{"fig11", wrap(exp.Fig11NSweep)},
+	{"fig12", wrap(exp.Fig12Scalability)},
+	{"fig13", wrap(exp.Fig13Proteins)},
+	{"fig15", wrap(exp.Fig15ERTime)},
+	{"table5", wrap(exp.Table5ERQuality)},
+	{"ablations", runAblations},
+}
+
+func wrap[T any](f func(exp.Config) (T, error)) func(exp.Config) error {
+	return func(cfg exp.Config) error {
+		_, err := f(cfg)
+		return err
+	}
+}
+
+func runAblations(cfg exp.Config) error {
+	for _, f := range []func(exp.Config) (*exp.AblationResult, error){
+		exp.AblationSharedFilters,
+		exp.AblationChoicePolicy,
+		exp.AblationStateMerge,
+		exp.AblationGirth,
+		exp.AblationLSweep,
+		exp.AblationDiskTransPr,
+	} {
+		if _, err := f(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id (or 'all')")
+		scale = flag.String("scale", "tiny", "tiny | small | paper")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var sc gen.Scale
+	switch *scale {
+	case "tiny":
+		sc = gen.Tiny
+	case "small":
+		sc = gen.Small
+	case "paper":
+		sc = gen.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "usim-exp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg := exp.Config{Scale: sc, Seed: *seed, Out: os.Stdout}
+
+	found := false
+	for _, r := range runners {
+		if *run != "all" && r.id != *run {
+			continue
+		}
+		found = true
+		fmt.Printf("=== %s (scale %s, seed %d) ===\n", r.id, sc, *seed)
+		if err := r.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "usim-exp: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "usim-exp: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}

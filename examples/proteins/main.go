@@ -1,0 +1,70 @@
+// Proteins: the paper's first case study (Sec. VII-C, Figs. 13–14).
+// Generate an uncertain PPI network with planted protein complexes,
+// rank protein pairs by uncertain-graph SimRank (USIM) and by SimRank
+// with uncertainty removed (DSIM), and score the top-20 of each against
+// the planted ground truth. The uncertain measure should recover far
+// more co-complex pairs, mirroring the paper's 16/20 vs 6/20.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"usimrank"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+)
+
+func main() {
+	cfg := gen.DefaultPPIConfig(250)
+	ppi := gen.PlantedPPI(cfg, rng.New(7))
+	g := ppi.Graph
+	fmt.Printf("PPI network: %d proteins, %d interactions, %d planted complexes\n\n",
+		g.NumVertices(), g.NumArcs()/2, len(ppi.Complexes))
+
+	engine, err := usimrank.New(g, usimrank.Options{Seed: 7, RowCacheSize: g.NumVertices() + 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := engine.Options()
+	sk := g.Skeleton()
+
+	type pair struct {
+		u, v int
+		s    float64
+	}
+	var usim, dsim []pair
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := u + 1; v < g.NumVertices(); v++ {
+			su, err := engine.Baseline(u, v)
+			if err != nil {
+				log.Fatal(err)
+			}
+			usim = append(usim, pair{u, v, su})
+			dsim = append(dsim, pair{u, v, usimrank.DeterministicSimRank(sk, u, v, opt.C, opt.Steps)})
+		}
+	}
+	top20 := func(ps []pair) []pair {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].s > ps[j].s })
+		return ps[:20]
+	}
+
+	report := func(label string, ps []pair) int {
+		hits := 0
+		fmt.Printf("top-20 similar protein pairs by %s:\n", label)
+		for _, p := range ps {
+			mark := " "
+			if ppi.SameComplex(p.u, p.v) {
+				mark = "*"
+				hits++
+			}
+			fmt.Printf("  %s (%3d,%3d) %.5f\n", mark, p.u, p.v, p.s)
+		}
+		fmt.Printf("  → %d/20 pairs share a planted complex\n\n", hits)
+		return hits
+	}
+	uh := report("USIM (uncertain SimRank)", top20(usim))
+	dh := report("DSIM (uncertainty removed)", top20(dsim))
+	fmt.Printf("verdict: USIM %d/20 vs DSIM %d/20 co-complex pairs (paper: 16 vs 6)\n", uh, dh)
+}

@@ -1,0 +1,320 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/rng"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Any() {
+		t.Fatal("new vector has set bits")
+	}
+	if v.PopCount() != 0 {
+		t.Fatalf("PopCount = %d", v.PopCount())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.PopCount() != 8 {
+		t.Fatalf("PopCount = %d, want 8", v.PopCount())
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if v.PopCount() != 7 {
+		t.Fatalf("PopCount = %d, want 7", v.PopCount())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, f := range []func(){
+		func() { v.Set(10) },
+		func() { v.Set(-1) },
+		func() { v.Get(10) },
+		func() { v.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSetAllRespectsLength(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		v := New(n)
+		v.SetAll()
+		if v.PopCount() != n {
+			t.Fatalf("SetAll on length %d: PopCount = %d", n, v.PopCount())
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := New(100)
+	v.SetAll()
+	v.Reset()
+	if v.Any() {
+		t.Fatal("Reset left set bits")
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a, b := New(130), New(130)
+	a.Set(1)
+	a.Set(64)
+	a.Set(129)
+	b.Set(64)
+	b.Set(100)
+
+	or := a.Clone()
+	or.Or(b)
+	for _, i := range []int{1, 64, 100, 129} {
+		if !or.Get(i) {
+			t.Fatalf("Or missing bit %d", i)
+		}
+	}
+	if or.PopCount() != 4 {
+		t.Fatalf("Or PopCount = %d", or.PopCount())
+	}
+
+	and := a.Clone()
+	and.And(b)
+	if and.PopCount() != 1 || !and.Get(64) {
+		t.Fatalf("And wrong: %v", and)
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.PopCount() != 2 || !diff.Get(1) || !diff.Get(129) {
+		t.Fatalf("AndNot wrong: %v", diff)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And on mismatched lengths did not panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestOrAndMatchesComposition(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		v, a, b := randVec(r, n), randVec(r, n), randVec(r, n)
+		want := v.Clone()
+		tmp := a.Clone()
+		tmp.And(b)
+		want.Or(tmp)
+
+		got := v.Clone()
+		got.OrAnd(a, b)
+		if !got.Equal(want) {
+			t.Fatalf("OrAnd != Or(And) for n=%d", n)
+		}
+	}
+}
+
+func TestAndPopCount(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		a, b := randVec(r, n), randVec(r, n)
+		tmp := a.Clone()
+		tmp.And(b)
+		if got, want := a.AndPopCount(b), tmp.PopCount(); got != want {
+			t.Fatalf("AndPopCount = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(70)
+	a.Set(5)
+	b := a.Clone()
+	b.Set(6)
+	if a.Get(6) {
+		t.Fatal("Clone shares storage")
+	}
+	if !b.Get(5) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(65), New(65)
+	if !a.Equal(b) {
+		t.Fatal("two zero vectors not equal")
+	}
+	a.Set(64)
+	if a.Equal(b) {
+		t.Fatal("different vectors reported equal")
+	}
+	if a.Equal(New(64)) {
+		t.Fatal("vectors of different lengths reported equal")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{3, 64, 150} {
+		v.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 150}, {150, 150}, {151, -1}, {-5, 3}, {1000, -1},
+	}
+	for _, c := range cases {
+		if got := v.NextSet(c.from); got != c.want {
+			t.Fatalf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestNextSetEmpty(t *testing.T) {
+	if got := New(100).NextSet(0); got != -1 {
+		t.Fatalf("NextSet on empty = %d", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New(5)
+	v.Set(1)
+	v.Set(4)
+	if s := v.String(); s != "01001" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func randVec(r *rng.RNG, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Bool(0.5) {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Property: popcount distributes over disjoint Or.
+func TestQuickOrPopCount(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		r := rng.New(seed)
+		a := randVec(r, n)
+		b := a.Clone()
+		// b = complement of a within length n.
+		c := New(n)
+		c.SetAll()
+		b.AndNot(c) // b = 0
+		b.Or(c)
+		b.AndNot(a) // b = ^a
+		union := a.Clone()
+		union.Or(b)
+		return a.PopCount()+b.PopCount() == n && union.PopCount() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan via AndNot — ‖a&b‖ + ‖a&^b‖ = ‖a‖.
+func TestQuickAndSplit(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		r := rng.New(seed)
+		a, b := randVec(r, n), randVec(r, n)
+		inter := a.Clone()
+		inter.And(b)
+		diff := a.Clone()
+		diff.AndNot(b)
+		return inter.PopCount()+diff.PopCount() == a.PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Get agrees with NextSet scanning.
+func TestQuickNextSetScan(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%256) + 1
+		r := rng.New(seed)
+		v := randVec(r, n)
+		// Collect indices via NextSet.
+		var scanned []int
+		for i := v.NextSet(0); i != -1; i = v.NextSet(i + 1) {
+			scanned = append(scanned, i)
+		}
+		// Collect indices via Get.
+		var direct []int
+		for i := 0; i < n; i++ {
+			if v.Get(i) {
+				direct = append(direct, i)
+			}
+		}
+		if len(scanned) != len(direct) {
+			return false
+		}
+		for i := range scanned {
+			if scanned[i] != direct[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOrAnd(b *testing.B) {
+	r := rng.New(1)
+	v, x, y := randVec(r, 1024), randVec(r, 1024), randVec(r, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.OrAnd(x, y)
+	}
+}
+
+func BenchmarkAndPopCount(b *testing.B) {
+	r := rng.New(1)
+	x, y := randVec(r, 1024), randVec(r, 1024)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = x.AndPopCount(y)
+	}
+	_ = sink
+}

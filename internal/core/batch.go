@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Algorithm selects one of the four SimRank computation strategies.
+type Algorithm int
+
+// The four algorithms of Sec. VI.
+const (
+	AlgBaseline Algorithm = iota
+	AlgSampling
+	AlgTwoPhase
+	AlgSRSP
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgBaseline:
+		return "Baseline"
+	case AlgSampling:
+		return "Sampling"
+	case AlgTwoPhase:
+		return "SR-TS"
+	case AlgSRSP:
+		return "SR-SP"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Compute dispatches to the selected algorithm.
+func (e *Engine) Compute(alg Algorithm, u, v int) (float64, error) {
+	switch alg {
+	case AlgBaseline:
+		return e.Baseline(u, v)
+	case AlgSampling:
+		return e.Sampling(u, v)
+	case AlgTwoPhase:
+		return e.TwoPhase(u, v)
+	case AlgSRSP:
+		return e.SRSP(u, v)
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %d", int(alg))
+	}
+}
+
+// Clone returns an engine over the same graph with the same options but
+// independent mutable state (row cache). The reversed graph and the
+// SR-SP filter pools are shared: both are immutable after construction,
+// so a clone may be used concurrently with the receiver. Clone forces
+// the lazy pool construction so no write races remain.
+func (e *Engine) Clone() *Engine {
+	e.pools() // materialise shared read-only pools before sharing
+	return &Engine{
+		g:        e.g,
+		rev:      e.rev,
+		opt:      e.opt,
+		rowCache: make(map[int]cachedRows),
+		poolU:    e.poolU,
+		poolV:    e.poolV,
+	}
+}
+
+// PairResult is one outcome of a Batch computation.
+type PairResult struct {
+	U, V  int
+	Value float64
+	Err   error
+}
+
+// Batch computes the similarity of every pair concurrently on `workers`
+// engine clones and returns results in input order. Determinism: the
+// per-query seeds depend only on (engine seed, u, v), so Batch returns
+// the same values as sequential computation regardless of scheduling.
+// workers < 1 selects 1.
+func Batch(e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	out := make([]PairResult, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		eng := e.Clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				u, v := pairs[i][0], pairs[i][1]
+				val, err := eng.Compute(alg, u, v)
+				out[i] = PairResult{U: u, V: v, Value: val, Err: err}
+			}
+		}()
+	}
+	for i := range pairs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

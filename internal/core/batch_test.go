@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"usimrank/internal/ugraph"
+)
+
+func TestAlgorithmStrings(t *testing.T) {
+	if AlgBaseline.String() != "Baseline" || AlgSampling.String() != "Sampling" ||
+		AlgTwoPhase.String() != "SR-TS" || AlgSRSP.String() != "SR-SP" {
+		t.Fatal("algorithm names wrong")
+	}
+}
+
+func TestComputeDispatch(t *testing.T) {
+	e := newEngine(t, ugraph.PaperFig1(), Options{N: 500, Seed: 3})
+	for _, alg := range []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP} {
+		v, err := e.Compute(alg, 0, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("%v = %v", alg, v)
+		}
+	}
+	if _, err := e.Compute(Algorithm(42), 0, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestCloneIndependentButEqual(t *testing.T) {
+	e := newEngine(t, ugraph.PaperFig1(), Options{N: 2000, Seed: 7})
+	c := e.Clone()
+	for _, alg := range []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP} {
+		a, err := e.Compute(alg, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Compute(alg, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%v: clone %v != original %v", alg, b, a)
+		}
+	}
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := newEngine(t, g, Options{N: 1000, Seed: 9})
+	var pairs [][2]int
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if u != v {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+	}
+	for _, alg := range []Algorithm{AlgBaseline, AlgSRSP} {
+		seq := make([]float64, len(pairs))
+		for i, p := range pairs {
+			v, err := e.Compute(alg, p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq[i] = v
+		}
+		got := Batch(e, alg, pairs, 4)
+		for i, r := range got {
+			if r.Err != nil {
+				t.Fatalf("%v pair %v: %v", alg, pairs[i], r.Err)
+			}
+			if r.Value != seq[i] {
+				t.Fatalf("%v pair %v: batch %v != sequential %v", alg, pairs[i], r.Value, seq[i])
+			}
+			if r.U != pairs[i][0] || r.V != pairs[i][1] {
+				t.Fatalf("result order scrambled at %d", i)
+			}
+		}
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	e := newEngine(t, ugraph.PaperFig1(), Options{Seed: 1})
+	if out := Batch(e, AlgBaseline, nil, 8); len(out) != 0 {
+		t.Fatal("empty batch returned results")
+	}
+	// More workers than pairs, and workers < 1.
+	for _, workers := range []int{-3, 0, 100} {
+		out := Batch(e, AlgBaseline, [][2]int{{0, 1}}, workers)
+		if len(out) != 1 || out[0].Err != nil {
+			t.Fatalf("workers=%d: %+v", workers, out)
+		}
+	}
+	// Errors propagate per pair.
+	out := Batch(e, AlgBaseline, [][2]int{{0, 99}}, 2)
+	if out[0].Err == nil {
+		t.Fatal("out-of-range pair did not error")
+	}
+}

@@ -1,0 +1,401 @@
+// Package core implements SimRank on uncertain graphs (Sec. V–VI of the
+// paper): the measure s(n)(u,v) of Definition 1 and its four computation
+// strategies — the exact Baseline, the Monte Carlo Sampling algorithm,
+// the Two-Phase algorithm (SR-TS, exact prefix + sampled tail, Eq. 15)
+// and the Two-Phase algorithm with the bit-vector speed-up (SR-SP).
+//
+// SimRank propagates similarity along in-arcs (two random surfers walk
+// backwards until they meet), so the engine runs all walk machinery on
+// the reversed uncertain graph. On a graph whose arcs all have
+// probability 1 the measure coincides with deterministic SimRank
+// (Theorem 3); the test suite verifies this against package detsim.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"usimrank/internal/matrix"
+	"usimrank/internal/mc"
+	"usimrank/internal/rng"
+	"usimrank/internal/speedup"
+	"usimrank/internal/ugraph"
+	"usimrank/internal/walkpr"
+)
+
+// Options configures the engine. The zero value selects the paper's
+// defaults: c = 0.6, n = 5, N = 1000, l = 1.
+type Options struct {
+	// C is the decay factor, 0 < C < 1. Default 0.6.
+	C float64
+	// Steps is the number of SimRank iterations n. Default 5.
+	Steps int
+	// N is the number of sampled walk pairs. Default 1000.
+	N int
+	// L is the two-phase split: meeting probabilities for k ≤ L are
+	// computed exactly, the rest sampled. Default 1.
+	L int
+	// Seed drives all randomness; equal seeds give identical results.
+	// Default 1.
+	Seed uint64
+	// MaxStates caps the exact method's walk states per level
+	// (walkpr.DefaultMaxStates when 0).
+	MaxStates int
+	// SharedPool makes SR-SP use one filter-vector pool for both the
+	// u-side and the v-side, the literal reading of Fig. 5. The default
+	// (false) builds two independent pools, which matches the
+	// independence semantics of the Sampling algorithm; the ablation
+	// experiments quantify the difference.
+	SharedPool bool
+	// RowCacheSize bounds the per-source exact-row cache. Default 4096.
+	RowCacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Steps == 0 {
+		o.Steps = 5
+	}
+	if o.N == 0 {
+		o.N = 1000
+	}
+	if o.L == 0 {
+		o.L = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RowCacheSize == 0 {
+		o.RowCacheSize = 4096
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if !(o.C > 0 && o.C < 1) {
+		return fmt.Errorf("core: decay factor %v outside (0,1)", o.C)
+	}
+	if o.Steps < 1 {
+		return fmt.Errorf("core: steps %d < 1", o.Steps)
+	}
+	if o.N < 1 {
+		return fmt.Errorf("core: sample count %d < 1", o.N)
+	}
+	if o.L < 0 || o.L > o.Steps {
+		return fmt.Errorf("core: two-phase split l=%d outside [0,%d]", o.L, o.Steps)
+	}
+	return nil
+}
+
+// Engine computes SimRank similarities over one uncertain graph. It is
+// not safe for concurrent use.
+type Engine struct {
+	g   *ugraph.Graph // original graph
+	rev *ugraph.Graph // reversed graph, where the walks run
+	opt Options
+
+	rowCache map[int]cachedRows
+	poolU    *speedup.Filters
+	poolV    *speedup.Filters
+}
+
+type cachedRows struct {
+	rows []matrix.Vec // rows[k] = Pr_rev(src →k ·) for k = 0..len-1
+}
+
+// NewEngine validates opt and builds an engine for g.
+func NewEngine(g *ugraph.Graph, opt Options) (*Engine, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		g:        g,
+		rev:      g.Reverse(),
+		opt:      opt,
+		rowCache: make(map[int]cachedRows),
+	}, nil
+}
+
+// Options returns the engine's effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Graph returns the engine's uncertain graph.
+func (e *Engine) Graph() *ugraph.Graph { return e.g }
+
+func (e *Engine) checkVertex(v int) error {
+	if v < 0 || v >= e.g.NumVertices() {
+		return fmt.Errorf("core: vertex %d out of range [0,%d)", v, e.g.NumVertices())
+	}
+	return nil
+}
+
+// exactRows returns Pr_rev(src →k ·) for k = 0..K, caching per source.
+func (e *Engine) exactRows(src, K int) ([]matrix.Vec, error) {
+	if c, ok := e.rowCache[src]; ok && len(c.rows) > K {
+		return c.rows[:K+1], nil
+	}
+	rows, err := walkpr.TransitionRows(e.rev, src, K, walkpr.Options{MaxStates: e.opt.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	if len(e.rowCache) >= e.opt.RowCacheSize {
+		e.rowCache = make(map[int]cachedRows)
+	}
+	e.rowCache[src] = cachedRows{rows: rows}
+	return rows, nil
+}
+
+// MeetingExact returns the exact meeting probabilities
+// m(k)(u,v) = Σ_w Pr(u →k w)·Pr(v →k w) for k = 0..K.
+func (e *Engine) MeetingExact(u, v, K int) ([]float64, error) {
+	if err := e.checkVertex(u); err != nil {
+		return nil, err
+	}
+	if err := e.checkVertex(v); err != nil {
+		return nil, err
+	}
+	ru, err := e.exactRows(u, K)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.exactRows(v, K)
+	if err != nil {
+		return nil, err
+	}
+	m := make([]float64, K+1)
+	for k := 0; k <= K; k++ {
+		m[k] = ru[k].Dot(rv[k])
+	}
+	return m, nil
+}
+
+// Combine evaluates Eq. 12: s(n) = cⁿ·m[n] + (1−c)·Σ_{k=0}^{n−1} cᵏ·m[k].
+// It panics if m has fewer than n+1 entries.
+func Combine(m []float64, c float64, n int) float64 {
+	if len(m) < n+1 {
+		panic(fmt.Sprintf("core: need %d meeting probabilities, have %d", n+1, len(m)))
+	}
+	s := math.Pow(c, float64(n)) * m[n]
+	ck := 1.0
+	for k := 0; k < n; k++ {
+		s += (1 - c) * ck * m[k]
+		ck *= c
+	}
+	return s
+}
+
+// CombineTwoPhase evaluates Eq. 15: exact meeting probabilities are used
+// for k ≤ l, sampled estimates for l < k ≤ n.
+func CombineTwoPhase(exact, sampled []float64, c float64, l, n int) float64 {
+	if l >= n {
+		return Combine(exact, c, n)
+	}
+	if len(exact) < l+1 || len(sampled) < n+1 {
+		panic("core: meeting probability slices too short")
+	}
+	s := math.Pow(c, float64(n)) * sampled[n]
+	ck := 1.0
+	for k := 0; k <= l; k++ {
+		s += (1 - c) * ck * exact[k]
+		ck *= c
+	}
+	for k := l + 1; k < n; k++ {
+		s += (1 - c) * ck * sampled[k]
+		ck *= c
+	}
+	return s
+}
+
+// ErrorBound returns the Theorem 2 truncation bound |s(n) − s| ≤ c^(n+1).
+func ErrorBound(c float64, n int) float64 {
+	return math.Pow(c, float64(n+1))
+}
+
+// TwoPhaseErrorBound returns the Corollary 1 sampling-error factor
+// c^(l+1) − c^n multiplying ε.
+func TwoPhaseErrorBound(c float64, l, n int) float64 {
+	return math.Pow(c, float64(l+1)) - math.Pow(c, float64(n))
+}
+
+// Baseline computes s(n)(u,v) exactly (Sec. VI-A).
+func (e *Engine) Baseline(u, v int) (float64, error) {
+	m, err := e.MeetingExact(u, v, e.opt.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return Combine(m, e.opt.C, e.opt.Steps), nil
+}
+
+// querySeed derives a deterministic per-query RNG seed.
+func (e *Engine) querySeed(u, v int, salt uint64) uint64 {
+	x := e.opt.Seed ^ (uint64(u)+1)*0x9e3779b97f4a7c15 ^ (uint64(v)+1)*0xc2b2ae3d27d4eb4f ^ salt
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// MeetingSampled estimates m(k)(u,v) for k = 0..Steps with the Sampling
+// algorithm (Fig. 4).
+func (e *Engine) MeetingSampled(u, v int) ([]float64, error) {
+	if err := e.checkVertex(u); err != nil {
+		return nil, err
+	}
+	if err := e.checkVertex(v); err != nil {
+		return nil, err
+	}
+	r := rng.New(e.querySeed(u, v, 0xA5))
+	wu := mc.Sample(e.rev, u, e.opt.Steps, e.opt.N, r)
+	wv := mc.Sample(e.rev, v, e.opt.Steps, e.opt.N, r)
+	return mc.MeetingEstimates(wu, wv), nil
+}
+
+// Sampling computes ŝ(n)(u,v) by pure Monte Carlo (Sec. VI-B, Eq. 14).
+func (e *Engine) Sampling(u, v int) (float64, error) {
+	m, err := e.MeetingSampled(u, v)
+	if err != nil {
+		return 0, err
+	}
+	return Combine(m, e.opt.C, e.opt.Steps), nil
+}
+
+// TwoPhase computes ŝ(n)(u,v) with the SR-TS algorithm (Sec. VI-C):
+// exact meeting probabilities for k ≤ l, sampled for l < k ≤ n.
+func (e *Engine) TwoPhase(u, v int) (float64, error) {
+	exact, err := e.MeetingExact(u, v, min(e.opt.L, e.opt.Steps))
+	if err != nil {
+		return 0, err
+	}
+	if e.opt.L >= e.opt.Steps {
+		return Combine(exact, e.opt.C, e.opt.Steps), nil
+	}
+	sampled, err := e.MeetingSampled(u, v)
+	if err != nil {
+		return 0, err
+	}
+	return CombineTwoPhase(exact, sampled, e.opt.C, e.opt.L, e.opt.Steps), nil
+}
+
+// pools lazily builds the SR-SP filter-vector pools (the paper's offline
+// phase). With SharedPool both sides use one pool, the literal Fig. 5.
+func (e *Engine) pools() (*speedup.Filters, *speedup.Filters) {
+	if e.poolU == nil {
+		e.poolU = speedup.BuildFilters(e.rev, e.opt.N, rng.New(e.opt.Seed^0xF117E55))
+		if e.opt.SharedPool {
+			e.poolV = e.poolU
+		} else {
+			e.poolV = speedup.BuildFilters(e.rev, e.opt.N, rng.New(e.opt.Seed^0x0DDB175))
+		}
+	}
+	return e.poolU, e.poolV
+}
+
+// MeetingSpeedup estimates m(k)(u,v) for k = 0..Steps with the bit-vector
+// speed-up (Sec. VI-D, Eq. 16).
+func (e *Engine) MeetingSpeedup(u, v int) ([]float64, error) {
+	if err := e.checkVertex(u); err != nil {
+		return nil, err
+	}
+	if err := e.checkVertex(v); err != nil {
+		return nil, err
+	}
+	fu, fv := e.pools()
+	return speedup.Estimate(fu, fv, u, v, e.opt.Steps), nil
+}
+
+// SRSP computes ŝ(n)(u,v) with the two-phase algorithm whose sampling
+// stage uses the speed-up technique (the paper's SR-SP).
+func (e *Engine) SRSP(u, v int) (float64, error) {
+	exact, err := e.MeetingExact(u, v, min(e.opt.L, e.opt.Steps))
+	if err != nil {
+		return 0, err
+	}
+	if e.opt.L >= e.opt.Steps {
+		return Combine(exact, e.opt.C, e.opt.Steps), nil
+	}
+	sampled, err := e.MeetingSpeedup(u, v)
+	if err != nil {
+		return 0, err
+	}
+	return CombineTwoPhase(exact, sampled, e.opt.C, e.opt.L, e.opt.Steps), nil
+}
+
+// SRSPMatrix computes ŝ(n) for every pair of the given vertices with the
+// SR-SP strategy, propagating each vertex's counting tables exactly once
+// per side — the amortisation the BFS-sharing speed-up is designed for.
+// The result is symmetric in the sense out[i][j] uses vertices[i] on the
+// u-side pool and vertices[j] on the v-side pool; out[i][i] is computed
+// like any other pair. Cost: O(len(vertices)) propagations plus
+// O(len(vertices)²) bit-vector dot products, versus O(len(vertices)²)
+// propagations for pairwise SRSP calls.
+func (e *Engine) SRSPMatrix(vertices []int) ([][]float64, error) {
+	for _, v := range vertices {
+		if err := e.checkVertex(v); err != nil {
+			return nil, err
+		}
+	}
+	fu, fv := e.pools()
+	n := e.opt.Steps
+	l := min(e.opt.L, n)
+
+	tabU := make([]*speedup.Tables, len(vertices))
+	tabV := make([]*speedup.Tables, len(vertices))
+	exact := make([][]matrix.Vec, len(vertices))
+	for i, v := range vertices {
+		if l < n {
+			tabU[i] = speedup.Propagate(fu, v, n)
+			tabV[i] = speedup.Propagate(fv, v, n)
+		}
+		rows, err := e.exactRows(v, l)
+		if err != nil {
+			return nil, err
+		}
+		exact[i] = rows
+	}
+	out := make([][]float64, len(vertices))
+	for i := range vertices {
+		out[i] = make([]float64, len(vertices))
+	}
+	exactM := make([]float64, l+1)
+	for i := range vertices {
+		for j := range vertices {
+			for k := 0; k <= l; k++ {
+				exactM[k] = exact[i][k].Dot(exact[j][k])
+			}
+			if l >= n {
+				out[i][j] = Combine(exactM, e.opt.C, n)
+				continue
+			}
+			sampled := speedup.MeetingEstimates(tabU[i], tabV[j])
+			out[i][j] = CombineTwoPhase(exactM, sampled, e.opt.C, l, n)
+		}
+	}
+	return out, nil
+}
+
+// Series returns the exact iterates s(0), s(1), …, s(maxN) of the
+// SimRank sequence (Definition 1), the convergence curve of Fig. 8.
+func (e *Engine) Series(u, v, maxN int) ([]float64, error) {
+	if maxN < 0 {
+		return nil, fmt.Errorf("core: negative maxN %d", maxN)
+	}
+	m, err := e.MeetingExact(u, v, maxN)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, maxN+1)
+	for n := 0; n <= maxN; n++ {
+		out[n] = Combine(m, e.opt.C, n)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

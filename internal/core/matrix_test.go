@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/ugraph"
+)
+
+// TestSRSPMatrixMatchesPairwise: the amortised all-pairs computation
+// must produce exactly the pairwise SRSP values (same pools, same
+// estimates).
+func TestSRSPMatrixMatchesPairwise(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := newEngine(t, g, Options{N: 2000, Seed: 5, L: 1})
+	vertices := []int{0, 1, 2, 3, 4}
+	m, err := e.SRSPMatrix(vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range vertices {
+		for j, v := range vertices {
+			want, err := e.SRSP(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(m[i][j]-want) > 1e-12 {
+				t.Fatalf("matrix[%d][%d] = %v, pairwise %v", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestSRSPMatrixSubset(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := newEngine(t, g, Options{N: 500, Seed: 9, L: 1})
+	m, err := e.SRSPMatrix([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || len(m[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(m), len(m[0]))
+	}
+	want, err := e.SRSP(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][1] != want {
+		t.Fatalf("m[0][1] = %v, want %v", m[0][1], want)
+	}
+}
+
+func TestSRSPMatrixExactWhenLEqualsSteps(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := newEngine(t, g, Options{Steps: 4, L: 4, Seed: 3})
+	m, err := e.SRSPMatrix([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range []int{0, 1, 2} {
+		for j, v := range []int{0, 1, 2} {
+			want, err := e.Baseline(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(m[i][j]-want) > 1e-12 {
+				t.Fatalf("l=n matrix[%d][%d] = %v, baseline %v", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestSRSPMatrixValidatesVertices(t *testing.T) {
+	e := newEngine(t, ugraph.PaperFig1(), Options{})
+	if _, err := e.SRSPMatrix([]int{0, 99}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Package detsim implements SimRank on deterministic graphs: the
+// Jeh–Widom fixed point (Eq. 2), the matrix form S = cAᵀSA + (1−c)I
+// (Eq. 3) and the random-walk single-pair form used throughout the
+// paper's evaluation as SimRank-II / DSIM / SimDER (SimRank "with
+// uncertainty removed").
+//
+// Eq. 2 and Eq. 3 are the two standard SimRank variants: Eq. 2 pins the
+// diagonal to 1, Eq. 3 (the random-surfer form) does not; the paper's
+// uncertain-graph measure generalises Eq. 3, so the single-pair function
+// here matches core.Engine.Baseline on all-certain graphs (Theorem 3).
+package detsim
+
+import (
+	"fmt"
+
+	"usimrank/internal/graph"
+	"usimrank/internal/matrix"
+)
+
+// TransitionCSR returns the row-normalised adjacency matrix of g: the
+// one-step transition matrix of the uniform random walk. Rows of sink
+// vertices are empty (the walk dies).
+func TransitionCSR(g *graph.Graph) *matrix.CSR {
+	b := matrix.NewCSRBuilder(g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		deg := g.OutDegree(u)
+		for _, v := range g.Out(u) {
+			b.Set(u, int(v), 1/float64(deg))
+		}
+	}
+	return b.MustBuild()
+}
+
+// MeetingRows returns the rows Pr(src →k ·) of the uniform random walk
+// on the *reversed* graph for k = 0..K: the walk that SimRank runs.
+func MeetingRows(g *graph.Graph, src, K int) []matrix.Vec {
+	rev := TransitionCSR(g.Reverse())
+	rows := make([]matrix.Vec, K+1)
+	rows[0] = matrix.Unit(int32(src))
+	var ws matrix.Workspace
+	for k := 1; k <= K; k++ {
+		rows[k] = rev.LeftMul(&ws, rows[k-1])
+	}
+	return rows
+}
+
+// SinglePair computes the n-th random-walk SimRank iterate s(n)(u,v)
+// (Eq. 3 expanded, i.e. the deterministic specialisation of the paper's
+// Definition 1) by propagating sparse meeting rows.
+func SinglePair(g *graph.Graph, u, v int, c float64, n int) float64 {
+	validate(g, u, v, c, n)
+	ru := MeetingRows(g, u, n)
+	rv := MeetingRows(g, v, n)
+	m := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		m[k] = ru[k].Dot(rv[k])
+	}
+	return combine(m, c, n)
+}
+
+// AllPairs computes the full n-th iterate S(n) of the matrix recurrence
+// S(k) = cAᵀS(k−1)A + (1−c)I with A the column-normalised adjacency
+// matrix (Eq. 3). Dense; intended for graphs of a few thousand vertices.
+func AllPairs(g *graph.Graph, c float64, n int) *matrix.Dense {
+	if !(c > 0 && c < 1) {
+		panic(fmt.Sprintf("detsim: decay factor %v outside (0,1)", c))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("detsim: negative iteration count %d", n))
+	}
+	nv := g.NumVertices()
+	a := NewColumnNormalizedAdjacency(g)
+	at := a.Transpose()
+	s := matrix.Identity(nv)
+	for k := 0; k < n; k++ {
+		s = at.Mul(s).Mul(a).Scale(c).AddScaledIdentity(1 - c)
+	}
+	return s
+}
+
+// NewColumnNormalizedAdjacency returns the dense adjacency matrix of g
+// with each non-zero column scaled to sum 1: A[i][j] = 1/|I(v_j)| when
+// (v_i, v_j) is an arc.
+func NewColumnNormalizedAdjacency(g *graph.Graph) *matrix.Dense {
+	nv := g.NumVertices()
+	a := matrix.NewDense(nv, nv)
+	for j := 0; j < nv; j++ {
+		in := g.In(j)
+		if len(in) == 0 {
+			continue
+		}
+		w := 1 / float64(len(in))
+		for _, i := range in {
+			a.Set(int(i), j, w)
+		}
+	}
+	return a
+}
+
+// Naive computes n iterations of the original Jeh–Widom recurrence
+// (Eq. 2), which fixes s(u,u) = 1 and averages over in-neighbour pairs.
+// O(n·Σ_{u,v} |I(u)||I(v)|); intended for small graphs and reference
+// comparisons.
+func Naive(g *graph.Graph, c float64, n int) *matrix.Dense {
+	if !(c > 0 && c < 1) {
+		panic(fmt.Sprintf("detsim: decay factor %v outside (0,1)", c))
+	}
+	nv := g.NumVertices()
+	s := matrix.Identity(nv)
+	for it := 0; it < n; it++ {
+		next := matrix.Identity(nv)
+		for u := 0; u < nv; u++ {
+			iu := g.In(u)
+			if len(iu) == 0 {
+				continue
+			}
+			for v := u + 1; v < nv; v++ {
+				iv := g.In(v)
+				if len(iv) == 0 {
+					continue
+				}
+				sum := 0.0
+				for _, a := range iu {
+					for _, b := range iv {
+						sum += s.At(int(a), int(b))
+					}
+				}
+				val := c * sum / float64(len(iu)*len(iv))
+				next.Set(u, v, val)
+				next.Set(v, u, val)
+			}
+		}
+		s = next
+	}
+	return s
+}
+
+func combine(m []float64, c float64, n int) float64 {
+	s := pow(c, n) * m[n]
+	ck := 1.0
+	for k := 0; k < n; k++ {
+		s += (1 - c) * ck * m[k]
+		ck *= c
+	}
+	return s
+}
+
+func pow(c float64, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= c
+	}
+	return p
+}
+
+func validate(g *graph.Graph, u, v int, c float64, n int) {
+	if u < 0 || u >= g.NumVertices() || v < 0 || v >= g.NumVertices() {
+		panic(fmt.Sprintf("detsim: pair (%d,%d) out of range [0,%d)", u, v, g.NumVertices()))
+	}
+	if !(c > 0 && c < 1) {
+		panic(fmt.Sprintf("detsim: decay factor %v outside (0,1)", c))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("detsim: negative iteration count %d", n))
+	}
+}

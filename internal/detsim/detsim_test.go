@@ -1,0 +1,221 @@
+package detsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/graph"
+	"usimrank/internal/rng"
+)
+
+const eps = 1e-10
+
+// diamond is the classic SimRank test graph: 0 → 1, 0 → 2, 1 → 3, 2 → 3.
+func diamond() *graph.Graph {
+	b := graph.NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	b.AddArc(1, 3)
+	b.AddArc(2, 3)
+	return b.MustBuild()
+}
+
+func TestNaiveSiblings(t *testing.T) {
+	// Vertices 1 and 2 share the single in-neighbour 0, so under Eq. 2
+	// s(1,2) = c·s(0,0) = c after one iteration and stays there.
+	g := diamond()
+	c := 0.8
+	s := Naive(g, c, 5)
+	if got := s.At(1, 2); math.Abs(got-c) > eps {
+		t.Fatalf("s(1,2) = %v, want %v", got, c)
+	}
+	// Diagonal pinned to 1.
+	for i := 0; i < 4; i++ {
+		if s.At(i, i) != 1 {
+			t.Fatalf("s(%d,%d) = %v", i, i, s.At(i, i))
+		}
+	}
+}
+
+func TestNaiveSymmetricBounded(t *testing.T) {
+	g := diamond()
+	s := Naive(g, 0.6, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if v := s.At(i, j); v < -eps || v > 1+eps {
+				t.Fatalf("s(%d,%d) = %v", i, j, v)
+			}
+			if math.Abs(s.At(i, j)-s.At(j, i)) > eps {
+				t.Fatal("not symmetric")
+			}
+		}
+	}
+}
+
+func TestNaiveNoInNeighbours(t *testing.T) {
+	// Vertex 0 has no in-neighbours: s(0, v) = 0 for v ≠ 0.
+	g := diamond()
+	s := Naive(g, 0.6, 4)
+	for v := 1; v < 4; v++ {
+		if s.At(0, v) != 0 {
+			t.Fatalf("s(0,%d) = %v", v, s.At(0, v))
+		}
+	}
+}
+
+func TestColumnNormalizedAdjacency(t *testing.T) {
+	g := diamond()
+	a := NewColumnNormalizedAdjacency(g)
+	// Column 3 has in-neighbours {1, 2}, each weight 1/2.
+	if a.At(1, 3) != 0.5 || a.At(2, 3) != 0.5 {
+		t.Fatalf("column 3 weights %v %v", a.At(1, 3), a.At(2, 3))
+	}
+	// Column 0 has no in-neighbours: all zero.
+	for i := 0; i < 4; i++ {
+		if a.At(i, 0) != 0 {
+			t.Fatal("column 0 not zero")
+		}
+	}
+	// Non-empty columns sum to 1.
+	for j := 1; j < 4; j++ {
+		sum := 0.0
+		for i := 0; i < 4; i++ {
+			sum += a.At(i, j)
+		}
+		if math.Abs(sum-1) > eps {
+			t.Fatalf("column %d sums to %v", j, sum)
+		}
+	}
+}
+
+// TestAllPairsEqualsSinglePair verifies the dense Eq. 3 recurrence
+// matches the sparse random-walk single-pair form, which is the identity
+// S(n) = c^n (Aⁿ)ᵀAⁿ + (1−c) Σ c^k (Aᵏ)ᵀAᵏ.
+func TestAllPairsEqualsSinglePair(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + r.Intn(6)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if r.Bool(0.35) {
+					b.AddArc(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		c, iters := 0.6, 4
+		s := AllPairs(g, c, iters)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := s.At(u, v)
+				got := SinglePair(g, u, v, c, iters)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d s(%d,%d): single-pair %v vs matrix %v", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSinglePairTrivialGraph(t *testing.T) {
+	// Two isolated vertices: no in-neighbours, s(0,1) = 0, s(0,0) = 1−c + cⁿ·1?
+	// With no in-arcs, rows die immediately: m(k)(0,0) = 0 for k ≥ 1, m(0) = 1.
+	// s(n)(0,0) = (1−c)·1 (the k=0 term) since all others vanish.
+	g := graph.NewBuilder(2).MustBuild()
+	c := 0.6
+	if got := SinglePair(g, 0, 1, c, 5); got != 0 {
+		t.Fatalf("s(0,1) = %v", got)
+	}
+	if got := SinglePair(g, 0, 0, c, 5); math.Abs(got-(1-c)) > eps {
+		t.Fatalf("s(0,0) = %v, want %v", got, 1-c)
+	}
+}
+
+func TestMeetingRowsAreWalkDistributions(t *testing.T) {
+	// On the diamond reversed: from 3, one step reaches {1,2} with 1/2
+	// each; two steps reach {0} with probability 1.
+	g := diamond()
+	rows := MeetingRows(g, 3, 2)
+	if rows[1].At(1) != 0.5 || rows[1].At(2) != 0.5 {
+		t.Fatalf("row 1 = %+v", rows[1])
+	}
+	if math.Abs(rows[2].At(0)-1) > eps {
+		t.Fatalf("row 2 = %+v", rows[2])
+	}
+}
+
+func TestSinglePairDiamond(t *testing.T) {
+	// By hand on the diamond with c = 0.8, n = 2:
+	// m(0)(1,2) = 0, m(1)(1,2) = 1 (both reach 0), m(2) = 0 (walks die).
+	// s(2) = c²·0 + (1−c)(c⁰·0 + c¹·1) = 0.2·0.8 = 0.16.
+	got := SinglePair(diamond(), 1, 2, 0.8, 2)
+	if math.Abs(got-0.16) > eps {
+		t.Fatalf("s(2)(1,2) = %v, want 0.16", got)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	g := diamond()
+	for _, f := range []func(){
+		func() { SinglePair(g, -1, 0, 0.6, 3) },
+		func() { SinglePair(g, 0, 9, 0.6, 3) },
+		func() { SinglePair(g, 0, 1, 1.5, 3) },
+		func() { SinglePair(g, 0, 1, 0.6, -1) },
+		func() { AllPairs(g, 0, 3) },
+		func() { AllPairs(g, 0.6, -1) },
+		func() { Naive(g, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad arguments accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTransitionCSRRowsStochastic(t *testing.T) {
+	g := diamond()
+	m := TransitionCSR(g)
+	for u := 0; u < 4; u++ {
+		_, vals := m.Row(u)
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		if g.OutDegree(u) > 0 && math.Abs(sum-1) > eps {
+			t.Fatalf("row %d sums to %v", u, sum)
+		}
+		if g.OutDegree(u) == 0 && sum != 0 {
+			t.Fatalf("sink row %d sums to %v", u, sum)
+		}
+	}
+}
+
+// Property: SinglePair is symmetric and in [0,1] on random graphs.
+func TestQuickSinglePairInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(8)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if r.Bool(0.3) {
+					b.AddArc(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		u, v := r.Intn(n), r.Intn(n)
+		suv := SinglePair(g, u, v, 0.6, 4)
+		svu := SinglePair(g, v, u, 0.6, 4)
+		return suv >= -eps && suv <= 1+eps && math.Abs(suv-svu) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

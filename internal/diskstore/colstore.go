@@ -1,0 +1,237 @@
+// Package diskstore implements the external-memory substrate of the
+// paper's Baseline algorithm (Sec. IV-B / VI-A): transition probability
+// matrices W(k) stored column-by-column in consecutive fixed-size blocks
+// (so reading a column costs O(|V|/B) block I/Os, which the store
+// counts), walk-probability files of (walk, p, α) tuples, and an
+// external merge sort used by TransPr to group walks by their start and
+// end vertices (Fig. 3, lines 15–18).
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"usimrank/internal/matrix"
+)
+
+// DefaultBlockSize is the block granularity used for I/O accounting.
+const DefaultBlockSize = 4096
+
+// IOStats counts block-level I/O performed by a store.
+type IOStats struct {
+	BlockReads  int64
+	BlockWrites int64
+}
+
+// ColumnStore persists the matrices W(1)..W(K) column-by-column under a
+// directory, one file per k, and accounts block reads and writes.
+type ColumnStore struct {
+	dir       string
+	blockSize int
+	reads     atomic.Int64
+	writes    atomic.Int64
+}
+
+// NewColumnStore creates (or reuses) a store rooted at dir. blockSize ≤ 0
+// selects DefaultBlockSize.
+func NewColumnStore(dir string, blockSize int) (*ColumnStore, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return &ColumnStore{dir: dir, blockSize: blockSize}, nil
+}
+
+// Stats returns the cumulative I/O counters.
+func (s *ColumnStore) Stats() IOStats {
+	return IOStats{BlockReads: s.reads.Load(), BlockWrites: s.writes.Load()}
+}
+
+// ResetStats zeroes the I/O counters.
+func (s *ColumnStore) ResetStats() {
+	s.reads.Store(0)
+	s.writes.Store(0)
+}
+
+func (s *ColumnStore) matrixPath(k int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("w%03d.col", k))
+}
+
+func (s *ColumnStore) blocks(bytes int) int64 {
+	return int64((bytes + s.blockSize - 1) / s.blockSize)
+}
+
+var colMagic = [4]byte{'U', 'S', 'C', 'S'}
+
+// WriteMatrix persists W(k) given as columns: cols[j] is the sparse
+// column j (entries W(k)[i][j]). The file layout is
+//
+//	magic(4) version(u32) n(u64)
+//	offsets: (n+1) × u64 — byte offset of each column's data
+//	data:    per column: count uvarint, then (rowIdx uvarint, value f64)
+func (s *ColumnStore) WriteMatrix(k int, cols []matrix.Vec) error {
+	f, err := os.Create(s.matrixPath(k))
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	defer f.Close()
+
+	n := len(cols)
+	headerSize := 4 + 4 + 8
+	offTableSize := 8 * (n + 1)
+
+	// Encode column payloads first to know offsets.
+	payloads := make([][]byte, n)
+	var varbuf [binary.MaxVarintLen64]byte
+	for j, col := range cols {
+		var buf []byte
+		m := binary.PutUvarint(varbuf[:], uint64(col.Len()))
+		buf = append(buf, varbuf[:m]...)
+		for i := range col.Idx {
+			m = binary.PutUvarint(varbuf[:], uint64(col.Idx[i]))
+			buf = append(buf, varbuf[:m]...)
+			var pb [8]byte
+			binary.LittleEndian.PutUint64(pb[:], math.Float64bits(col.Val[i]))
+			buf = append(buf, pb[:]...)
+		}
+		payloads[j] = buf
+	}
+
+	w := bufio.NewWriter(f)
+	total := 0
+	if _, err := w.Write(colMagic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(n))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	total += headerSize
+
+	off := uint64(headerSize + offTableSize)
+	var ob [8]byte
+	for j := 0; j <= n; j++ {
+		binary.LittleEndian.PutUint64(ob[:], off)
+		if _, err := w.Write(ob[:]); err != nil {
+			return err
+		}
+		if j < n {
+			off += uint64(len(payloads[j]))
+		}
+	}
+	total += offTableSize
+	for _, p := range payloads {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+		total += len(p)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	s.writes.Add(s.blocks(total))
+	return nil
+}
+
+// ReadColumn reads column j of W(k) from disk. The cost in block reads is
+// header + offsets lookup (1 block) plus the blocks spanned by the
+// column payload, mirroring the O(|V|/B) analysis of Sec. VI-A.
+func (s *ColumnStore) ReadColumn(k, j int) (matrix.Vec, error) {
+	f, err := os.Open(s.matrixPath(k))
+	if err != nil {
+		return matrix.Vec{}, fmt.Errorf("diskstore: %w", err)
+	}
+	defer f.Close()
+
+	var head [16]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return matrix.Vec{}, fmt.Errorf("diskstore: header: %w", err)
+	}
+	if [4]byte(head[0:4]) != colMagic {
+		return matrix.Vec{}, fmt.Errorf("diskstore: bad magic in %s", s.matrixPath(k))
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != 1 {
+		return matrix.Vec{}, fmt.Errorf("diskstore: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint64(head[8:16]))
+	if j < 0 || j >= n {
+		return matrix.Vec{}, fmt.Errorf("diskstore: column %d out of range [0,%d)", j, n)
+	}
+	var offs [16]byte
+	if _, err := f.ReadAt(offs[:], int64(16+8*j)); err != nil {
+		return matrix.Vec{}, fmt.Errorf("diskstore: offsets: %w", err)
+	}
+	start := binary.LittleEndian.Uint64(offs[0:8])
+	end := binary.LittleEndian.Uint64(offs[8:16])
+	if end < start {
+		return matrix.Vec{}, fmt.Errorf("diskstore: corrupt offsets for column %d", j)
+	}
+	s.reads.Add(1 + s.blocks(int(end-start)))
+
+	buf := make([]byte, end-start)
+	if _, err := f.ReadAt(buf, int64(start)); err != nil {
+		return matrix.Vec{}, fmt.Errorf("diskstore: column payload: %w", err)
+	}
+	r := bufio.NewReader(newByteReader(buf))
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return matrix.Vec{}, fmt.Errorf("diskstore: column count: %w", err)
+	}
+	col := matrix.Vec{Idx: make([]int32, 0, count), Val: make([]float64, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		idx, err := binary.ReadUvarint(r)
+		if err != nil {
+			return matrix.Vec{}, fmt.Errorf("diskstore: column entry: %w", err)
+		}
+		var pb [8]byte
+		if _, err := io.ReadFull(r, pb[:]); err != nil {
+			return matrix.Vec{}, fmt.Errorf("diskstore: column value: %w", err)
+		}
+		col.Idx = append(col.Idx, int32(idx))
+		col.Val = append(col.Val, math.Float64frombits(binary.LittleEndian.Uint64(pb[:])))
+	}
+	return col, nil
+}
+
+// NumColumns returns the column count stored for W(k).
+func (s *ColumnStore) NumColumns(k int) (int, error) {
+	f, err := os.Open(s.matrixPath(k))
+	if err != nil {
+		return 0, fmt.Errorf("diskstore: %w", err)
+	}
+	defer f.Close()
+	var head [16]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, fmt.Errorf("diskstore: header: %w", err)
+	}
+	if [4]byte(head[0:4]) != colMagic {
+		return 0, fmt.Errorf("diskstore: bad magic")
+	}
+	return int(binary.LittleEndian.Uint64(head[8:16])), nil
+}
+
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}

@@ -1,0 +1,407 @@
+package diskstore
+
+import (
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/matrix"
+	"usimrank/internal/rng"
+)
+
+func newStore(t *testing.T) *ColumnStore {
+	t.Helper()
+	s, err := NewColumnStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestColumnStoreRoundTrip(t *testing.T) {
+	s := newStore(t)
+	cols := []matrix.Vec{
+		matrix.FromMap(map[int32]float64{0: 0.5, 3: 0.25}),
+		{},
+		matrix.FromMap(map[int32]float64{1: 1}),
+	}
+	if err := s.WriteMatrix(1, cols); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.NumColumns(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("NumColumns = %d", n)
+	}
+	for j, want := range cols {
+		got, err := s.ReadColumn(1, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("column %d: %+v vs %+v", j, got, want)
+		}
+		for i := range want.Idx {
+			if got.Idx[i] != want.Idx[i] || got.Val[i] != want.Val[i] {
+				t.Fatalf("column %d entry %d mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestColumnStoreMultipleMatrices(t *testing.T) {
+	s := newStore(t)
+	for k := 1; k <= 3; k++ {
+		cols := []matrix.Vec{matrix.FromMap(map[int32]float64{int32(k): float64(k)})}
+		if err := s.WriteMatrix(k, cols); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 1; k <= 3; k++ {
+		col, err := s.ReadColumn(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if col.At(int32(k)) != float64(k) {
+			t.Fatalf("matrix %d column wrong: %+v", k, col)
+		}
+	}
+}
+
+func TestColumnStoreIOAccounting(t *testing.T) {
+	s := newStore(t)
+	big := make(map[int32]float64)
+	for i := int32(0); i < 5000; i++ {
+		big[i] = float64(i)
+	}
+	if err := s.WriteMatrix(1, []matrix.Vec{matrix.FromMap(big)}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.BlockWrites == 0 {
+		t.Fatal("no block writes recorded")
+	}
+	// ~5000 entries × ~10 bytes ≈ 50 KB → at least 10 blocks of 4 KiB.
+	if st.BlockWrites < 10 {
+		t.Fatalf("BlockWrites = %d, expected ≥ 10", st.BlockWrites)
+	}
+	if _, err := s.ReadColumn(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.BlockReads < 10 {
+		t.Fatalf("BlockReads = %d, expected ≥ 10", st.BlockReads)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.BlockReads != 0 || st.BlockWrites != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestColumnStoreErrors(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.ReadColumn(9, 0); err == nil {
+		t.Fatal("missing matrix accepted")
+	}
+	if err := s.WriteMatrix(1, []matrix.Vec{{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadColumn(1, 5); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if _, err := s.ReadColumn(1, -1); err == nil {
+		t.Fatal("negative column accepted")
+	}
+}
+
+func TestColumnStoreBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewColumnStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "w001.col"), []byte("garbage-data-here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadColumn(1, 0); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestWalkFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "walks")
+	w, err := NewWalkWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := []WalkTuple{
+		{Walk: []int32{0, 2}, P: 0.5, Alpha: 0.7},
+		{Walk: []int32{1, 2, 3, 1}, P: 0.125, Alpha: 1},
+		{Walk: []int32{4}, P: 1, Alpha: 1},
+	}
+	for _, tu := range tuples {
+		if err := w.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewWalkReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, want := range tuples {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.P != want.P || got.Alpha != want.Alpha || len(got.Walk) != len(want.Walk) {
+			t.Fatalf("tuple %d: %+v vs %+v", i, got, want)
+		}
+		for j := range want.Walk {
+			if got.Walk[j] != want.Walk[j] {
+				t.Fatalf("tuple %d walk mismatch", i)
+			}
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestWalkWriterRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "walks")
+	w, err := NewWalkWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(WalkTuple{}); err == nil {
+		t.Fatal("empty walk accepted")
+	}
+}
+
+func TestWalkTupleStartEnd(t *testing.T) {
+	tu := WalkTuple{Walk: []int32{3, 1, 4}}
+	if tu.Start() != 3 || tu.End() != 4 {
+		t.Fatal("Start/End wrong")
+	}
+}
+
+func TestWalkReaderTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "walks")
+	w, err := NewWalkWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WalkTuple{Walk: []int32{0, 1}, P: 0.5, Alpha: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewWalkReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated tuple accepted")
+	}
+}
+
+func randomTuples(r *rng.RNG, n int) []WalkTuple {
+	ts := make([]WalkTuple, n)
+	for i := range ts {
+		l := 1 + r.Intn(5)
+		w := make([]int32, l)
+		for j := range w {
+			w[j] = int32(r.Intn(20))
+		}
+		ts[i] = WalkTuple{Walk: w, P: r.Float64(), Alpha: r.Float64()}
+	}
+	return ts
+}
+
+func writeTuples(t *testing.T, path string, ts []WalkTuple) {
+	t.Helper()
+	w, err := NewWalkWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range ts {
+		if err := w.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, path string) []WalkTuple {
+	t.Helper()
+	r, err := NewWalkReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []WalkTuple
+	for {
+		tu, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tu)
+	}
+}
+
+func TestSortWalkFileMatchesInMemorySort(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(33)
+	for _, maxMem := range []int{0, 7, 1000} { // 7 forces many runs + merge
+		ts := randomTuples(r, 200)
+		in := filepath.Join(dir, "in")
+		out := filepath.Join(dir, "out")
+		writeTuples(t, in, ts)
+		if err := SortWalkFile(in, out, maxMem); err != nil {
+			t.Fatal(err)
+		}
+		got := readAll(t, out)
+		want := append([]WalkTuple(nil), ts...)
+		sort.Slice(want, func(i, j int) bool { return compareTuples(want[i], want[j]) < 0 })
+		if len(got) != len(want) {
+			t.Fatalf("maxMem=%d: %d tuples, want %d", maxMem, len(got), len(want))
+		}
+		// The sort key ignores P, so tuples with identical walks may
+		// permute among themselves; compare key order plus the multiset
+		// of P values.
+		var gotP, wantP []float64
+		for i := range want {
+			if compareTuples(got[i], want[i]) != 0 {
+				t.Fatalf("maxMem=%d: tuple %d out of order", maxMem, i)
+			}
+			gotP = append(gotP, got[i].P)
+			wantP = append(wantP, want[i].P)
+		}
+		sort.Float64s(gotP)
+		sort.Float64s(wantP)
+		for i := range wantP {
+			if gotP[i] != wantP[i] {
+				t.Fatalf("maxMem=%d: P multiset differs", maxMem)
+			}
+		}
+	}
+}
+
+func TestSortWalkFileEmpty(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in")
+	out := filepath.Join(dir, "out")
+	writeTuples(t, in, nil)
+	if err := SortWalkFile(in, out, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, out); len(got) != 0 {
+		t.Fatalf("sorted empty file has %d tuples", len(got))
+	}
+}
+
+func TestSortWalkFileGroupsContiguous(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(55)
+	ts := randomTuples(r, 500)
+	in := filepath.Join(dir, "in")
+	out := filepath.Join(dir, "out")
+	writeTuples(t, in, ts)
+	if err := SortWalkFile(in, out, 64); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, out)
+	seen := make(map[[2]int32]bool)
+	var last [2]int32
+	first := true
+	for _, tu := range got {
+		key := [2]int32{tu.Start(), tu.End()}
+		if !first && key != last && seen[key] {
+			t.Fatalf("group %v split", key)
+		}
+		seen[key] = true
+		last = key
+		first = false
+	}
+}
+
+// Property: external sort output is a permutation of the input.
+func TestQuickSortPermutation(t *testing.T) {
+	dir := t.TempDir()
+	counter := 0
+	f := func(seed uint64) bool {
+		counter++
+		r := rng.New(seed)
+		ts := randomTuples(r, 1+r.Intn(100))
+		in := filepath.Join(dir, "in"+string(rune('a'+counter%26)))
+		out := in + ".sorted"
+		w, err := NewWalkWriter(in)
+		if err != nil {
+			return false
+		}
+		sumP := 0.0
+		for _, tu := range ts {
+			if w.Append(tu) != nil {
+				return false
+			}
+			sumP += tu.P
+		}
+		if w.Close() != nil {
+			return false
+		}
+		if SortWalkFile(in, out, 13) != nil {
+			return false
+		}
+		r2, err := NewWalkReader(out)
+		if err != nil {
+			return false
+		}
+		defer r2.Close()
+		gotSum, count := 0.0, 0
+		for {
+			tu, err := r2.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			gotSum += tu.P
+			count++
+		}
+		return count == len(ts) && math.Abs(gotSum-sumP) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

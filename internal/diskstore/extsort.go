@@ -1,0 +1,169 @@
+package diskstore
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SortWalkFile sorts the walk file at in by (start, end, walk) into out
+// using an external merge sort: runs of at most maxInMemory tuples are
+// sorted in memory and spilled, then merged with a k-way heap. This is
+// the grouping step of Fig. 3 (line 15). maxInMemory ≤ 0 selects 1<<20.
+func SortWalkFile(in, out string, maxInMemory int) error {
+	if maxInMemory <= 0 {
+		maxInMemory = 1 << 20
+	}
+	r, err := NewWalkReader(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	tmpDir, err := os.MkdirTemp(filepath.Dir(out), "extsort-*")
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	defer os.RemoveAll(tmpDir)
+
+	var runs []string
+	buf := make([]WalkTuple, 0, maxInMemory)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.Slice(buf, func(i, j int) bool { return compareTuples(buf[i], buf[j]) < 0 })
+		path := filepath.Join(tmpDir, fmt.Sprintf("run%06d", len(runs)))
+		w, err := NewWalkWriter(path)
+		if err != nil {
+			return err
+		}
+		for _, t := range buf {
+			if err := w.Append(t); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		runs = append(runs, path)
+		buf = buf[:0]
+		return nil
+	}
+
+	for {
+		t, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf = append(buf, t)
+		if len(buf) >= maxInMemory {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Single in-memory run: write directly.
+	if len(runs) == 0 {
+		sort.Slice(buf, func(i, j int) bool { return compareTuples(buf[i], buf[j]) < 0 })
+		w, err := NewWalkWriter(out)
+		if err != nil {
+			return err
+		}
+		for _, t := range buf {
+			if err := w.Append(t); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		return w.Close()
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return mergeRuns(runs, out)
+}
+
+type mergeItem struct {
+	t   WalkTuple
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return compareTuples(h[i].t, h[j].t) < 0 }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func mergeRuns(runs []string, out string) error {
+	readers := make([]*WalkReader, len(runs))
+	for i, path := range runs {
+		r, err := NewWalkReader(path)
+		if err != nil {
+			for _, rr := range readers[:i] {
+				rr.Close()
+			}
+			return err
+		}
+		readers[i] = r
+	}
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+
+	h := &mergeHeap{}
+	heap.Init(h)
+	for i, r := range readers {
+		t, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		heap.Push(h, mergeItem{t: t, src: i})
+	}
+
+	w, err := NewWalkWriter(out)
+	if err != nil {
+		return err
+	}
+	for h.Len() > 0 {
+		item := heap.Pop(h).(mergeItem)
+		if err := w.Append(item.t); err != nil {
+			w.Close()
+			return err
+		}
+		t, err := readers[item.src].Next()
+		if errors.Is(err, io.EOF) {
+			continue
+		}
+		if err != nil {
+			w.Close()
+			return err
+		}
+		heap.Push(h, mergeItem{t: t, src: item.src})
+	}
+	return w.Close()
+}

@@ -1,0 +1,156 @@
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WalkTuple is one record of a walk-probability file: a walk, its walk
+// probability p, and the α value of its last vertex (Fig. 3 stores
+// exactly this triple so extensions can apply the Lemma 2 ratio).
+type WalkTuple struct {
+	Walk  []int32
+	P     float64
+	Alpha float64
+}
+
+// Start returns the first vertex of the walk.
+func (t WalkTuple) Start() int32 { return t.Walk[0] }
+
+// End returns the last vertex of the walk.
+func (t WalkTuple) End() int32 { return t.Walk[len(t.Walk)-1] }
+
+// WalkWriter appends WalkTuples to a file.
+type WalkWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWalkWriter creates (truncates) the walk file at path.
+func NewWalkWriter(path string) (*WalkWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return &WalkWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one tuple. The walk must be non-empty.
+func (w *WalkWriter) Append(t WalkTuple) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(t.Walk) == 0 {
+		return errors.New("diskstore: empty walk")
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(t.Walk)))
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	for _, v := range t.Walk {
+		n = binary.PutUvarint(buf[:], uint64(v))
+		if _, err := w.w.Write(buf[:n]); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	var pb [16]byte
+	binary.LittleEndian.PutUint64(pb[0:8], math.Float64bits(t.P))
+	binary.LittleEndian.PutUint64(pb[8:16], math.Float64bits(t.Alpha))
+	if _, err := w.w.Write(pb[:]); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of tuples appended so far.
+func (w *WalkWriter) Count() int64 { return w.n }
+
+// Close flushes and closes the file.
+func (w *WalkWriter) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// WalkReader iterates the tuples of a walk file.
+type WalkReader struct {
+	f *os.File
+	r *bufio.Reader
+}
+
+// NewWalkReader opens the walk file at path.
+func NewWalkReader(path string) (*WalkReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	return &WalkReader{f: f, r: bufio.NewReader(f)}, nil
+}
+
+// Next returns the next tuple, or io.EOF when exhausted.
+func (r *WalkReader) Next() (WalkTuple, error) {
+	length, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return WalkTuple{}, io.EOF
+		}
+		return WalkTuple{}, fmt.Errorf("diskstore: walk length: %w", err)
+	}
+	if length == 0 || length > 1<<20 {
+		return WalkTuple{}, fmt.Errorf("diskstore: unreasonable walk length %d", length)
+	}
+	t := WalkTuple{Walk: make([]int32, length)}
+	for i := range t.Walk {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return WalkTuple{}, fmt.Errorf("diskstore: walk vertex: %w", err)
+		}
+		t.Walk[i] = int32(v)
+	}
+	var pb [16]byte
+	if _, err := io.ReadFull(r.r, pb[:]); err != nil {
+		return WalkTuple{}, fmt.Errorf("diskstore: walk payload: %w", err)
+	}
+	t.P = math.Float64frombits(binary.LittleEndian.Uint64(pb[0:8]))
+	t.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(pb[8:16]))
+	return t, nil
+}
+
+// Close closes the underlying file.
+func (r *WalkReader) Close() error { return r.f.Close() }
+
+// compareTuples orders tuples by (start, end, full walk) so equal
+// (start, end) groups are contiguous and the order is deterministic.
+func compareTuples(a, b WalkTuple) int {
+	if c := int(a.Start()) - int(b.Start()); c != 0 {
+		return c
+	}
+	if c := int(a.End()) - int(b.End()); c != 0 {
+		return c
+	}
+	la, lb := len(a.Walk), len(b.Walk)
+	n := la
+	if lb < n {
+		n = lb
+	}
+	for i := 0; i < n; i++ {
+		if a.Walk[i] != b.Walk[i] {
+			return int(a.Walk[i]) - int(b.Walk[i])
+		}
+	}
+	return la - lb
+}

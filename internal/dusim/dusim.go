@@ -1,0 +1,70 @@
+// Package dusim implements the paper's SimRank-III baseline: the
+// probabilistic SimRank of Du et al. ("Probabilistic SimRank computation
+// over uncertain graphs", Information Sciences 295, 2015), characterised
+// in Sec. IV and Sec. VIII of the paper by its defining assumption
+//
+//	W(k) = (W(1))^k for all k ≥ 1,
+//
+// i.e. the k-step transition matrix of the uncertain graph is taken to be
+// the k-th power of the exact expected one-step matrix. The paper proves
+// this is inconsistent with the possible-world model whenever walks can
+// revisit a vertex (the transitions out of a vertex are then correlated
+// across steps); this package exists so the bias is measurable.
+package dusim
+
+import (
+	"fmt"
+
+	"usimrank/internal/matrix"
+	"usimrank/internal/ugraph"
+	"usimrank/internal/walkpr"
+)
+
+// Rows returns the Du-et-al k-step rows for k = 0..K: powers of the
+// exact expected one-step matrix of the *reversed* graph applied to the
+// unit vector at src.
+func Rows(g *ugraph.Graph, src, K int) []matrix.Vec {
+	if src < 0 || src >= g.NumVertices() {
+		panic(fmt.Sprintf("dusim: source %d out of range [0,%d)", src, g.NumVertices()))
+	}
+	w1 := walkpr.ExpectedOneStep(g.Reverse())
+	rows := make([]matrix.Vec, K+1)
+	rows[0] = matrix.Unit(int32(src))
+	var ws matrix.Workspace
+	for k := 1; k <= K; k++ {
+		rows[k] = w1.LeftMul(&ws, rows[k-1])
+	}
+	return rows
+}
+
+// SinglePair computes the n-th SimRank iterate under the W(k) = W(1)^k
+// assumption, combined exactly as in Definition 1 so that any difference
+// from core.Engine.Baseline is attributable to the assumption alone.
+func SinglePair(g *ugraph.Graph, u, v int, c float64, n int) float64 {
+	if u < 0 || u >= g.NumVertices() || v < 0 || v >= g.NumVertices() {
+		panic(fmt.Sprintf("dusim: pair (%d,%d) out of range [0,%d)", u, v, g.NumVertices()))
+	}
+	if !(c > 0 && c < 1) {
+		panic(fmt.Sprintf("dusim: decay factor %v outside (0,1)", c))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("dusim: negative iteration count %d", n))
+	}
+	ru := Rows(g, u, n)
+	rv := Rows(g, v, n)
+	m := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		m[k] = ru[k].Dot(rv[k])
+	}
+	s := 1.0
+	for i := 0; i < n; i++ {
+		s *= c
+	}
+	s *= m[n]
+	ck := 1.0
+	for k := 0; k < n; k++ {
+		s += (1 - c) * ck * m[k]
+		ck *= c
+	}
+	return s
+}

@@ -1,0 +1,148 @@
+package dusim
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/core"
+	"usimrank/internal/detsim"
+	"usimrank/internal/ugraph"
+)
+
+const eps = 1e-9
+
+// TestMatchesExactOnHighGirthGraph: when no walk of length ≤ n can
+// revisit a vertex, W(k) = W(1)^k genuinely holds and the Du-et-al
+// baseline agrees with the possible-world-exact value.
+func TestMatchesExactOnHighGirthGraph(t *testing.T) {
+	// A DAG: revisits impossible at any length.
+	b := ugraph.NewBuilder(6)
+	b.AddArc(0, 2, 0.7)
+	b.AddArc(1, 2, 0.5)
+	b.AddArc(2, 3, 0.9)
+	b.AddArc(2, 4, 0.4)
+	b.AddArc(3, 5, 0.8)
+	b.AddArc(4, 5, 0.6)
+	g := b.MustBuild()
+
+	e, err := core.NewEngine(g, core.Options{C: 0.6, Steps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 6; u++ {
+		for v := u; v < 6; v++ {
+			want, err := e.Baseline(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := SinglePair(g, u, v, 0.6, 4)
+			if math.Abs(got-want) > eps {
+				t.Fatalf("s(%d,%d): du %v vs exact %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestDiffersOnCyclicGraph reproduces the paper's critique: on a graph
+// where walks revisit vertices, the W(k) = W(1)^k assumption produces a
+// different (wrong) similarity.
+func TestDiffersOnCyclicGraph(t *testing.T) {
+	b := ugraph.NewBuilder(3)
+	b.AddArc(0, 1, 0.5)
+	b.AddArc(1, 0, 0.5)
+	b.AddArc(0, 0, 0.5)
+	b.AddArc(2, 0, 0.8)
+	b.AddArc(1, 2, 0.7)
+	g := b.MustBuild()
+
+	e, err := core.NewEngine(g, core.Options{C: 0.6, Steps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDiff := 0.0
+	for u := 0; u < 3; u++ {
+		for v := u; v < 3; v++ {
+			exact, err := e.Baseline(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			du := SinglePair(g, u, v, 0.6, 5)
+			if d := math.Abs(exact - du); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff < 1e-4 {
+		t.Fatalf("Du baseline suspiciously equals the exact measure (max diff %v)", maxDiff)
+	}
+}
+
+// TestCertainGraphEqualsDeterministic: with all probabilities 1 the
+// expected one-step matrix is the ordinary transition matrix and powers
+// are exact, so Du's method equals deterministic SimRank.
+func TestCertainGraphEqualsDeterministic(t *testing.T) {
+	b := ugraph.NewBuilder(4)
+	for _, a := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}} {
+		b.AddArc(a[0], a[1], 1)
+	}
+	g := b.MustBuild()
+	sk := g.Skeleton()
+	for u := 0; u < 4; u++ {
+		for v := u; v < 4; v++ {
+			want := detsim.SinglePair(sk, u, v, 0.6, 5)
+			got := SinglePair(g, u, v, 0.6, 5)
+			if math.Abs(got-want) > eps {
+				t.Fatalf("s(%d,%d): du %v vs detsim %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestRowsSubstochastic(t *testing.T) {
+	g := ugraph.PaperFig1()
+	rows := Rows(g, 0, 5)
+	for k, row := range rows {
+		if s := row.Sum(); s > 1+eps || s < -eps {
+			t.Fatalf("row %d sums to %v", k, s)
+		}
+	}
+	if rows[0].At(0) != 1 || rows[0].Len() != 1 {
+		t.Fatal("row 0 not the unit vector")
+	}
+}
+
+func TestSymmetryAndRange(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			suv := SinglePair(g, u, v, 0.6, 5)
+			svu := SinglePair(g, v, u, 0.6, 5)
+			if math.Abs(suv-svu) > eps {
+				t.Fatalf("not symmetric at (%d,%d)", u, v)
+			}
+			if suv < -eps || suv > 1+eps {
+				t.Fatalf("s(%d,%d) = %v", u, v, suv)
+			}
+		}
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for _, f := range []func(){
+		func() { SinglePair(g, -1, 0, 0.6, 3) },
+		func() { SinglePair(g, 0, 99, 0.6, 3) },
+		func() { SinglePair(g, 0, 1, 0, 3) },
+		func() { SinglePair(g, 0, 1, 0.6, -2) },
+		func() { Rows(g, -1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad arguments accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

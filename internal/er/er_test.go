@@ -1,0 +1,244 @@
+package er
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/core"
+	"usimrank/internal/rng"
+)
+
+func TestGenerateStructure(t *testing.T) {
+	ds := Generate(Config{}, 300, rng.New(1))
+	wantAuthors := 0
+	for _, ns := range DefaultNames() {
+		wantAuthors += ns.Authors
+	}
+	if len(ds.Authors) != wantAuthors {
+		t.Fatalf("authors = %d, want %d", len(ds.Authors), wantAuthors)
+	}
+	if len(ds.Records) < 2*wantAuthors {
+		t.Fatalf("only %d records for %d authors", len(ds.Records), wantAuthors)
+	}
+	for _, rec := range ds.Records {
+		if rec.AuthorID < 0 || rec.AuthorID >= len(ds.Authors) {
+			t.Fatalf("record %d has author %d", rec.ID, rec.AuthorID)
+		}
+		if ds.Authors[rec.AuthorID].Name != rec.Name {
+			t.Fatalf("record %d name %q does not match author %q",
+				rec.ID, rec.Name, ds.Authors[rec.AuthorID].Name)
+		}
+		if len(rec.Coauthors) == 0 {
+			t.Fatalf("record %d has no coauthors", rec.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{}, 200, rng.New(5))
+	b := Generate(Config{}, 200, rng.New(5))
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("same seed, different datasets")
+	}
+	for i := range a.Records {
+		if a.Records[i].Venue != b.Records[i].Venue || a.Records[i].AuthorID != b.Records[i].AuthorID {
+			t.Fatal("same seed, different records")
+		}
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	ds := Generate(Config{}, 300, rng.New(2))
+	names, blocks := Blocks(ds)
+	if len(names) != len(DefaultNames()) {
+		t.Fatalf("got %d blocks", len(names))
+	}
+	total := 0
+	for _, n := range names {
+		block := blocks[n]
+		total += len(block)
+		for _, rec := range block {
+			if rec.Name != n {
+				t.Fatalf("record %d in wrong block", rec.ID)
+			}
+		}
+	}
+	if total != len(ds.Records) {
+		t.Fatalf("blocks cover %d of %d records", total, len(ds.Records))
+	}
+}
+
+func TestRecordSimilarityBounds(t *testing.T) {
+	ds := Generate(Config{}, 200, rng.New(3))
+	for i := 0; i < 50; i++ {
+		a := ds.Records[i%len(ds.Records)]
+		b := ds.Records[(i*7)%len(ds.Records)]
+		s := RecordSimilarity(a, b)
+		if s < 0 || s > 1.0001 {
+			t.Fatalf("similarity %v out of range", s)
+		}
+	}
+	// Identical records are maximally similar.
+	r := ds.Records[0]
+	if s := RecordSimilarity(r, r); s < 0.99 {
+		t.Fatalf("self similarity %v", s)
+	}
+}
+
+func TestSameAuthorRecordsMoreSimilar(t *testing.T) {
+	ds := Generate(Config{}, 400, rng.New(7))
+	var same, diff float64
+	var nSame, nDiff int
+	for i := 0; i < len(ds.Records); i += 3 {
+		for j := i + 1; j < len(ds.Records); j += 3 {
+			a, b := ds.Records[i], ds.Records[j]
+			if a.Name != b.Name {
+				continue
+			}
+			s := RecordSimilarity(a, b)
+			if a.AuthorID == b.AuthorID {
+				same += s
+				nSame++
+			} else {
+				diff += s
+				nDiff++
+			}
+		}
+	}
+	if nSame == 0 || nDiff == 0 {
+		t.Fatal("degenerate sample")
+	}
+	if same/float64(nSame) <= diff/float64(nDiff) {
+		t.Fatalf("same-author similarity %v not above cross-author %v",
+			same/float64(nSame), diff/float64(nDiff))
+	}
+}
+
+func TestSimilarityGraphSymmetricProbabilities(t *testing.T) {
+	ds := Generate(Config{}, 150, rng.New(9))
+	_, blocks := Blocks(ds)
+	block := blocks["Wei Wang"]
+	g := SimilarityGraph(block, 0.05)
+	if g.NumVertices() != len(block) {
+		t.Fatal("vertex count wrong")
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := g.OutProbs(u)
+		for i, v := range g.Out(u) {
+			if g.Prob(int(v), u) != probs[i] {
+				t.Fatal("record graph not symmetric")
+			}
+		}
+	}
+}
+
+func TestPairwisePRFPerfect(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2}
+	clusters := [][]int{{0, 1}, {2, 3}, {4}}
+	p, r, f := PairwisePRF(clusters, truth)
+	if p != 1 || r != 1 || f != 1 {
+		t.Fatalf("PRF = %v %v %v", p, r, f)
+	}
+}
+
+func TestPairwisePRFAllMerged(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	clusters := [][]int{{0, 1, 2, 3}}
+	p, r, _ := PairwisePRF(clusters, truth)
+	// 6 predicted pairs, 2 correct; all true pairs found.
+	if math.Abs(p-2.0/6) > 1e-12 || r != 1 {
+		t.Fatalf("PRF = %v %v", p, r)
+	}
+}
+
+func TestPairwisePRFAllSingletons(t *testing.T) {
+	truth := []int{0, 0, 1}
+	clusters := [][]int{{0}, {1}, {2}}
+	p, r, f := PairwisePRF(clusters, truth)
+	if p != 1 || r != 0 || f != 0 {
+		t.Fatalf("PRF = %v %v %v", p, r, f)
+	}
+}
+
+func TestPairwisePRFNoTruePairs(t *testing.T) {
+	truth := []int{0, 1, 2}
+	clusters := [][]int{{0, 1}, {2}}
+	p, r, _ := PairwisePRF(clusters, truth)
+	if p != 0 || r != 1 {
+		t.Fatalf("PRF = %v %v", p, r)
+	}
+}
+
+func TestResolversProduceValidClusterings(t *testing.T) {
+	ds := Generate(Config{}, 150, rng.New(11))
+	_, blocks := Blocks(ds)
+	block := blocks["Rakesh Kumar"]
+	opt := core.Options{N: 200, Steps: 3, Seed: 13}
+	for _, alg := range []Resolver{EIF, DISTINCT, SimER, SimDER} {
+		clusters, err := Resolve(alg, block, Thresholds{}, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		seen := make([]bool, len(block))
+		for _, c := range clusters {
+			for _, x := range c {
+				if x < 0 || x >= len(block) || seen[x] {
+					t.Fatalf("%v: invalid clustering %v", alg, clusters)
+				}
+				seen[x] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("%v: record %d unassigned", alg, i)
+			}
+		}
+	}
+}
+
+func TestResolverQuality(t *testing.T) {
+	// All four resolvers must beat the trivial all-singletons baseline
+	// (F1 = 0) on clean-ish data, and F1 must be meaningful (≥ 0.3).
+	ds := Generate(Config{}, 240, rng.New(17))
+	names, blocks := Blocks(ds)
+	opt := core.Options{N: 300, Steps: 3, Seed: 19}
+	for _, alg := range []Resolver{EIF, DISTINCT, SimER, SimDER} {
+		var f1sum float64
+		var n int
+		for _, name := range names {
+			block := blocks[name]
+			clusters, err := Resolve(alg, block, Thresholds{}, opt)
+			if err != nil {
+				t.Fatalf("%v on %q: %v", alg, name, err)
+			}
+			_, _, f1 := PairwisePRF(clusters, BlockTruth(block))
+			f1sum += f1
+			n++
+		}
+		if avg := f1sum / float64(n); avg < 0.3 {
+			t.Fatalf("%v average F1 = %v, implausibly low", alg, avg)
+		}
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	if _, err := Resolve(Resolver(99), nil, Thresholds{}, core.Options{}); err == nil {
+		t.Fatal("unknown resolver accepted")
+	}
+}
+
+func TestResolverStrings(t *testing.T) {
+	if EIF.String() != "EIF" || DISTINCT.String() != "DISTINCT" ||
+		SimER.String() != "SimER" || SimDER.String() != "SimDER" {
+		t.Fatal("resolver names wrong")
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad record count accepted")
+		}
+	}()
+	Generate(Config{}, 0, rng.New(1))
+}

@@ -1,0 +1,222 @@
+// Package exp contains one runner per table and figure of the paper's
+// evaluation (Sec. VII). Every runner is deterministic given a seed,
+// prints a human-readable table to the configured writer, and returns a
+// machine-readable result struct; bench_test.go at the repository root
+// wraps each runner in a benchmark, and cmd/usim-exp exposes them on the
+// command line.
+//
+// Runners accept a gen.Scale: Tiny keeps CI fast, Small is a sensible
+// local run, Paper approaches the published sizes. The mapping from the
+// paper's datasets to the synthetic catalog — including where densities
+// were reduced so the exponential exact Baseline terminates — is
+// documented in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+// tempDirFor creates a scratch directory for disk-backed runners. The
+// directory lives under the default temp root and is best-effort cleaned
+// by the OS; runners that care clean up themselves.
+func tempDirFor(Config) string {
+	dir, err := os.MkdirTemp("", "usimrank-exp-*")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Config configures a runner.
+type Config struct {
+	// Scale selects dataset sizes (gen.Tiny by default).
+	Scale gen.Scale
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Out receives the printed tables (io.Discard when nil).
+	Out io.Writer
+}
+
+func (c Config) norm() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// scaleParams holds per-scale workload knobs.
+type scaleParams struct {
+	pairs      int   // random vertex pairs for bias/efficiency/accuracy
+	fig8Pairs  int   // pairs for the convergence study
+	fig8MaxN   int   // maximum iteration count in Fig. 8
+	nSweep     []int // sample counts for Fig. 11
+	rmatScale  int   // log2 vertices for Fig. 12
+	rmatFactor []int // edge multipliers for Fig. 12
+	erSweep    []int // record counts for Fig. 15
+	erRecords  int   // record count for Tables IV/V
+	proteins   int   // proteins in the Fig. 13 case study
+}
+
+func params(s gen.Scale) scaleParams {
+	switch s {
+	case gen.Small:
+		return scaleParams{
+			pairs:      100,
+			fig8Pairs:  20,
+			fig8MaxN:   10,
+			nSweep:     []int{100, 250, 500, 1000, 1500, 2000},
+			rmatScale:  14,
+			rmatFactor: []int{1, 2, 3, 4, 5},
+			erSweep:    []int{400, 600, 800, 1000},
+			erRecords:  400,
+			proteins:   400,
+		}
+	case gen.Paper:
+		return scaleParams{
+			pairs:      1000,
+			fig8Pairs:  100,
+			fig8MaxN:   10,
+			nSweep:     []int{100, 250, 500, 1000, 1500, 2000},
+			rmatScale:  19,
+			rmatFactor: []int{2, 4, 6, 8, 10},
+			erSweep:    []int{2000, 3000, 4000, 5000},
+			erRecords:  2000,
+			proteins:   2708,
+		}
+	default: // Tiny
+		return scaleParams{
+			pairs:      12,
+			fig8Pairs:  5,
+			fig8MaxN:   6,
+			nSweep:     []int{100, 200, 400},
+			rmatScale:  10,
+			rmatFactor: []int{1, 2, 3, 4, 5},
+			erSweep:    []int{120, 180, 240},
+			erRecords:  240,
+			proteins:   120,
+		}
+	}
+}
+
+// randomPairs draws count distinct-ish uniform vertex pairs (u ≠ v).
+func randomPairs(n, count int, r *rng.RNG) [][2]int {
+	pairs := make([][2]int, 0, count)
+	for len(pairs) < count {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		pairs = append(pairs, [2]int{u, v})
+	}
+	return pairs
+}
+
+// relErr returns |s − ref| / ref, the paper's relative-error metric.
+// Pairs with ref = 0 are excluded by callers.
+func relErr(s, ref float64) float64 {
+	d := s - ref
+	if d < 0 {
+		d = -d
+	}
+	return d / ref
+}
+
+// meanRelErr averages relErr over pairs, skipping zero references.
+func meanRelErr(vals, refs []float64) float64 {
+	sum, n := 0.0, 0
+	for i := range vals {
+		if refs[i] > 0 {
+			sum += relErr(vals[i], refs[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// stopwatch measures the mean wall time of f over rounds calls.
+func stopwatch(rounds int, f func(i int)) time.Duration {
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		f(i)
+	}
+	if rounds == 0 {
+		return 0
+	}
+	return time.Since(start) / time.Duration(rounds)
+}
+
+// valueStats summarises a value list.
+type valueStats struct {
+	Avg, Max, Min float64
+}
+
+func summarize(vals []float64) valueStats {
+	if len(vals) == 0 {
+		return valueStats{}
+	}
+	s := valueStats{Min: vals[0], Max: vals[0]}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v > s.Max {
+			s.Max = v
+		}
+		if v < s.Min {
+			s.Min = v
+		}
+	}
+	s.Avg = sum / float64(len(vals))
+	return s
+}
+
+// minMaxNormalize rescales vals into [0, 1] in place (no-op when the
+// values are constant), the normalisation Fig. 7 applies before
+// comparing measures.
+func minMaxNormalize(vals []float64) {
+	if len(vals) == 0 {
+		return
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return
+	}
+	for i := range vals {
+		vals[i] = (vals[i] - lo) / (hi - lo)
+	}
+}
+
+// sortedDesc returns a copy of vals sorted descending (the Fig. 7
+// presentation order).
+func sortedDesc(vals []float64) []float64 {
+	out := append([]float64(nil), vals...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// describe prints a one-line dataset summary (the Table II row).
+func describe(w io.Writer, name string, g *ugraph.Graph) {
+	fmt.Fprintf(w, "%-10s |V|=%-8d |E|=%-9d avg-deg=%.2f mean-p=%.2f\n",
+		name, g.NumVertices(), g.NumArcs(), g.AverageOutDegree(), g.MeanProbability())
+}

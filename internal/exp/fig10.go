@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"fmt"
+
+	"usimrank/internal/core"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+)
+
+// AlgoError is one bar of Fig. 10: the mean relative error of an
+// approximate algorithm against the exact Baseline.
+type AlgoError struct {
+	Dataset string
+	Algo    string
+	RelErr  float64
+}
+
+// Fig10Result holds the relative errors.
+type Fig10Result struct {
+	Errors []AlgoError
+}
+
+// Fig10Accuracy reproduces Fig. 10: relative error |s − s*| / s* of
+// Sampling, SR-TS and SR-SP (l = 1, 2, 3) with the Baseline result s*
+// as reference, averaged over sampled pairs (pairs with s* = 0 are
+// skipped, as a relative error is undefined there).
+func Fig10Accuracy(cfg Config) (*Fig10Result, error) {
+	cfg = cfg.norm()
+	p := params(cfg.Scale)
+	res := &Fig10Result{}
+	fmt.Fprintf(cfg.Out, "Fig. 10 — mean relative error vs Baseline (%d pairs)\n", p.pairs)
+
+	for _, name := range fig9Datasets {
+		d, err := gen.ByName(cfg.Scale, name)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Build(cfg.Seed)
+		r := rng.New(cfg.Seed + 13)
+		pairs := randomPairs(g.NumVertices(), p.pairs, r)
+
+		exactEngine, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		refs := make([]float64, len(pairs))
+		for i, pair := range pairs {
+			s, err := exactEngine.Baseline(pair[0], pair[1])
+			if err != nil {
+				return nil, err
+			}
+			refs[i] = s
+		}
+
+		record := func(algo string, vals []float64) {
+			e := meanRelErr(vals, refs)
+			res.Errors = append(res.Errors, AlgoError{Dataset: name, Algo: algo, RelErr: e})
+			fmt.Fprintf(cfg.Out, "  %-10s %-12s %.4f\n", name, algo, e)
+		}
+
+		{
+			e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, len(pairs))
+			for i, pair := range pairs {
+				if vals[i], err = e.Sampling(pair[0], pair[1]); err != nil {
+					return nil, err
+				}
+			}
+			record("Sampling", vals)
+		}
+		for _, l := range []int{1, 2, 3} {
+			ets, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l})
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, len(pairs))
+			for i, pair := range pairs {
+				if vals[i], err = ets.TwoPhase(pair[0], pair[1]); err != nil {
+					return nil, err
+				}
+			}
+			record(fmt.Sprintf("SR-TS(l=%d)", l), vals)
+
+			esp, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l})
+			if err != nil {
+				return nil, err
+			}
+			for i, pair := range pairs {
+				if vals[i], err = esp.SRSP(pair[0], pair[1]); err != nil {
+					return nil, err
+				}
+			}
+			record(fmt.Sprintf("SR-SP(l=%d)", l), vals)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"usimrank/internal/core"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+)
+
+// NSweepPoint is one x-position of Fig. 11: sample count N against mean
+// per-query time and mean relative error, for SR-TS and SR-SP.
+type NSweepPoint struct {
+	N        int
+	TSTime   time.Duration
+	SPTime   time.Duration
+	TSRelErr float64
+	SPRelErr float64
+}
+
+// Fig11Result holds the sweep.
+type Fig11Result struct {
+	Dataset string
+	Points  []NSweepPoint
+}
+
+// Fig11NSweep reproduces Fig. 11: the effect of the number of sampled
+// walks N on the execution time and relative error of SR-TS and SR-SP
+// on the Condmat*-like dataset, with l = 1.
+func Fig11NSweep(cfg Config) (*Fig11Result, error) {
+	cfg = cfg.norm()
+	p := params(cfg.Scale)
+	d, err := gen.ByName(cfg.Scale, "Condmat*")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Build(cfg.Seed)
+	r := rng.New(cfg.Seed + 17)
+	pairs := randomPairs(g.NumVertices(), p.pairs, r)
+
+	exact, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]float64, len(pairs))
+	for i, pair := range pairs {
+		if refs[i], err = exact.Baseline(pair[0], pair[1]); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Fig11Result{Dataset: d.Name}
+	fmt.Fprintf(cfg.Out, "Fig. 11 — effect of N on %s (l=1, %d pairs)\n", d.Name, p.pairs)
+	fmt.Fprintf(cfg.Out, "  %-6s %-12s %-12s %-10s %-10s\n", "N", "SR-TS time", "SR-SP time", "TS err", "SP err")
+
+	for _, n := range p.nSweep {
+		ets, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: 1, N: n})
+		if err != nil {
+			return nil, err
+		}
+		tsVals := make([]float64, len(pairs))
+		tsTime := stopwatch(len(pairs), func(i int) {
+			v, err := ets.TwoPhase(pairs[i][0], pairs[i][1])
+			if err != nil {
+				panic(err)
+			}
+			tsVals[i] = v
+		})
+
+		esp, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: 1, N: n})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := esp.SRSP(pairs[0][0], pairs[0][1]); err != nil { // offline pools
+			return nil, err
+		}
+		spVals := make([]float64, len(pairs))
+		spTime := stopwatch(len(pairs), func(i int) {
+			v, err := esp.SRSP(pairs[i][0], pairs[i][1])
+			if err != nil {
+				panic(err)
+			}
+			spVals[i] = v
+		})
+
+		pt := NSweepPoint{
+			N:        n,
+			TSTime:   tsTime,
+			SPTime:   spTime,
+			TSRelErr: meanRelErr(tsVals, refs),
+			SPRelErr: meanRelErr(spVals, refs),
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(cfg.Out, "  %-6d %-12v %-12v %-10.4f %-10.4f\n",
+			n, pt.TSTime, pt.SPTime, pt.TSRelErr, pt.SPRelErr)
+	}
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"usimrank/internal/core"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/stats"
+)
+
+// ScalePoint is one x-position of Fig. 12: edge count against mean
+// per-query time of SR-TS and SR-SP on an R-MAT uncertain graph.
+type ScalePoint struct {
+	Vertices int
+	Edges    int
+	TSTime   time.Duration
+	SPTime   time.Duration
+}
+
+// Fig12Result holds the scalability sweep and the least-squares
+// linearity check (the paper claims near-linear growth in |E|).
+type Fig12Result struct {
+	Points []ScalePoint
+	// TSR2 and SPR2 are the R² of the time-vs-edges linear fits.
+	TSR2, SPR2 float64
+}
+
+// Fig12Scalability reproduces Fig. 12: execution time of SR-TS and
+// SR-SP on R-MAT uncertain graphs with a fixed vertex count and growing
+// edge count (probabilities uniform in (0, 1], as in the paper). Both
+// algorithms should scale roughly linearly with |E| because their cost
+// is driven by graph density.
+func Fig12Scalability(cfg Config) (*Fig12Result, error) {
+	cfg = cfg.norm()
+	p := params(cfg.Scale)
+	res := &Fig12Result{}
+	n := 1 << uint(p.rmatScale)
+	fmt.Fprintf(cfg.Out, "Fig. 12 — scalability on R-MAT graphs with %d vertices (N=1000, n=5, l=1)\n", n)
+	fmt.Fprintf(cfg.Out, "  %-10s %-12s %-12s\n", "|E|", "SR-TS", "SR-SP")
+
+	r := rng.New(cfg.Seed + 19)
+	for _, f := range p.rmatFactor {
+		m := f * n
+		skeleton := gen.RMAT(p.rmatScale, m, 0.45, 0.20, 0.20, r.Split())
+		g := gen.WithUniformProbs(skeleton, 0.05, 1.0, r.Split())
+		pairs := randomPairs(g.NumVertices(), params(cfg.Scale).pairs, r)
+
+		ets, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: 1})
+		if err != nil {
+			return nil, err
+		}
+		tsTime := stopwatch(len(pairs), func(i int) {
+			if _, err := ets.TwoPhase(pairs[i][0], pairs[i][1]); err != nil {
+				panic(err)
+			}
+		})
+
+		esp, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: 1})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := esp.SRSP(pairs[0][0], pairs[0][1]); err != nil { // offline pools
+			return nil, err
+		}
+		spTime := stopwatch(len(pairs), func(i int) {
+			if _, err := esp.SRSP(pairs[i][0], pairs[i][1]); err != nil {
+				panic(err)
+			}
+		})
+
+		pt := ScalePoint{Vertices: n, Edges: m, TSTime: tsTime, SPTime: spTime}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(cfg.Out, "  %-10d %-12v %-12v\n", m, pt.TSTime, pt.SPTime)
+	}
+
+	// Linearity check: fit time against |E| and report R².
+	var xs, ts, sp []float64
+	for _, pt := range res.Points {
+		xs = append(xs, float64(pt.Edges))
+		ts = append(ts, float64(pt.TSTime.Microseconds()))
+		sp = append(sp, float64(pt.SPTime.Microseconds()))
+	}
+	res.TSR2 = stats.FitLinear(xs, ts).R2
+	res.SPR2 = stats.FitLinear(xs, sp).R2
+	fmt.Fprintf(cfg.Out, "  linear fit R²: SR-TS %.3f, SR-SP %.3f\n", res.TSR2, res.SPR2)
+	return res, nil
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"usimrank/internal/core"
+	"usimrank/internal/er"
+	"usimrank/internal/rng"
+)
+
+// ERTimePoint is one x-position of Fig. 15: record count against total
+// resolution time per algorithm.
+type ERTimePoint struct {
+	Records int
+	Times   map[string]time.Duration
+}
+
+// Fig15Result holds the ER execution-time sweep.
+type Fig15Result struct {
+	Points []ERTimePoint
+}
+
+// erOptions returns the SimRank engine options of the case study
+// (sampling with the speed-up, as the paper states).
+func erOptions(seed uint64) core.Options {
+	return core.Options{Seed: seed, N: 500, Steps: 4}
+}
+
+// Fig15ERTime reproduces Fig. 15: execution time of DISTINCT, EIF,
+// SimER and SimDER as the record corpus grows.
+func Fig15ERTime(cfg Config) (*Fig15Result, error) {
+	cfg = cfg.norm()
+	p := params(cfg.Scale)
+	res := &Fig15Result{}
+	fmt.Fprintf(cfg.Out, "Fig. 15 — ER execution time vs record size\n")
+	fmt.Fprintf(cfg.Out, "  %-8s %-12s %-12s %-12s %-12s\n", "records", "DISTINCT", "EIF", "SimER", "SimDER")
+
+	algos := []er.Resolver{er.DISTINCT, er.EIF, er.SimER, er.SimDER}
+	for _, count := range p.erSweep {
+		ds := er.Generate(er.Config{}, count, rng.New(cfg.Seed+23))
+		names, blocks := er.Blocks(ds)
+		pt := ERTimePoint{Records: len(ds.Records), Times: make(map[string]time.Duration)}
+		for _, alg := range algos {
+			start := time.Now()
+			for _, name := range names {
+				if _, err := er.Resolve(alg, blocks[name], er.Thresholds{}, erOptions(cfg.Seed)); err != nil {
+					return nil, err
+				}
+			}
+			pt.Times[alg.String()] = time.Since(start)
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(cfg.Out, "  %-8d %-12v %-12v %-12v %-12v\n", pt.Records,
+			pt.Times["DISTINCT"], pt.Times["EIF"], pt.Times["SimER"], pt.Times["SimDER"])
+	}
+	return res, nil
+}
+
+// Table5Row is one row of the paper's Table V: per-name precision,
+// recall and F1 of one resolver.
+type Table5Row struct {
+	Name      string
+	Resolver  string
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Table5Result holds the ER quality comparison (and the Table IV name
+// statistics).
+type Table5Result struct {
+	// NameAuthors and NameRecords are the Table IV columns.
+	NameAuthors map[string]int
+	NameRecords map[string]int
+	Rows        []Table5Row
+	// Averages[resolver] = (precision, recall, F1) averaged over names.
+	Averages map[string][3]float64
+}
+
+// Table5ERQuality reproduces Tables IV and V: per-ambiguous-name
+// precision/recall/F1 of SimER, SimDER, EIF and DISTINCT.
+func Table5ERQuality(cfg Config) (*Table5Result, error) {
+	cfg = cfg.norm()
+	p := params(cfg.Scale)
+	ds := er.Generate(er.Config{}, p.erRecords, rng.New(cfg.Seed+23))
+	names, blocks := er.Blocks(ds)
+
+	res := &Table5Result{
+		NameAuthors: make(map[string]int),
+		NameRecords: make(map[string]int),
+		Averages:    make(map[string][3]float64),
+	}
+	authorsOf := make(map[string]map[int]bool)
+	for _, rec := range ds.Records {
+		if authorsOf[rec.Name] == nil {
+			authorsOf[rec.Name] = make(map[int]bool)
+		}
+		authorsOf[rec.Name][rec.AuthorID] = true
+	}
+	fmt.Fprintf(cfg.Out, "Table IV — ambiguous names\n")
+	for _, name := range names {
+		res.NameAuthors[name] = len(authorsOf[name])
+		res.NameRecords[name] = len(blocks[name])
+		fmt.Fprintf(cfg.Out, "  %-16s #authors=%-3d #records=%d\n", name, res.NameAuthors[name], res.NameRecords[name])
+	}
+
+	fmt.Fprintf(cfg.Out, "Table V — ER quality (precision / recall / F1)\n")
+	fmt.Fprintf(cfg.Out, "  %-16s %-10s %-8s %-8s %-8s\n", "name", "resolver", "P", "R", "F1")
+	algos := []er.Resolver{er.SimER, er.SimDER, er.EIF, er.DISTINCT}
+	sums := make(map[string][3]float64)
+	for _, name := range names {
+		block := blocks[name]
+		truth := er.BlockTruth(block)
+		for _, alg := range algos {
+			clusters, err := er.Resolve(alg, block, er.Thresholds{}, erOptions(cfg.Seed))
+			if err != nil {
+				return nil, err
+			}
+			prec, rec, f1 := er.PairwisePRF(clusters, truth)
+			res.Rows = append(res.Rows, Table5Row{
+				Name: name, Resolver: alg.String(), Precision: prec, Recall: rec, F1: f1,
+			})
+			s := sums[alg.String()]
+			s[0] += prec
+			s[1] += rec
+			s[2] += f1
+			sums[alg.String()] = s
+			fmt.Fprintf(cfg.Out, "  %-16s %-10s %-8.3f %-8.3f %-8.3f\n", name, alg, prec, rec, f1)
+		}
+	}
+	for algo, s := range sums {
+		res.Averages[algo] = [3]float64{s[0] / float64(len(names)), s[1] / float64(len(names)), s[2] / float64(len(names))}
+	}
+	fmt.Fprintf(cfg.Out, "  averages:\n")
+	for _, alg := range algos {
+		a := res.Averages[alg.String()]
+		fmt.Fprintf(cfg.Out, "  %-16s %-10s %-8.3f %-8.3f %-8.3f\n", "(all)", alg, a[0], a[1], a[2])
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+
+	"usimrank/internal/core"
+	"usimrank/internal/detsim"
+	"usimrank/internal/dusim"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/simmeasure"
+)
+
+// Measure names for the Fig. 7 / Table III comparison, matching the
+// paper's labels.
+const (
+	MeasureSimRankI   = "SimRank-I"   // the paper's measure (this work)
+	MeasureSimRankII  = "SimRank-II"  // SimRank with uncertainty removed
+	MeasureSimRankIII = "SimRank-III" // Du et al.'s W(k)=W(1)^k measure
+	MeasureJaccardI   = "Jaccard-I"   // expected Jaccard on the uncertain graph
+	MeasureJaccardII  = "Jaccard-II"  // Jaccard with uncertainty removed
+)
+
+// BiasStats is one Table III row: the distribution of |measure −
+// SimRank-I| over sampled pairs after min-max normalisation.
+type BiasStats struct {
+	Dataset string
+	Measure string
+	Avg     float64
+	Max     float64
+	Min     float64
+}
+
+// Fig7Result holds the Table III rows and, per dataset, the normalised
+// similarity series in decreasing SimRank-I order (the Fig. 7 curves).
+type Fig7Result struct {
+	Rows []BiasStats
+	// Series[dataset][measure] is aligned with Series[dataset][SimRank-I]
+	// sorted descending.
+	Series map[string]map[string][]float64
+}
+
+// Fig7Table3Bias reproduces Fig. 7 and Table III: on Net*- and
+// PPI1*-like graphs, compare SimRank-I with the four alternative
+// measures over randomly selected vertex pairs.
+func Fig7Table3Bias(cfg Config) (*Fig7Result, error) {
+	cfg = cfg.norm()
+	p := params(cfg.Scale)
+	res := &Fig7Result{Series: make(map[string]map[string][]float64)}
+
+	fmt.Fprintf(cfg.Out, "Table III — differences between SimRank-I and other measures (%d pairs)\n", p.pairs)
+	fmt.Fprintf(cfg.Out, "  %-10s %-12s %-10s %-10s %-10s\n", "dataset", "measure", "avg bias", "max bias", "min bias")
+
+	for _, name := range []string{"Net*", "PPI1*"} {
+		d, err := gen.ByName(cfg.Scale, name)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Build(cfg.Seed)
+		sk := g.Skeleton()
+		engine, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		opt := engine.Options()
+		r := rng.New(cfg.Seed + 7)
+		pairs := randomPairs(g.NumVertices(), p.pairs, r)
+
+		vals := map[string][]float64{}
+		for _, pair := range pairs {
+			u, v := pair[0], pair[1]
+			s1, err := engine.Baseline(u, v)
+			if err != nil {
+				return nil, err
+			}
+			vals[MeasureSimRankI] = append(vals[MeasureSimRankI], s1)
+			vals[MeasureSimRankII] = append(vals[MeasureSimRankII], detsim.SinglePair(sk, u, v, opt.C, opt.Steps))
+			vals[MeasureSimRankIII] = append(vals[MeasureSimRankIII], dusim.SinglePair(g, u, v, opt.C, opt.Steps))
+			vals[MeasureJaccardI] = append(vals[MeasureJaccardI], simmeasure.ExpectedJaccard(g, u, v))
+			vals[MeasureJaccardII] = append(vals[MeasureJaccardII], simmeasure.Jaccard(sk, u, v))
+		}
+		for _, series := range vals {
+			minMaxNormalize(series)
+		}
+
+		// Order all measures by decreasing SimRank-I (the Fig. 7 x-axis).
+		order := make([]int, len(pairs))
+		for i := range order {
+			order[i] = i
+		}
+		ref := vals[MeasureSimRankI]
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && ref[order[j]] > ref[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		res.Series[name] = make(map[string][]float64)
+		for m, series := range vals {
+			sorted := make([]float64, len(series))
+			for i, idx := range order {
+				sorted[i] = series[idx]
+			}
+			res.Series[name][m] = sorted
+		}
+
+		for _, m := range []string{MeasureSimRankII, MeasureSimRankIII, MeasureJaccardI, MeasureJaccardII} {
+			bias := make([]float64, len(pairs))
+			for i := range pairs {
+				bias[i] = vals[m][i] - vals[MeasureSimRankI][i]
+				if bias[i] < 0 {
+					bias[i] = -bias[i]
+				}
+			}
+			st := summarize(bias)
+			res.Rows = append(res.Rows, BiasStats{Dataset: name, Measure: m, Avg: st.Avg, Max: st.Max, Min: st.Min})
+			fmt.Fprintf(cfg.Out, "  %-10s %-12s %-10.3f %-10.3f %-10.2g\n", name, m, st.Avg, st.Max, st.Min)
+		}
+	}
+	return res, nil
+}

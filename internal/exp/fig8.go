@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"usimrank/internal/core"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/walkpr"
+)
+
+// Fig8Curve is one dataset's convergence curve: the average and maximum
+// SimRank iterate s(n) over sampled pairs, for n = 1..len(Avg).
+type Fig8Curve struct {
+	Dataset string
+	Avg     []float64
+	Max     []float64
+	// TruncatedAt > 0 records that the exact computation exceeded its
+	// state budget beyond this n (dense datasets at high n).
+	TruncatedAt int
+}
+
+// Fig8Result holds all convergence curves.
+type Fig8Result struct {
+	MaxN   int
+	Curves []Fig8Curve
+}
+
+// Fig8Convergence reproduces Fig. 8: the SimRank iterates s(n) for
+// n = 1..10 computed exactly, showing convergence by n ≈ 5.
+func Fig8Convergence(cfg Config) (*Fig8Result, error) {
+	cfg = cfg.norm()
+	p := params(cfg.Scale)
+	res := &Fig8Result{MaxN: p.fig8MaxN}
+	fmt.Fprintf(cfg.Out, "Fig. 8 — convergence of s(n) (%d pairs, n = 1..%d)\n", p.fig8Pairs, p.fig8MaxN)
+
+	for _, name := range []string{"PPI1*", "PPI2*", "Net*", "Condmat*"} {
+		d, err := gen.ByName(cfg.Scale, name)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Build(cfg.Seed)
+		engine, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		r := rng.New(cfg.Seed + 11)
+		pairs := randomPairs(g.NumVertices(), p.fig8Pairs, r)
+
+		curve := Fig8Curve{Dataset: name}
+		// Find the largest n all pairs can afford, walking down on state
+		// explosions.
+		maxN := p.fig8MaxN
+		var series [][]float64
+		for maxN >= 1 {
+			series = series[:0]
+			explosion := false
+			for _, pair := range pairs {
+				s, err := engine.Series(pair[0], pair[1], maxN)
+				if errors.Is(err, walkpr.ErrStateExplosion) {
+					explosion = true
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				series = append(series, s)
+			}
+			if !explosion {
+				break
+			}
+			curve.TruncatedAt = maxN
+			maxN--
+		}
+		if maxN < 1 {
+			return nil, fmt.Errorf("exp: %s too dense for any exact iteration", name)
+		}
+		for n := 1; n <= maxN; n++ {
+			col := make([]float64, len(series))
+			for i := range series {
+				col[i] = series[i][n]
+			}
+			st := summarize(col)
+			curve.Avg = append(curve.Avg, st.Avg)
+			curve.Max = append(curve.Max, st.Max)
+		}
+		res.Curves = append(res.Curves, curve)
+
+		fmt.Fprintf(cfg.Out, "  %-10s avg:", name)
+		for _, v := range curve.Avg {
+			fmt.Fprintf(cfg.Out, " %.4f", v)
+		}
+		if curve.TruncatedAt > 0 {
+			fmt.Fprintf(cfg.Out, "  (exact method truncated at n=%d)", maxN)
+		}
+		fmt.Fprintln(cfg.Out)
+		fmt.Fprintf(cfg.Out, "  %-10s max:", "")
+		for _, v := range curve.Max {
+			fmt.Fprintf(cfg.Out, " %.4f", v)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"usimrank/internal/core"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/walkpr"
+)
+
+// AlgoTiming is one bar of Fig. 9: the mean per-query execution time of
+// one algorithm on one dataset.
+type AlgoTiming struct {
+	Dataset string
+	Algo    string // "Baseline", "Sampling", "SR-TS(l=k)", "SR-SP(l=k)"
+	Mean    time.Duration
+	// DNF marks the Baseline exceeding its state budget (the analogue of
+	// the paper's Baseline drowning in I/O on DBLP).
+	DNF bool
+}
+
+// Fig9Result holds all timings.
+type Fig9Result struct {
+	Timings []AlgoTiming
+}
+
+// fig9Datasets are the four datasets of Figs. 9 and 10.
+var fig9Datasets = []string{"PPI2*", "Condmat*", "PPI3*", "DBLP*"}
+
+// Fig9Efficiency reproduces Fig. 9: per-query execution time of
+// Baseline, Sampling, SR-TS and SR-SP (l = 1, 2, 3). Filter-vector pools
+// are built offline, as in the paper, and excluded from query time.
+func Fig9Efficiency(cfg Config) (*Fig9Result, error) {
+	cfg = cfg.norm()
+	p := params(cfg.Scale)
+	res := &Fig9Result{}
+	fmt.Fprintf(cfg.Out, "Fig. 9 — mean per-query execution time (%d pairs)\n", p.pairs)
+
+	for _, name := range fig9Datasets {
+		d, err := gen.ByName(cfg.Scale, name)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Build(cfg.Seed)
+		describe(cfg.Out, name, g)
+		r := rng.New(cfg.Seed + 13)
+		pairs := randomPairs(g.NumVertices(), p.pairs, r)
+
+		record := func(algo string, mean time.Duration, dnf bool) {
+			res.Timings = append(res.Timings, AlgoTiming{Dataset: name, Algo: algo, Mean: mean, DNF: dnf})
+			if dnf {
+				fmt.Fprintf(cfg.Out, "    %-12s DNF (state budget exceeded)\n", algo)
+			} else {
+				fmt.Fprintf(cfg.Out, "    %-12s %v\n", algo, mean)
+			}
+		}
+
+		// Baseline: fresh engine per run so the row cache reflects the
+		// per-query cost honestly (each query computes its own rows).
+		{
+			e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, RowCacheSize: 1})
+			if err != nil {
+				return nil, err
+			}
+			dnf := false
+			mean := stopwatch(len(pairs), func(i int) {
+				if dnf {
+					return
+				}
+				if _, err := e.Baseline(pairs[i][0], pairs[i][1]); err != nil {
+					if errors.Is(err, walkpr.ErrStateExplosion) {
+						dnf = true
+						return
+					}
+					panic(err)
+				}
+			})
+			record("Baseline", mean, dnf)
+		}
+		// Sampling.
+		{
+			e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			mean := stopwatch(len(pairs), func(i int) {
+				if _, err := e.Sampling(pairs[i][0], pairs[i][1]); err != nil {
+					panic(err)
+				}
+			})
+			record("Sampling", mean, false)
+		}
+		// SR-TS and SR-SP for l = 1, 2, 3.
+		for _, l := range []int{1, 2, 3} {
+			e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l})
+			if err != nil {
+				return nil, err
+			}
+			mean := stopwatch(len(pairs), func(i int) {
+				if _, err := e.TwoPhase(pairs[i][0], pairs[i][1]); err != nil {
+					panic(err)
+				}
+			})
+			record(fmt.Sprintf("SR-TS(l=%d)", l), mean, false)
+
+			esp, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l})
+			if err != nil {
+				return nil, err
+			}
+			// Offline phase: warm the filter pools outside the timer.
+			if _, err := esp.SRSP(pairs[0][0], pairs[0][1]); err != nil {
+				return nil, err
+			}
+			mean = stopwatch(len(pairs), func(i int) {
+				if _, err := esp.SRSP(pairs[i][0], pairs[i][1]); err != nil {
+					panic(err)
+				}
+			})
+			record(fmt.Sprintf("SR-SP(l=%d)", l), mean, false)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,246 @@
+// Package gen generates the synthetic uncertain graphs used by the
+// experiment harness. The paper evaluates on three protein-protein
+// interaction networks (PPI1–PPI3), two co-authorship networks (Net,
+// Condmat), the DBLP co-authorship graph, and R-MAT graphs for the
+// scalability study (Table II / Sec. VII-A). Those datasets are not
+// redistributable, so this package builds structural equivalents: planted
+// complex PPI networks (which additionally give the protein case study
+// its ground truth), preferential-attachment co-authorship networks with
+// interaction-count-derived probabilities (the method of [44]), and the
+// R-MAT model of Chakrabarti et al. used by the paper itself.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"usimrank/internal/graph"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+// RMAT generates a directed graph with 2^scale vertices and m distinct
+// arcs by recursive quadrant sampling with probabilities a, b, c and
+// d = 1−a−b−c (Chakrabarti, Zhan, Faloutsos, SDM 2004 — reference [5] of
+// the paper). Self-loops are permitted, duplicates are rejected and
+// resampled.
+func RMAT(scale, m int, a, b, c float64, r *rng.RNG) *graph.Graph {
+	if scale < 0 || scale > 30 {
+		panic(fmt.Sprintf("gen: bad R-MAT scale %d", scale))
+	}
+	n := 1 << uint(scale)
+	if m < 0 || float64(m) > 0.5*float64(n)*float64(n) {
+		panic(fmt.Sprintf("gen: cannot place %d distinct arcs in a %d-vertex graph", m, n))
+	}
+	if a < 0 || b < 0 || c < 0 || a+b+c > 1 {
+		panic("gen: bad R-MAT quadrant probabilities")
+	}
+	seen := make(map[uint64]bool, m)
+	gb := graph.NewBuilder(n)
+	for len(seen) < m {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			x := r.Float64()
+			switch {
+			case x < a: // top-left
+			case x < a+b: // top-right
+				v |= 1 << uint(bit)
+			case x < a+b+c: // bottom-left
+				u |= 1 << uint(bit)
+			default: // bottom-right
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		gb.AddArc(u, v)
+	}
+	return gb.MustBuild()
+}
+
+// WithUniformProbs assigns every arc of g an independent probability
+// drawn uniformly from [lo, hi] ⊆ (0, 1], the assignment the paper uses
+// for its R-MAT scalability graphs ("probabilities of the edges were
+// generated uniformly at random").
+func WithUniformProbs(g *graph.Graph, lo, hi float64, r *rng.RNG) *ugraph.Graph {
+	if !(lo > 0 && hi <= 1 && lo <= hi) {
+		panic(fmt.Sprintf("gen: bad probability range [%v,%v]", lo, hi))
+	}
+	b := ugraph.NewBuilder(g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Out(u) {
+			b.AddArc(u, int(v), lo+(hi-lo)*r.Float64())
+		}
+	}
+	return b.MustBuild()
+}
+
+// PPIConfig parameterises the planted-complex PPI generator.
+type PPIConfig struct {
+	// Proteins is the number of vertices.
+	Proteins int
+	// Complexes is the number of planted protein complexes.
+	Complexes int
+	// MinSize and MaxSize bound complex sizes.
+	MinSize, MaxSize int
+	// IntraDensity is the probability that an intra-complex edge is
+	// present in the network at all.
+	IntraDensity float64
+	// IntraLo and IntraHi bound the existence probabilities of
+	// intra-complex interactions (high: confident experimental signals).
+	IntraLo, IntraHi float64
+	// NoiseEdges is the number of random cross-complex edges.
+	NoiseEdges int
+	// NoiseLo and NoiseHi bound noise-edge probabilities (low: spurious
+	// high-throughput detections).
+	NoiseLo, NoiseHi float64
+}
+
+// DefaultPPIConfig returns a configuration producing a PPI-like network
+// of the given size.
+func DefaultPPIConfig(proteins int) PPIConfig {
+	return PPIConfig{
+		Proteins:     proteins,
+		Complexes:    proteins / 8,
+		MinSize:      3,
+		MaxSize:      9,
+		IntraDensity: 0.7,
+		IntraLo:      0.6,
+		IntraHi:      0.95,
+		NoiseEdges:   proteins,
+		NoiseLo:      0.05,
+		NoiseHi:      0.35,
+	}
+}
+
+// PPI holds a planted-complex protein interaction network and its ground
+// truth (the case-study substitute for the MIPS complex catalogue).
+type PPI struct {
+	Graph *ugraph.Graph
+	// Complexes[i] lists the member proteins of complex i. A protein may
+	// belong to at most one complex; leftovers belong to none.
+	Complexes [][]int
+	// ComplexOf[v] is the complex index of protein v, or -1.
+	ComplexOf []int
+}
+
+// SameComplex reports whether u and v are members of one complex, the
+// ground-truth criterion of the paper's Fig. 13 case study.
+func (p *PPI) SameComplex(u, v int) bool {
+	return p.ComplexOf[u] >= 0 && p.ComplexOf[u] == p.ComplexOf[v]
+}
+
+// PlantedPPI builds a PPI network with planted complexes: dense
+// high-probability interactions inside complexes, sparse low-probability
+// noise across them. Undirected edges are encoded as arc pairs.
+func PlantedPPI(cfg PPIConfig, r *rng.RNG) *PPI {
+	if cfg.Proteins < 2 || cfg.Complexes < 1 || cfg.MinSize < 2 || cfg.MaxSize < cfg.MinSize {
+		panic(fmt.Sprintf("gen: bad PPI config %+v", cfg))
+	}
+	p := &PPI{ComplexOf: make([]int, cfg.Proteins)}
+	for i := range p.ComplexOf {
+		p.ComplexOf[i] = -1
+	}
+	perm := r.Perm(cfg.Proteins)
+	next := 0
+	for c := 0; c < cfg.Complexes && next < cfg.Proteins; c++ {
+		size := cfg.MinSize + r.Intn(cfg.MaxSize-cfg.MinSize+1)
+		if next+size > cfg.Proteins {
+			size = cfg.Proteins - next
+		}
+		if size < cfg.MinSize {
+			break
+		}
+		members := make([]int, size)
+		copy(members, perm[next:next+size])
+		next += size
+		for _, m := range members {
+			p.ComplexOf[m] = len(p.Complexes)
+		}
+		p.Complexes = append(p.Complexes, members)
+	}
+
+	type edge struct{ u, v int }
+	probs := make(map[edge]float64)
+	addEdge := func(u, v int, pr float64) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if _, ok := probs[edge{u, v}]; !ok {
+			probs[edge{u, v}] = pr
+		}
+	}
+	for _, members := range p.Complexes {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if r.Bool(cfg.IntraDensity) {
+					addEdge(members[i], members[j], cfg.IntraLo+(cfg.IntraHi-cfg.IntraLo)*r.Float64())
+				}
+			}
+		}
+	}
+	for e := 0; e < cfg.NoiseEdges; e++ {
+		u, v := r.Intn(cfg.Proteins), r.Intn(cfg.Proteins)
+		addEdge(u, v, cfg.NoiseLo+(cfg.NoiseHi-cfg.NoiseLo)*r.Float64())
+	}
+
+	b := ugraph.NewBuilder(cfg.Proteins)
+	for e, pr := range probs {
+		b.AddEdge(e.u, e.v, pr)
+	}
+	p.Graph = b.MustBuild()
+	return p
+}
+
+// CoAuthorship generates an undirected preferential-attachment
+// collaboration network of n authors. Each new author collaborates k
+// times with authors chosen proportionally to their current degree;
+// repeated collaborations raise the edge's interaction count, and the
+// edge probability is 1 − exp(−count/2), the interaction-count-to-
+// probability transform of [44] (Zou & Li) that the paper applies to its
+// Condmat, Net and DBLP datasets.
+func CoAuthorship(n, k int, r *rng.RNG) *ugraph.Graph {
+	if n < 2 || k < 1 {
+		panic(fmt.Sprintf("gen: bad co-authorship parameters n=%d k=%d", n, k))
+	}
+	type edge struct{ u, v int }
+	counts := make(map[edge]int)
+	// targets holds one entry per degree unit for proportional sampling.
+	targets := make([]int, 0, 2*n*k)
+	targets = append(targets, 0)
+	for v := 1; v < n; v++ {
+		for i := 0; i < k; i++ {
+			var u int
+			if len(targets) == 0 {
+				u = r.Intn(v)
+			} else {
+				u = targets[r.Intn(len(targets))]
+			}
+			if u == v {
+				continue
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			counts[edge{a, b}]++
+			targets = append(targets, u, v)
+		}
+	}
+	b := ugraph.NewBuilder(n)
+	for e, c := range counts {
+		p := 1 - math.Exp(-float64(c)/2)
+		if p < 1e-6 {
+			p = 1e-6
+		}
+		b.AddEdge(e.u, e.v, p)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,260 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/rng"
+)
+
+func TestRMATBasics(t *testing.T) {
+	g := RMAT(8, 1000, 0.45, 0.2, 0.2, rng.New(1))
+	if g.NumVertices() != 256 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.NumArcs() != 1000 {
+		t.Fatalf("arcs = %d", g.NumArcs())
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(7, 300, 0.45, 0.2, 0.2, rng.New(9))
+	b := RMAT(7, 300, 0.45, 0.2, 0.2, rng.New(9))
+	for v := 0; v < a.NumVertices(); v++ {
+		ao, bo := a.Out(v), b.Out(v)
+		if len(ao) != len(bo) {
+			t.Fatal("same seed, different graphs")
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatal("same seed, different graphs")
+			}
+		}
+	}
+}
+
+func TestRMATSkewed(t *testing.T) {
+	// With a = 0.6 the low-numbered vertices should dominate out-degree.
+	g := RMAT(10, 4000, 0.6, 0.15, 0.15, rng.New(3))
+	low, high := 0, 0
+	half := g.NumVertices() / 2
+	for v := 0; v < g.NumVertices(); v++ {
+		if v < half {
+			low += g.OutDegree(v)
+		} else {
+			high += g.OutDegree(v)
+		}
+	}
+	if low <= high {
+		t.Fatalf("R-MAT not skewed: low-half degree %d vs high-half %d", low, high)
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { RMAT(-1, 10, 0.25, 0.25, 0.25, rng.New(1)) },
+		func() { RMAT(2, 100, 0.25, 0.25, 0.25, rng.New(1)) }, // too many arcs for 4 vertices
+		func() { RMAT(5, 10, 0.5, 0.4, 0.3, rng.New(1)) },     // probs sum > 1
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad R-MAT arguments accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWithUniformProbs(t *testing.T) {
+	g := RMAT(8, 500, 0.45, 0.2, 0.2, rng.New(1))
+	ug := WithUniformProbs(g, 0.2, 0.8, rng.New(2))
+	if ug.NumArcs() != g.NumArcs() {
+		t.Fatal("arc count changed")
+	}
+	for u := 0; u < ug.NumVertices(); u++ {
+		for _, p := range ug.OutProbs(u) {
+			if p < 0.2 || p > 0.8 {
+				t.Fatalf("probability %v outside [0.2,0.8]", p)
+			}
+		}
+	}
+	mean := ug.MeanProbability()
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("mean probability %v, want ≈0.5", mean)
+	}
+}
+
+func TestWithUniformProbsPanics(t *testing.T) {
+	g := RMAT(4, 10, 0.45, 0.2, 0.2, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range accepted")
+		}
+	}()
+	WithUniformProbs(g, 0, 0.5, rng.New(1))
+}
+
+func TestPlantedPPIStructure(t *testing.T) {
+	cfg := DefaultPPIConfig(200)
+	p := PlantedPPI(cfg, rng.New(7))
+	if p.Graph.NumVertices() != 200 {
+		t.Fatalf("vertices = %d", p.Graph.NumVertices())
+	}
+	if len(p.Complexes) == 0 {
+		t.Fatal("no complexes planted")
+	}
+	// Complex membership is consistent.
+	for ci, members := range p.Complexes {
+		if len(members) < cfg.MinSize {
+			t.Fatalf("complex %d has %d members", ci, len(members))
+		}
+		for _, m := range members {
+			if p.ComplexOf[m] != ci {
+				t.Fatalf("protein %d: ComplexOf=%d, expected %d", m, p.ComplexOf[m], ci)
+			}
+		}
+	}
+	// SameComplex sanity.
+	m0 := p.Complexes[0]
+	if !p.SameComplex(m0[0], m0[1]) {
+		t.Fatal("complex members not SameComplex")
+	}
+}
+
+func TestPlantedPPIProbabilityStructure(t *testing.T) {
+	cfg := DefaultPPIConfig(300)
+	p := PlantedPPI(cfg, rng.New(11))
+	g := p.Graph
+	var intraSum, interSum float64
+	var intraN, interN int
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := g.OutProbs(u)
+		for i, v := range g.Out(u) {
+			if int(v) < u {
+				continue // count each undirected edge once
+			}
+			if p.SameComplex(u, int(v)) {
+				intraSum += probs[i]
+				intraN++
+			} else {
+				interSum += probs[i]
+				interN++
+			}
+		}
+	}
+	if intraN == 0 || interN == 0 {
+		t.Fatalf("degenerate PPI: %d intra, %d inter edges", intraN, interN)
+	}
+	if intraSum/float64(intraN) <= interSum/float64(interN) {
+		t.Fatal("intra-complex probabilities not higher than noise")
+	}
+}
+
+func TestPlantedPPIUndirected(t *testing.T) {
+	p := PlantedPPI(DefaultPPIConfig(100), rng.New(3))
+	g := p.Graph
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := g.OutProbs(u)
+		for i, v := range g.Out(u) {
+			if g.Prob(int(v), u) != probs[i] {
+				t.Fatalf("edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestCoAuthorshipStructure(t *testing.T) {
+	g := CoAuthorship(500, 3, rng.New(5))
+	if g.NumVertices() != 500 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.NumArcs() == 0 {
+		t.Fatal("no arcs")
+	}
+	// Undirected encoding.
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := g.OutProbs(u)
+		for i, v := range g.Out(u) {
+			if g.Prob(int(v), u) != probs[i] {
+				t.Fatalf("edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+	// Preferential attachment should produce a skewed degree sequence.
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := g.AverageOutDegree()
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("degree sequence not skewed: max %d, avg %v", maxDeg, avg)
+	}
+}
+
+func TestCoAuthorshipProbabilities(t *testing.T) {
+	g := CoAuthorship(300, 2, rng.New(13))
+	// All probabilities come from 1−exp(−c/2) with integer c ≥ 1, so the
+	// minimum is 1−exp(−1/2) ≈ 0.393.
+	min := 1.0
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, p := range g.OutProbs(u) {
+			if p < min {
+				min = p
+			}
+		}
+	}
+	if math.Abs(min-(1-math.Exp(-0.5))) > 1e-9 {
+		t.Fatalf("minimum probability %v, want %v", min, 1-math.Exp(-0.5))
+	}
+}
+
+func TestCatalogAllScales(t *testing.T) {
+	for _, scale := range []Scale{Tiny, Small} {
+		for _, d := range Catalog(scale) {
+			g := d.Build(42)
+			if g.NumVertices() == 0 || g.NumArcs() == 0 {
+				t.Fatalf("%s at %v is degenerate", d.Name, scale)
+			}
+			// Determinism.
+			h := d.Build(42)
+			if h.NumArcs() != g.NumArcs() {
+				t.Fatalf("%s at %v not deterministic", d.Name, scale)
+			}
+		}
+	}
+}
+
+func TestCatalogSizesGrow(t *testing.T) {
+	tiny, small := Catalog(Tiny), Catalog(Small)
+	for i := range tiny {
+		gt := tiny[i].Build(1)
+		gs := small[i].Build(1)
+		if gs.NumVertices() <= gt.NumVertices() {
+			t.Fatalf("%s: small (%d) not larger than tiny (%d)",
+				tiny[i].Name, gs.NumVertices(), gt.NumVertices())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName(Tiny, "Net*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "Net*" {
+		t.Fatalf("got %q", d.Name)
+	}
+	if _, err := ByName(Tiny, "nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Tiny.String() != "tiny" || Small.String() != "small" || Paper.String() != "paper" {
+		t.Fatal("Scale strings wrong")
+	}
+}

@@ -1,0 +1,228 @@
+// Package graph implements deterministic directed graphs in compressed
+// sparse row (CSR) form. These are the possible worlds of the uncertain
+// graphs in package ugraph, and the substrate for the deterministic
+// SimRank baselines (SimRank-II / SimDER in the paper's terminology).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable directed graph over vertices 0..N-1 in CSR form.
+// Build one with a Builder. Parallel arcs are rejected at Build time;
+// self-loops are allowed (SimRank and random walks are well defined on
+// them, and they exercise the paper's central W(k) ≠ W(1)^k finding).
+type Graph struct {
+	n       int
+	outOff  []int32 // len n+1
+	outDst  []int32 // len m, sorted within each row
+	inOff   []int32 // len n+1
+	inSrc   []int32 // len m, sorted within each row
+	numArcs int
+}
+
+// Builder accumulates arcs and produces an immutable Graph.
+type Builder struct {
+	n    int
+	arcs [][2]int32
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddArc records the arc (u, v). It panics if either endpoint is out of
+// range. Duplicate arcs cause Build to fail.
+func (b *Builder) AddArc(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: arc (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.arcs = append(b.arcs, [2]int32{int32(u), int32(v)})
+}
+
+// AddEdge records both (u,v) and (v,u), the encoding used for the
+// undirected PPI and co-authorship networks in the paper's evaluation.
+func (b *Builder) AddEdge(u, v int) {
+	b.AddArc(u, v)
+	if u != v {
+		b.AddArc(v, u)
+	}
+}
+
+// NumArcs returns the number of arcs recorded so far.
+func (b *Builder) NumArcs() int { return len(b.arcs) }
+
+// Build finalises the graph. It returns an error if a duplicate arc was
+// recorded.
+func (b *Builder) Build() (*Graph, error) {
+	sort.Slice(b.arcs, func(i, j int) bool {
+		if b.arcs[i][0] != b.arcs[j][0] {
+			return b.arcs[i][0] < b.arcs[j][0]
+		}
+		return b.arcs[i][1] < b.arcs[j][1]
+	})
+	for i := 1; i < len(b.arcs); i++ {
+		if b.arcs[i] == b.arcs[i-1] {
+			return nil, fmt.Errorf("graph: duplicate arc (%d,%d)", b.arcs[i][0], b.arcs[i][1])
+		}
+	}
+	g := &Graph{n: b.n, numArcs: len(b.arcs)}
+	g.outOff = make([]int32, b.n+1)
+	g.outDst = make([]int32, len(b.arcs))
+	for _, a := range b.arcs {
+		g.outOff[a[0]+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+	}
+	fill := make([]int32, b.n)
+	for _, a := range b.arcs {
+		g.outDst[g.outOff[a[0]]+fill[a[0]]] = a[1]
+		fill[a[0]]++
+	}
+	// In-adjacency: sort by (dst, src).
+	sort.Slice(b.arcs, func(i, j int) bool {
+		if b.arcs[i][1] != b.arcs[j][1] {
+			return b.arcs[i][1] < b.arcs[j][1]
+		}
+		return b.arcs[i][0] < b.arcs[j][0]
+	})
+	g.inOff = make([]int32, b.n+1)
+	g.inSrc = make([]int32, len(b.arcs))
+	for _, a := range b.arcs {
+		g.inOff[a[1]+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	for i := range fill {
+		fill[i] = 0
+	}
+	for _, a := range b.arcs {
+		g.inSrc[g.inOff[a[1]]+fill[a[1]]] = a[0]
+		fill[a[1]]++
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and literals.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumArcs returns the number of arcs.
+func (g *Graph) NumArcs() int { return g.numArcs }
+
+// Out returns the sorted out-neighbours of v. The slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Out(v int) []int32 { return g.outDst[g.outOff[v]:g.outOff[v+1]] }
+
+// In returns the sorted in-neighbours of v. The slice aliases internal
+// storage and must not be modified.
+func (g *Graph) In(v int) []int32 { return g.inSrc[g.inOff[v]:g.inOff[v+1]] }
+
+// OutDegree returns |Out(v)|.
+func (g *Graph) OutDegree(v int) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns |In(v)|.
+func (g *Graph) InDegree(v int) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// HasArc reports whether (u, v) is an arc, by binary search.
+func (g *Graph) HasArc(u, v int) bool {
+	row := g.Out(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	return i < len(row) && row[i] == int32(v)
+}
+
+// Reverse returns the graph with every arc flipped.
+func (g *Graph) Reverse() *Graph {
+	return &Graph{
+		n:       g.n,
+		numArcs: g.numArcs,
+		outOff:  g.inOff,
+		outDst:  g.inSrc,
+		inOff:   g.outOff,
+		inSrc:   g.outDst,
+	}
+}
+
+// AverageOutDegree returns |E| / |V| (0 on the empty graph).
+func (g *Graph) AverageOutDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.numArcs) / float64(g.n)
+}
+
+// Girth returns the length of the shortest directed cycle, or
+// maxLen+1 if no cycle of length ≤ maxLen exists. A self-loop has girth 1.
+// It runs a truncated BFS from every vertex, which is exact for the small
+// bound (the paper only needs girth relative to the walk length n ≤ 10,
+// per Lemma 3).
+func (g *Graph) Girth(maxLen int) int {
+	best := maxLen + 1
+	dist := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+	for s := 0; s < g.n && best > 1; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 && best > 1 {
+			u := queue[0]
+			queue = queue[1:]
+			du := dist[u]
+			if int(du)+1 >= best {
+				continue
+			}
+			for _, w := range g.Out(int(u)) {
+				if w == int32(s) {
+					if cyc := int(du) + 1; cyc < best {
+						best = cyc
+					}
+					continue
+				}
+				if dist[w] == -1 {
+					dist[w] = du + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// BFSDistances returns the array of BFS hop distances from src, with -1
+// for unreachable vertices.
+func (g *Graph) BFSDistances(src int) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Out(int(u)) {
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

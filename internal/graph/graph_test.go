@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/rng"
+)
+
+func path3() *Graph {
+	b := NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	return b.MustBuild()
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	if g.NumVertices() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("empty graph has %d vertices, %d arcs", g.NumVertices(), g.NumArcs())
+	}
+	if g.AverageOutDegree() != 0 {
+		t.Fatal("empty graph average degree not 0")
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := NewBuilder(5).MustBuild()
+	for v := 0; v < 5; v++ {
+		if g.OutDegree(v) != 0 || g.InDegree(v) != 0 {
+			t.Fatalf("vertex %d has degree", v)
+		}
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := path3()
+	if got := g.Out(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Out(0) = %v", got)
+	}
+	if got := g.In(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("In(2) = %v", got)
+	}
+	if g.OutDegree(2) != 0 {
+		t.Fatal("sink has out-degree")
+	}
+	if !g.HasArc(0, 1) || g.HasArc(1, 0) || g.HasArc(0, 2) {
+		t.Fatal("HasArc wrong")
+	}
+}
+
+func TestDuplicateArcRejected(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddArc(0, 1)
+	b.AddArc(0, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate arc accepted")
+	}
+}
+
+func TestAddArcOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range arc did not panic")
+		}
+	}()
+	NewBuilder(2).AddArc(0, 2)
+}
+
+func TestAddEdgeBothDirections(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	if !g.HasArc(0, 1) || !g.HasArc(1, 0) {
+		t.Fatal("AddEdge missing a direction")
+	}
+	if g.NumArcs() != 2 {
+		t.Fatalf("NumArcs = %d", g.NumArcs())
+	}
+}
+
+func TestAddEdgeSelfLoopOnce(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddEdge(0, 0)
+	g := b.MustBuild()
+	if g.NumArcs() != 1 {
+		t.Fatalf("self-loop edge produced %d arcs", g.NumArcs())
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := path3()
+	r := g.Reverse()
+	if !r.HasArc(1, 0) || !r.HasArc(2, 1) || r.HasArc(0, 1) {
+		t.Fatal("Reverse wrong arcs")
+	}
+	if r.NumArcs() != g.NumArcs() || r.NumVertices() != g.NumVertices() {
+		t.Fatal("Reverse changed counts")
+	}
+	// Reverse twice is identity on adjacency.
+	rr := r.Reverse()
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.Out(v), rr.Out(v)
+		if len(a) != len(b) {
+			t.Fatalf("double reverse changed Out(%d)", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("double reverse changed Out(%d)", v)
+			}
+		}
+	}
+}
+
+func TestGirthSelfLoop(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddArc(0, 0)
+	b.AddArc(0, 1)
+	if got := b.MustBuild().Girth(10); got != 1 {
+		t.Fatalf("girth = %d, want 1", got)
+	}
+}
+
+func TestGirthTwoCycle(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 0)
+	b.AddArc(1, 2)
+	if got := b.MustBuild().Girth(10); got != 2 {
+		t.Fatalf("girth = %d, want 2", got)
+	}
+}
+
+func TestGirthTriangleDirected(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 0)
+	if got := b.MustBuild().Girth(10); got != 3 {
+		t.Fatalf("girth = %d, want 3", got)
+	}
+}
+
+func TestGirthAcyclic(t *testing.T) {
+	if got := path3().Girth(5); got != 6 {
+		t.Fatalf("acyclic girth = %d, want maxLen+1 = 6", got)
+	}
+}
+
+func TestGirthBoundRespected(t *testing.T) {
+	// 4-cycle but maxLen 3: must report 4 (= maxLen+1), i.e. "no short cycle".
+	b := NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 3)
+	b.AddArc(3, 0)
+	if got := b.MustBuild().Girth(3); got != 4 {
+		t.Fatalf("bounded girth = %d, want 4", got)
+	}
+	if got := b.MustBuild().Girth(10); got != 4 {
+		t.Fatalf("girth = %d, want 4", got)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(0, 3)
+	g := b.MustBuild()
+	d := g.BFSDistances(0)
+	want := []int32{0, 1, 2, 1, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func randomGraph(r *rng.RNG, n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if r.Bool(p) {
+				b.AddArc(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: out- and in-adjacency describe the same arc set.
+func TestQuickInOutConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		g := randomGraph(r, n, 0.3)
+		arcsOut, arcsIn := 0, 0
+		for v := 0; v < n; v++ {
+			arcsOut += g.OutDegree(v)
+			arcsIn += g.InDegree(v)
+			for _, w := range g.Out(v) {
+				found := false
+				for _, x := range g.In(int(w)) {
+					if x == int32(v) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return arcsOut == arcsIn && arcsOut == g.NumArcs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HasArc agrees with membership in Out.
+func TestQuickHasArc(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(15)
+		g := randomGraph(r, n, 0.25)
+		for u := 0; u < n; u++ {
+			inRow := make(map[int32]bool)
+			for _, w := range g.Out(u) {
+				inRow[w] = true
+			}
+			for v := 0; v < n; v++ {
+				if g.HasArc(u, v) != inRow[int32(v)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reversing swaps in/out degrees.
+func TestQuickReverseDegrees(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(15)
+		g := randomGraph(r, n, 0.3)
+		rev := g.Reverse()
+		for v := 0; v < n; v++ {
+			if g.OutDegree(v) != rev.InDegree(v) || g.InDegree(v) != rev.OutDegree(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

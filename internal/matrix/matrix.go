@@ -1,0 +1,333 @@
+// Package matrix provides the small linear-algebra substrate used by the
+// SimRank algorithms: sorted sparse vectors (rows of transition
+// probability matrices), weighted CSR matrices with left row propagation
+// (x ← xᵀM, the workhorse of the deterministic and Du-et-al baselines),
+// and small dense matrices for the matrix-form SimRank recurrence
+// S = cAᵀSA + (1−c)I on graphs small enough to hold S.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vec is a sparse vector with strictly increasing indices. The zero value
+// is the zero vector.
+type Vec struct {
+	Idx []int32
+	Val []float64
+}
+
+// FromMap builds a canonical Vec from index→value entries, dropping exact
+// zeros.
+func FromMap(m map[int32]float64) Vec {
+	idx := make([]int32, 0, len(m))
+	for i, v := range m {
+		if v != 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	val := make([]float64, len(idx))
+	for j, i := range idx {
+		val[j] = m[i]
+	}
+	return Vec{Idx: idx, Val: val}
+}
+
+// Unit returns the sparse unit vector e_i.
+func Unit(i int32) Vec {
+	return Vec{Idx: []int32{i}, Val: []float64{1}}
+}
+
+// Len returns the number of stored entries.
+func (v Vec) Len() int { return len(v.Idx) }
+
+// At returns the value at index i (0 if absent) by binary search.
+func (v Vec) At(i int32) float64 {
+	j := sort.Search(len(v.Idx), func(j int) bool { return v.Idx[j] >= i })
+	if j < len(v.Idx) && v.Idx[j] == i {
+		return v.Val[j]
+	}
+	return 0
+}
+
+// Dot returns the inner product ⟨v, o⟩ via a sorted merge. This is the
+// meeting-probability combination m(k)(u,v) = Σ_w Pr(u→k w)·Pr(v→k w) of
+// Eq. 12 when v and o are the two k-step rows.
+func (v Vec) Dot(o Vec) float64 {
+	s := 0.0
+	i, j := 0, 0
+	for i < len(v.Idx) && j < len(o.Idx) {
+		switch {
+		case v.Idx[i] < o.Idx[j]:
+			i++
+		case v.Idx[i] > o.Idx[j]:
+			j++
+		default:
+			s += v.Val[i] * o.Val[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// Sum returns the sum of the entries (≤ 1 for a transition row; < 1 in
+// the presence of dead ends).
+func (v Vec) Sum() float64 {
+	s := 0.0
+	for _, x := range v.Val {
+		s += x
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (v Vec) Clone() Vec {
+	return Vec{Idx: append([]int32(nil), v.Idx...), Val: append([]float64(nil), v.Val...)}
+}
+
+// CSR is a sparse matrix in compressed sparse row form with float64
+// weights. Build one with NewCSRBuilder.
+type CSR struct {
+	n   int
+	off []int32
+	idx []int32
+	val []float64
+}
+
+// CSRBuilder accumulates entries for a CSR matrix.
+type CSRBuilder struct {
+	n       int
+	entries []csrEntry
+}
+
+type csrEntry struct {
+	r, c int32
+	v    float64
+}
+
+// NewCSRBuilder returns a builder for an n×n CSR matrix.
+func NewCSRBuilder(n int) *CSRBuilder {
+	if n < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &CSRBuilder{n: n}
+}
+
+// Set records entry (r, c) = v. Duplicate coordinates cause Build to fail.
+func (b *CSRBuilder) Set(r, c int, v float64) {
+	if r < 0 || r >= b.n || c < 0 || c >= b.n {
+		panic(fmt.Sprintf("matrix: entry (%d,%d) out of range [0,%d)", r, c, b.n))
+	}
+	b.entries = append(b.entries, csrEntry{int32(r), int32(c), v})
+}
+
+// Build finalises the matrix.
+func (b *CSRBuilder) Build() (*CSR, error) {
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].r != b.entries[j].r {
+			return b.entries[i].r < b.entries[j].r
+		}
+		return b.entries[i].c < b.entries[j].c
+	})
+	for i := 1; i < len(b.entries); i++ {
+		if b.entries[i].r == b.entries[i-1].r && b.entries[i].c == b.entries[i-1].c {
+			return nil, fmt.Errorf("matrix: duplicate entry (%d,%d)", b.entries[i].r, b.entries[i].c)
+		}
+	}
+	m := &CSR{
+		n:   b.n,
+		off: make([]int32, b.n+1),
+		idx: make([]int32, len(b.entries)),
+		val: make([]float64, len(b.entries)),
+	}
+	for _, e := range b.entries {
+		m.off[e.r+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		m.off[i+1] += m.off[i]
+	}
+	fill := make([]int32, b.n)
+	for _, e := range b.entries {
+		pos := m.off[e.r] + fill[e.r]
+		m.idx[pos] = e.c
+		m.val[pos] = e.v
+		fill[e.r]++
+	}
+	return m, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *CSRBuilder) MustBuild() *CSR {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Dim returns the matrix dimension n.
+func (m *CSR) Dim() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.idx) }
+
+// Row returns the column indices and values of row r; the slices alias
+// internal storage.
+func (m *CSR) Row(r int) ([]int32, []float64) {
+	return m.idx[m.off[r]:m.off[r+1]], m.val[m.off[r]:m.off[r+1]]
+}
+
+// At returns entry (r, c) by binary search.
+func (m *CSR) At(r, c int) float64 {
+	idx, val := m.Row(r)
+	i := sort.Search(len(idx), func(i int) bool { return idx[i] >= int32(c) })
+	if i < len(idx) && idx[i] == int32(c) {
+		return val[i]
+	}
+	return 0
+}
+
+// Workspace holds the dense scratch used by LeftMul. One workspace can be
+// reused across calls; it grows on demand.
+type Workspace struct {
+	acc     []float64
+	touched []int32
+}
+
+// LeftMul computes the row-vector product xᵀM and returns it as a
+// canonical sparse Vec, using ws for scratch. This propagates a
+// transition-probability row one step: row(k) = row(k−1)·W.
+func (m *CSR) LeftMul(ws *Workspace, x Vec) Vec {
+	if len(ws.acc) < m.n {
+		ws.acc = make([]float64, m.n)
+	}
+	ws.touched = ws.touched[:0]
+	for i, r := range x.Idx {
+		xv := x.Val[i]
+		if xv == 0 {
+			continue
+		}
+		idx, val := m.Row(int(r))
+		for j, c := range idx {
+			if ws.acc[c] == 0 {
+				ws.touched = append(ws.touched, c)
+			}
+			ws.acc[c] += xv * val[j]
+		}
+	}
+	sort.Slice(ws.touched, func(a, b int) bool { return ws.touched[a] < ws.touched[b] })
+	out := Vec{Idx: make([]int32, 0, len(ws.touched)), Val: make([]float64, 0, len(ws.touched))}
+	for _, c := range ws.touched {
+		if v := ws.acc[c]; v != 0 {
+			out.Idx = append(out.Idx, c)
+			out.Val = append(out.Val, v)
+		}
+		ws.acc[c] = 0
+	}
+	return out
+}
+
+// Dense is a dense rows×cols matrix in row-major order.
+type Dense struct {
+	Rows, Cols int
+	A          []float64
+}
+
+// NewDense returns a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("matrix: negative dimensions")
+	}
+	return &Dense{Rows: rows, Cols: cols, A: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.A[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns entry (r, c).
+func (m *Dense) At(r, c int) float64 { return m.A[r*m.Cols+c] }
+
+// Set assigns entry (r, c).
+func (m *Dense) Set(r, c int, v float64) { m.A[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	return &Dense{Rows: m.Rows, Cols: m.Cols, A: append([]float64(nil), m.A...)}
+}
+
+// Mul returns the product m·o. It panics on dimension mismatch.
+func (m *Dense) Mul(o *Dense) *Dense {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("matrix: %dx%d × %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewDense(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.A[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			orow := o.A[k*o.Cols:]
+			dst := out.A[i*o.Cols:]
+			for j := 0; j < o.Cols; j++ {
+				dst[j] += a * orow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.A[j*m.Rows+i] = m.A[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Scale multiplies every entry by s, in place, and returns m.
+func (m *Dense) Scale(s float64) *Dense {
+	for i := range m.A {
+		m.A[i] *= s
+	}
+	return m
+}
+
+// AddScaledIdentity adds s·I in place and returns m. It panics if m is
+// not square.
+func (m *Dense) AddScaledIdentity(s float64) *Dense {
+	if m.Rows != m.Cols {
+		panic("matrix: AddScaledIdentity on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.A[i*m.Cols+i] += s
+	}
+	return m
+}
+
+// MaxAbsDiff returns max |m − o| entrywise. It panics on shape mismatch.
+func (m *Dense) MaxAbsDiff(o *Dense) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("matrix: shape mismatch")
+	}
+	d := 0.0
+	for i := range m.A {
+		if x := math.Abs(m.A[i] - o.A[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}

@@ -1,0 +1,268 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/rng"
+)
+
+func TestFromMapCanonical(t *testing.T) {
+	v := FromMap(map[int32]float64{5: 2, 1: 3, 9: 0, 3: -1})
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	wantIdx := []int32{1, 3, 5}
+	wantVal := []float64{3, -1, 2}
+	for i := range wantIdx {
+		if v.Idx[i] != wantIdx[i] || v.Val[i] != wantVal[i] {
+			t.Fatalf("entry %d = (%d,%v)", i, v.Idx[i], v.Val[i])
+		}
+	}
+}
+
+func TestVecAt(t *testing.T) {
+	v := FromMap(map[int32]float64{2: 1.5, 7: 2.5})
+	if v.At(2) != 1.5 || v.At(7) != 2.5 || v.At(3) != 0 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestVecDot(t *testing.T) {
+	a := FromMap(map[int32]float64{1: 2, 3: 4, 5: 6})
+	b := FromMap(map[int32]float64{3: 10, 5: 0.5, 9: 100})
+	if got := a.Dot(b); got != 4*10+6*0.5 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := b.Dot(a); got != a.Dot(b) {
+		t.Fatal("Dot not symmetric")
+	}
+	if got := a.Dot(Vec{}); got != 0 {
+		t.Fatalf("Dot with zero vector = %v", got)
+	}
+}
+
+func TestVecSumAndClone(t *testing.T) {
+	a := FromMap(map[int32]float64{1: 0.25, 2: 0.5})
+	if a.Sum() != 0.75 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	c := a.Clone()
+	c.Val[0] = 99
+	if a.Val[0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Unit(4)
+	if u.Len() != 1 || u.At(4) != 1 || u.Sum() != 1 {
+		t.Fatal("Unit wrong")
+	}
+}
+
+func TestCSRBasics(t *testing.T) {
+	b := NewCSRBuilder(3)
+	b.Set(0, 1, 0.5)
+	b.Set(0, 2, 0.5)
+	b.Set(2, 0, 1)
+	m := b.MustBuild()
+	if m.Dim() != 3 || m.NNZ() != 3 {
+		t.Fatalf("dim=%d nnz=%d", m.Dim(), m.NNZ())
+	}
+	if m.At(0, 1) != 0.5 || m.At(0, 2) != 0.5 || m.At(2, 0) != 1 || m.At(1, 1) != 0 {
+		t.Fatal("At wrong")
+	}
+	idx, val := m.Row(0)
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 2 || val[0] != 0.5 {
+		t.Fatalf("Row(0) = %v %v", idx, val)
+	}
+}
+
+func TestCSRDuplicateRejected(t *testing.T) {
+	b := NewCSRBuilder(2)
+	b.Set(0, 1, 1)
+	b.Set(0, 1, 2)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestLeftMulSmall(t *testing.T) {
+	// M = [[0, .5, .5], [0, 0, 1], [1, 0, 0]]
+	b := NewCSRBuilder(3)
+	b.Set(0, 1, 0.5)
+	b.Set(0, 2, 0.5)
+	b.Set(1, 2, 1)
+	b.Set(2, 0, 1)
+	m := b.MustBuild()
+	var ws Workspace
+	x := Unit(0)
+	y := m.LeftMul(&ws, x) // e0ᵀ M = row 0
+	if y.At(1) != 0.5 || y.At(2) != 0.5 || y.Len() != 2 {
+		t.Fatalf("step1 = %+v", y)
+	}
+	z := m.LeftMul(&ws, y) // 0.5·row1 + 0.5·row2
+	if z.At(0) != 0.5 || z.At(2) != 0.5 || z.Len() != 2 {
+		t.Fatalf("step2 = %+v", z)
+	}
+}
+
+func TestLeftMulMatchesDense(t *testing.T) {
+	r := rng.New(12)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(12)
+		cb := NewCSRBuilder(n)
+		d := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Bool(0.4) {
+					v := r.Float64()
+					cb.Set(i, j, v)
+					d.Set(i, j, v)
+				}
+			}
+		}
+		m := cb.MustBuild()
+		xm := make(map[int32]float64)
+		xd := NewDense(1, n)
+		for j := 0; j < n; j++ {
+			if r.Bool(0.5) {
+				v := r.Float64()
+				xm[int32(j)] = v
+				xd.Set(0, j, v)
+			}
+		}
+		var ws Workspace
+		got := m.LeftMul(&ws, FromMap(xm))
+		want := xd.Mul(d)
+		for j := 0; j < n; j++ {
+			if math.Abs(got.At(int32(j))-want.At(0, j)) > 1e-12 {
+				t.Fatalf("n=%d col %d: %v vs %v", n, j, got.At(int32(j)), want.At(0, j))
+			}
+		}
+	}
+}
+
+func TestLeftMulWorkspaceReuse(t *testing.T) {
+	b := NewCSRBuilder(2)
+	b.Set(0, 1, 1)
+	b.Set(1, 0, 1)
+	m := b.MustBuild()
+	var ws Workspace
+	x := Unit(0)
+	for i := 0; i < 10; i++ {
+		x = m.LeftMul(&ws, x)
+	}
+	// After an even number of swaps we are back at e0.
+	if x.Len() != 1 || x.At(0) != 1 {
+		t.Fatalf("after 10 swaps: %+v", x)
+	}
+}
+
+func TestDenseMul(t *testing.T) {
+	a := NewDense(2, 3)
+	bm := NewDense(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	copy(a.A, vals)
+	copy(bm.A, []float64{7, 8, 9, 10, 11, 12})
+	c := a.Mul(bm)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.A[i] != w {
+			t.Fatalf("Mul[%d] = %v, want %v", i, c.A[i], w)
+		}
+	}
+}
+
+func TestDenseMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 2))
+}
+
+func TestDenseTranspose(t *testing.T) {
+	a := NewDense(2, 3)
+	copy(a.A, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("shape %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(0, 1) != 4 || at.At(2, 0) != 3 {
+		t.Fatal("Transpose wrong")
+	}
+	// (Aᵀ)ᵀ = A
+	if a.MaxAbsDiff(at.Transpose()) != 0 {
+		t.Fatal("double transpose changed matrix")
+	}
+}
+
+func TestIdentityAndAddScaled(t *testing.T) {
+	i3 := Identity(3)
+	a := NewDense(3, 3)
+	copy(a.A, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if a.Mul(i3).MaxAbsDiff(a) != 0 || i3.Mul(a).MaxAbsDiff(a) != 0 {
+		t.Fatal("identity not neutral")
+	}
+	b := a.Clone().AddScaledIdentity(10)
+	if b.At(0, 0) != 11 || b.At(1, 1) != 15 || b.At(0, 1) != 2 {
+		t.Fatal("AddScaledIdentity wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := Identity(2).Scale(3)
+	if a.At(0, 0) != 3 || a.At(1, 1) != 3 || a.At(0, 1) != 0 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+// Property: dot product agrees with dense accumulation.
+func TestQuickDot(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(40)
+		am, bm := make(map[int32]float64), make(map[int32]float64)
+		for j := 0; j < n; j++ {
+			if r.Bool(0.5) {
+				am[int32(j)] = r.Float64() - 0.5
+			}
+			if r.Bool(0.5) {
+				bm[int32(j)] = r.Float64() - 0.5
+			}
+		}
+		want := 0.0
+		for j, v := range am {
+			want += v * bm[j]
+		}
+		got := FromMap(am).Dot(FromMap(bm))
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ for random dense matrices.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(8)
+		a, b := NewDense(n, n), NewDense(n, n)
+		for i := range a.A {
+			a.A[i] = r.Float64()
+			b.A[i] = r.Float64()
+		}
+		lhs := a.Mul(b).Transpose()
+		rhs := b.Transpose().Mul(a.Transpose())
+		return lhs.MaxAbsDiff(rhs) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

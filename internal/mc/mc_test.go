@@ -1,0 +1,246 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+	"usimrank/internal/walkpr"
+)
+
+func TestSampleWalkShapes(t *testing.T) {
+	g := ugraph.PaperFig1()
+	w := Sample(g, 0, 5, 100, rng.New(1))
+	if w.N != 100 || w.Steps != 5 || w.Src != 0 {
+		t.Fatalf("metadata wrong: %+v", w)
+	}
+	for i := 0; i < w.N; i++ {
+		if len(w.Pos[i]) < 1 || len(w.Pos[i]) > 6 {
+			t.Fatalf("walk %d has %d positions", i, len(w.Pos[i]))
+		}
+		if w.Pos[i][0] != 0 {
+			t.Fatalf("walk %d starts at %d", i, w.Pos[i][0])
+		}
+		for j := 0; j+1 < len(w.Pos[i]); j++ {
+			if !g.HasArc(int(w.Pos[i][j]), int(w.Pos[i][j+1])) {
+				t.Fatalf("walk %d uses non-arc (%d,%d)", i, w.Pos[i][j], w.Pos[i][j+1])
+			}
+		}
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	g := ugraph.PaperFig1()
+	a := Sample(g, 1, 4, 50, rng.New(9))
+	b := Sample(g, 1, 4, 50, rng.New(9))
+	for i := range a.Pos {
+		if len(a.Pos[i]) != len(b.Pos[i]) {
+			t.Fatal("same seed produced different walks")
+		}
+		for j := range a.Pos[i] {
+			if a.Pos[i][j] != b.Pos[i][j] {
+				t.Fatal("same seed produced different walks")
+			}
+		}
+	}
+}
+
+func TestSampleDeadEnds(t *testing.T) {
+	// 0 → 1 with p = 0.5; 1 is a sink. All walks die by step 1 or 2.
+	b := ugraph.NewBuilder(2)
+	b.AddArc(0, 1, 0.5)
+	g := b.MustBuild()
+	w := Sample(g, 0, 5, 2000, rng.New(3))
+	reached := 0
+	for i := 0; i < w.N; i++ {
+		switch len(w.Pos[i]) {
+		case 1: // died immediately: arc missing in the sampled world
+		case 2:
+			reached++
+			if w.Pos[i][1] != 1 {
+				t.Fatalf("walk %d went to %d", i, w.Pos[i][1])
+			}
+		default:
+			t.Fatalf("walk %d has %d positions", i, len(w.Pos[i]))
+		}
+		if w.At(i, 5) != -1 {
+			t.Fatal("At past death should be -1")
+		}
+	}
+	got := float64(reached) / float64(w.N)
+	if math.Abs(got-0.5) > 0.03 {
+		t.Fatalf("arc traversal frequency %v, want 0.5", got)
+	}
+}
+
+func TestSamplePanicsOnBadArgs(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for _, f := range []func(){
+		func() { Sample(g, -1, 3, 10, rng.New(1)) },
+		func() { Sample(g, 9, 3, 10, rng.New(1)) },
+		func() { Sample(g, 0, -1, 10, rng.New(1)) },
+		func() { Sample(g, 0, 3, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad arguments accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestWalkStepDistribution verifies the sampler against the exact k-step
+// transition rows: the empirical distribution of walk positions at step k
+// must converge to Pr(u →k ·).
+func TestWalkStepDistribution(t *testing.T) {
+	g := ugraph.PaperFig1()
+	const N, n, src = 60000, 3, 0
+	w := Sample(g, src, n, N, rng.New(17))
+	rows, err := walkpr.TransitionRows(g, src, n, walkpr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		counts := make(map[int32]int)
+		for i := 0; i < N; i++ {
+			if v := w.At(i, k); v >= 0 {
+				counts[v]++
+			}
+		}
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			got := float64(counts[v]) / N
+			want := rows[k].At(v)
+			if math.Abs(got-want) > 0.01 {
+				t.Fatalf("step %d vertex %d: empirical %v, exact %v", k, v, got, want)
+			}
+		}
+	}
+}
+
+// TestMeetingEstimatesUnbiased verifies m̂(k) against the exact
+// m(k)(u,v) = ⟨row_u(k), row_v(k)⟩ on the Fig. 1 graph.
+func TestMeetingEstimatesUnbiased(t *testing.T) {
+	g := ugraph.PaperFig1()
+	const N, n = 60000, 3
+	u, v := 0, 1
+	r := rng.New(23)
+	wu := Sample(g, u, n, N, r)
+	wv := Sample(g, v, n, N, r)
+	got := MeetingEstimates(wu, wv)
+
+	rowsU, err := walkpr.TransitionRows(g, u, n, walkpr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsV, err := walkpr.TransitionRows(g, v, n, walkpr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= n; k++ {
+		want := rowsU[k].Dot(rowsV[k])
+		if math.Abs(got[k]-want) > 0.01 {
+			t.Fatalf("m̂(%d) = %v, exact %v", k, got[k], want)
+		}
+	}
+}
+
+func TestMeetingEstimatesSameVertex(t *testing.T) {
+	// m̂(0)(u,u) must be exactly 1: both walks start at u.
+	g := ugraph.PaperFig1()
+	r := rng.New(5)
+	wu := Sample(g, 2, 3, 500, r)
+	wv := Sample(g, 2, 3, 500, r)
+	m := MeetingEstimates(wu, wv)
+	if m[0] != 1 {
+		t.Fatalf("m̂(0)(u,u) = %v", m[0])
+	}
+}
+
+func TestMeetingEstimatesDistinctStart(t *testing.T) {
+	g := ugraph.PaperFig1()
+	r := rng.New(5)
+	wu := Sample(g, 0, 3, 500, r)
+	wv := Sample(g, 1, 3, 500, r)
+	m := MeetingEstimates(wu, wv)
+	if m[0] != 0 {
+		t.Fatalf("m̂(0)(u,v) = %v for u≠v", m[0])
+	}
+}
+
+func TestMeetingEstimatesMismatchedPanics(t *testing.T) {
+	g := ugraph.PaperFig1()
+	wu := Sample(g, 0, 3, 10, rng.New(1))
+	wv := Sample(g, 1, 4, 10, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched walk sets accepted")
+		}
+	}()
+	MeetingEstimates(wu, wv)
+}
+
+func TestRequiredSamples(t *testing.T) {
+	// Lemma 4 with ε = 0.1, δ = 0.05: N ≥ 300·ln(40) ≈ 1106.6.
+	n := RequiredSamples(0.1, 0.05)
+	if n < 1106 || n > 1108 {
+		t.Fatalf("RequiredSamples = %d", n)
+	}
+	// Tighter ε needs more samples.
+	if RequiredSamples(0.01, 0.05) <= n {
+		t.Fatal("sample size not monotone in ε")
+	}
+}
+
+func TestRequiredSamplesPanics(t *testing.T) {
+	for _, args := range [][2]float64{{0, 0.1}, {-1, 0.1}, {0.1, 0}, {0.1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RequiredSamples(%v, %v) accepted", args[0], args[1])
+				}
+			}()
+			RequiredSamples(args[0], args[1])
+		}()
+	}
+}
+
+// TestLazyWorldRevisitConsistency checks the possible-world discipline:
+// on a graph where vertex 0 has one p=0.5 out-arc forming a self-loop,
+// a walk that survives step 1 must survive every later step, because the
+// world instantiation is fixed per walk.
+func TestLazyWorldRevisitConsistency(t *testing.T) {
+	b := ugraph.NewBuilder(1)
+	b.AddArc(0, 0, 0.5)
+	g := b.MustBuild()
+	w := Sample(g, 0, 10, 5000, rng.New(31))
+	for i := 0; i < w.N; i++ {
+		l := len(w.Pos[i])
+		if l != 1 && l != 11 {
+			t.Fatalf("walk %d has %d positions; the self-loop must exist for all steps or none", i, l)
+		}
+	}
+	// About half the walks should survive.
+	alive := 0
+	for i := 0; i < w.N; i++ {
+		if len(w.Pos[i]) == 11 {
+			alive++
+		}
+	}
+	frac := float64(alive) / float64(w.N)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("survival fraction %v, want 0.5", frac)
+	}
+}
+
+func BenchmarkSampleFig1(b *testing.B) {
+	g := ugraph.PaperFig1()
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sample(g, 0, 5, 100, r)
+	}
+}

@@ -1,0 +1,366 @@
+// Package simmeasure implements the common-neighbour structural-context
+// similarity measures used as comparison points in the paper's
+// evaluation: deterministic Jaccard (the paper's Jaccard-II) and the
+// expected Jaccard / Dice / cosine similarities on uncertain graphs of
+// Zou & Li (ICDM 2013), the paper's Jaccard-I.
+//
+// The expected measures are computed exactly by dynamic programming over
+// the joint distribution of intersection and union (or degree) sizes —
+// the arcs (u,w) and (v,w) for different w are independent, so the joint
+// distribution factorises candidate by candidate. Expected cosine needs
+// the three-dimensional joint (|I|, deg u, deg v); it falls back to Monte
+// Carlo when the exact state space exceeds a cap.
+package simmeasure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"usimrank/internal/graph"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+// Jaccard returns |N(u) ∩ N(v)| / |N(u) ∪ N(v)| over out-neighbour sets
+// of a deterministic graph, 0 when the union is empty.
+func Jaccard(g *graph.Graph, u, v int) float64 {
+	a, b := g.Out(u), g.Out(v)
+	inter, union := mergeCount(a, b)
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|N(u) ∩ N(v)| / (|N(u)| + |N(v)|), 0 when both
+// neighbourhoods are empty.
+func Dice(g *graph.Graph, u, v int) float64 {
+	a, b := g.Out(u), g.Out(v)
+	inter, _ := mergeCount(a, b)
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	return 2 * float64(inter) / float64(len(a)+len(b))
+}
+
+// Cosine returns |N(u) ∩ N(v)| / √(|N(u)|·|N(v)|), 0 when either
+// neighbourhood is empty.
+func Cosine(g *graph.Graph, u, v int) float64 {
+	a, b := g.Out(u), g.Out(v)
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter, _ := mergeCount(a, b)
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+func mergeCount(a, b []int32) (inter, union int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			union++
+			i++
+		case a[i] > b[j]:
+			union++
+			j++
+		default:
+			inter++
+			union++
+			i++
+			j++
+		}
+	}
+	union += len(a) - i + len(b) - j
+	return inter, union
+}
+
+// candidate is one potential common-neighbour position: the probability
+// that u connects to it and that v connects to it (0 when the arc is not
+// even potential).
+type candidate struct {
+	p, q float64
+}
+
+// candidates collects the potential out-neighbourhood union of u and v.
+func candidates(g *ugraph.Graph, u, v int) []candidate {
+	nu, pu := g.Out(u), g.OutProbs(u)
+	nv, pv := g.Out(v), g.OutProbs(v)
+	all := make(map[int32]*candidate)
+	for i, w := range nu {
+		all[w] = &candidate{p: pu[i]}
+	}
+	for i, w := range nv {
+		if c, ok := all[w]; ok {
+			c.q = pv[i]
+		} else {
+			all[w] = &candidate{q: pv[i]}
+		}
+	}
+	keys := make([]int32, 0, len(all))
+	for w := range all {
+		keys = append(keys, w)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	out := make([]candidate, len(keys))
+	for i, w := range keys {
+		out[i] = *all[w]
+	}
+	return out
+}
+
+// anyNeighbour returns Pr(|N(u)| ≥ 1) = 1 − Π (1 − p). For u = v every
+// expected neighbour similarity degenerates to this value: intersection,
+// union and both degrees coincide, so the ratio is 1 exactly when the
+// neighbourhood is non-empty.
+func anyNeighbour(g *ugraph.Graph, u int) float64 {
+	none := 1.0
+	for _, p := range g.OutProbs(u) {
+		none *= 1 - p
+	}
+	return 1 - none
+}
+
+// ExpectedJaccard returns E[ |N(u)∩N(v)| / |N(u)∪N(v)| ] over possible
+// worlds, with 0/0 = 0, computed exactly in O(d³) by a DP over the joint
+// distribution of (intersection, union) sizes. For u ≠ v the arcs (u,w)
+// and (v,w) are distinct and independent, which the DP exploits; u = v is
+// handled separately because there the two are the same arc.
+func ExpectedJaccard(g *ugraph.Graph, u, v int) float64 {
+	if u == v {
+		return anyNeighbour(g, u)
+	}
+	cs := candidates(g, u, v)
+	d := len(cs)
+	if d == 0 {
+		return 0
+	}
+	// dist[i][j] = Pr(intersection = i, union = j) over processed candidates.
+	dist := make([][]float64, d+1)
+	for i := range dist {
+		dist[i] = make([]float64, d+1)
+	}
+	dist[0][0] = 1
+	for n, c := range cs {
+		pBoth := c.p * c.q
+		pOne := c.p + c.q - 2*c.p*c.q
+		pNone := (1 - c.p) * (1 - c.q)
+		for i := n + 1; i >= 0; i-- {
+			for j := n + 1; j >= 0; j-- {
+				val := 0.0
+				if i >= 1 && j >= 1 {
+					val += dist[i-1][j-1] * pBoth
+				}
+				if j >= 1 {
+					val += dist[i][j-1] * pOne
+				}
+				val += dist[i][j] * pNone
+				dist[i][j] = val
+			}
+		}
+	}
+	e := 0.0
+	for i := 0; i <= d; i++ {
+		for j := 1; j <= d; j++ {
+			if dist[i][j] > 0 {
+				e += dist[i][j] * float64(i) / float64(j)
+			}
+		}
+	}
+	return e
+}
+
+// ExpectedDice returns E[ 2|N(u)∩N(v)| / (|N(u)|+|N(v)|) ] with 0/0 = 0,
+// computed exactly by a DP over (intersection, degree-sum).
+func ExpectedDice(g *ugraph.Graph, u, v int) float64 {
+	if u == v {
+		return anyNeighbour(g, u)
+	}
+	cs := candidates(g, u, v)
+	d := len(cs)
+	if d == 0 {
+		return 0
+	}
+	// dist[i][s] = Pr(intersection = i, deg(u)+deg(v) = s).
+	dist := make([][]float64, d+1)
+	for i := range dist {
+		dist[i] = make([]float64, 2*d+1)
+	}
+	dist[0][0] = 1
+	for n, c := range cs {
+		pBoth := c.p * c.q
+		pOne := c.p + c.q - 2*c.p*c.q
+		pNone := (1 - c.p) * (1 - c.q)
+		maxI, maxS := n+1, 2*(n+1)
+		for i := maxI; i >= 0; i-- {
+			for s := maxS; s >= 0; s-- {
+				val := 0.0
+				if i >= 1 && s >= 2 {
+					val += dist[i-1][s-2] * pBoth
+				}
+				if s >= 1 {
+					val += dist[i][s-1] * pOne
+				}
+				val += dist[i][s] * pNone
+				dist[i][s] = val
+			}
+		}
+	}
+	e := 0.0
+	for i := 0; i <= d; i++ {
+		for s := 1; s <= 2*d; s++ {
+			if dist[i][s] > 0 {
+				e += dist[i][s] * 2 * float64(i) / float64(s)
+			}
+		}
+	}
+	return e
+}
+
+// CosineOptions configures ExpectedCosine.
+type CosineOptions struct {
+	// MaxStates caps the exact DP's state count (default 1<<21); above it
+	// the estimate falls back to Monte Carlo.
+	MaxStates int
+	// Samples for the Monte Carlo fallback (default 20000).
+	Samples int
+	// Seed for the fallback (default 1).
+	Seed uint64
+}
+
+func (o CosineOptions) withDefaults() CosineOptions {
+	if o.MaxStates == 0 {
+		o.MaxStates = 1 << 21
+	}
+	if o.Samples == 0 {
+		o.Samples = 20000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ExpectedCosine returns E[ |N(u)∩N(v)| / √(deg(u)·deg(v)) ] with the
+// convention 0 when either degree is 0. The exact three-dimensional DP is
+// used when its state space fits opt.MaxStates, otherwise Monte Carlo.
+func ExpectedCosine(g *ugraph.Graph, u, v int, opt CosineOptions) float64 {
+	opt = opt.withDefaults()
+	if u == v {
+		return anyNeighbour(g, u)
+	}
+	du, dv := g.OutDegree(u), g.OutDegree(v)
+	if du == 0 || dv == 0 {
+		return 0
+	}
+	minD := du
+	if dv < minD {
+		minD = dv
+	}
+	states := (minD + 1) * (du + 1) * (dv + 1)
+	if states <= opt.MaxStates {
+		return exactCosine(g, u, v, du, dv, minD)
+	}
+	return sampleCosine(g, u, v, opt)
+}
+
+func exactCosine(g *ugraph.Graph, u, v, du, dv, minD int) float64 {
+	cs := candidates(g, u, v)
+	// dist[i][a][b] = Pr(intersection=i, deg(u)=a, deg(v)=b).
+	dist := make([][][]float64, minD+1)
+	for i := range dist {
+		dist[i] = make([][]float64, du+1)
+		for a := range dist[i] {
+			dist[i][a] = make([]float64, dv+1)
+		}
+	}
+	dist[0][0][0] = 1
+	for _, c := range cs {
+		pBoth := c.p * c.q
+		pU := c.p * (1 - c.q)
+		pV := (1 - c.p) * c.q
+		pNone := (1 - c.p) * (1 - c.q)
+		for i := minD; i >= 0; i-- {
+			for a := du; a >= 0; a-- {
+				for b := dv; b >= 0; b-- {
+					val := dist[i][a][b] * pNone
+					if i >= 1 && a >= 1 && b >= 1 {
+						val += dist[i-1][a-1][b-1] * pBoth
+					}
+					if a >= 1 {
+						val += dist[i][a-1][b] * pU
+					}
+					if b >= 1 {
+						val += dist[i][a][b-1] * pV
+					}
+					dist[i][a][b] = val
+				}
+			}
+		}
+	}
+	e := 0.0
+	for i := 0; i <= minD; i++ {
+		if i == 0 {
+			continue // numerator 0 contributes nothing
+		}
+		for a := 1; a <= du; a++ {
+			for b := 1; b <= dv; b++ {
+				if p := dist[i][a][b]; p > 0 {
+					e += p * float64(i) / math.Sqrt(float64(a)*float64(b))
+				}
+			}
+		}
+	}
+	return e
+}
+
+func sampleCosine(g *ugraph.Graph, u, v int, opt CosineOptions) float64 {
+	r := rng.New(opt.Seed)
+	cs := candidates(g, u, v)
+	total := 0.0
+	for s := 0; s < opt.Samples; s++ {
+		inter, a, b := 0, 0, 0
+		for _, c := range cs {
+			eu := c.p > 0 && r.Bool(c.p)
+			ev := c.q > 0 && r.Bool(c.q)
+			if eu {
+				a++
+			}
+			if ev {
+				b++
+			}
+			if eu && ev {
+				inter++
+			}
+		}
+		if a > 0 && b > 0 {
+			total += float64(inter) / math.Sqrt(float64(a)*float64(b))
+		}
+	}
+	return total / float64(opt.Samples)
+}
+
+// Kind selects a neighbour-based similarity.
+type Kind int
+
+// Similarity kinds.
+const (
+	KindJaccard Kind = iota
+	KindDice
+	KindCosine
+)
+
+// Expected dispatches to the expected measure of the given kind.
+func Expected(g *ugraph.Graph, u, v int, kind Kind) float64 {
+	switch kind {
+	case KindJaccard:
+		return ExpectedJaccard(g, u, v)
+	case KindDice:
+		return ExpectedDice(g, u, v)
+	case KindCosine:
+		return ExpectedCosine(g, u, v, CosineOptions{})
+	default:
+		panic(fmt.Sprintf("simmeasure: unknown kind %d", kind))
+	}
+}

@@ -1,0 +1,283 @@
+package simmeasure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/graph"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+const eps = 1e-9
+
+func detGraph() *graph.Graph {
+	// N(0) = {2,3}, N(1) = {3,4}, N(5) = {}.
+	b := graph.NewBuilder(6)
+	b.AddArc(0, 2)
+	b.AddArc(0, 3)
+	b.AddArc(1, 3)
+	b.AddArc(1, 4)
+	return b.MustBuild()
+}
+
+func TestJaccardDeterministic(t *testing.T) {
+	g := detGraph()
+	if got := Jaccard(g, 0, 1); math.Abs(got-1.0/3) > eps {
+		t.Fatalf("Jaccard = %v, want 1/3", got)
+	}
+	if got := Jaccard(g, 0, 0); got != 1 {
+		t.Fatalf("self Jaccard = %v", got)
+	}
+	if got := Jaccard(g, 5, 5); got != 0 {
+		t.Fatalf("empty-empty Jaccard = %v, want 0", got)
+	}
+	if got := Jaccard(g, 0, 5); got != 0 {
+		t.Fatalf("one-empty Jaccard = %v", got)
+	}
+}
+
+func TestDiceDeterministic(t *testing.T) {
+	g := detGraph()
+	// 2·1 / (2+2) = 0.5.
+	if got := Dice(g, 0, 1); math.Abs(got-0.5) > eps {
+		t.Fatalf("Dice = %v", got)
+	}
+	if got := Dice(g, 5, 5); got != 0 {
+		t.Fatalf("empty Dice = %v", got)
+	}
+}
+
+func TestCosineDeterministic(t *testing.T) {
+	g := detGraph()
+	// 1 / √(2·2) = 0.5.
+	if got := Cosine(g, 0, 1); math.Abs(got-0.5) > eps {
+		t.Fatalf("Cosine = %v", got)
+	}
+	if got := Cosine(g, 0, 5); got != 0 {
+		t.Fatalf("empty Cosine = %v", got)
+	}
+}
+
+// enumNeighbourSim computes the expected similarity by exhaustive world
+// enumeration — the oracle for the DP implementations.
+func enumNeighbourSim(t *testing.T, g *ugraph.Graph, u, v int, f func(inter, a, b int) float64) float64 {
+	t.Helper()
+	total := 0.0
+	var bufU, bufV []int32
+	err := g.EnumerateWorlds(func(w ugraph.World, pr float64) {
+		bufU = w.Out(u, bufU[:0])
+		bufV = w.Out(v, bufV[:0])
+		inter := 0
+		i, j := 0, 0
+		for i < len(bufU) && j < len(bufV) {
+			switch {
+			case bufU[i] < bufV[j]:
+				i++
+			case bufU[i] > bufV[j]:
+				j++
+			default:
+				inter++
+				i++
+				j++
+			}
+		}
+		total += pr * f(inter, len(bufU), len(bufV))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func jaccardOf(inter, a, b int) float64 {
+	union := a + b - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func diceOf(inter, a, b int) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return 2 * float64(inter) / float64(a+b)
+}
+
+func cosineOf(inter, a, b int) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return float64(inter) / math.Sqrt(float64(a)*float64(b))
+}
+
+func TestExpectedJaccardFig1(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for u := 0; u < 5; u++ {
+		for v := u; v < 5; v++ {
+			want := enumNeighbourSim(t, g, u, v, jaccardOf)
+			got := ExpectedJaccard(g, u, v)
+			if math.Abs(got-want) > eps {
+				t.Fatalf("E[J](%d,%d) = %v, oracle %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedDiceFig1(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for u := 0; u < 5; u++ {
+		for v := u; v < 5; v++ {
+			want := enumNeighbourSim(t, g, u, v, diceOf)
+			got := ExpectedDice(g, u, v)
+			if math.Abs(got-want) > eps {
+				t.Fatalf("E[D](%d,%d) = %v, oracle %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedCosineFig1Exact(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for u := 0; u < 5; u++ {
+		for v := u; v < 5; v++ {
+			want := enumNeighbourSim(t, g, u, v, cosineOf)
+			got := ExpectedCosine(g, u, v, CosineOptions{})
+			if math.Abs(got-want) > eps {
+				t.Fatalf("E[C](%d,%d) = %v, oracle %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedCosineSamplingFallback(t *testing.T) {
+	g := ugraph.PaperFig1()
+	// Force the fallback with a tiny state cap; Monte Carlo must land
+	// close to the oracle.
+	want := enumNeighbourSim(t, g, 0, 1, cosineOf)
+	got := ExpectedCosine(g, 0, 1, CosineOptions{MaxStates: 1, Samples: 200000, Seed: 5})
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("sampled E[C] = %v, oracle %v", got, want)
+	}
+}
+
+func TestExpectedMeasuresNoNeighbours(t *testing.T) {
+	b := ugraph.NewBuilder(3)
+	b.AddArc(0, 1, 0.5)
+	g := b.MustBuild()
+	// Vertex 2 has no potential neighbours at all.
+	if ExpectedJaccard(g, 2, 2) != 0 || ExpectedDice(g, 2, 0) != 0 ||
+		ExpectedCosine(g, 2, 1, CosineOptions{}) != 0 {
+		t.Fatal("empty neighbourhoods must give 0")
+	}
+}
+
+func TestExpectedSelfSimilarity(t *testing.T) {
+	// E[J](u,u): intersection = union always, so J = 1 unless the
+	// neighbourhood is empty. For one arc with p: E[J] = p.
+	b := ugraph.NewBuilder(2)
+	b.AddArc(0, 1, 0.3)
+	g := b.MustBuild()
+	if got := ExpectedJaccard(g, 0, 0); math.Abs(got-0.3) > eps {
+		t.Fatalf("E[J](0,0) = %v, want 0.3", got)
+	}
+}
+
+func TestCertainGraphMatchesDeterministic(t *testing.T) {
+	// All probabilities 1: the expected measures equal the deterministic
+	// ones on the skeleton.
+	b := ugraph.NewBuilder(5)
+	for _, a := range [][2]int{{0, 2}, {0, 3}, {1, 3}, {1, 4}, {2, 4}} {
+		b.AddArc(a[0], a[1], 1)
+	}
+	g := b.MustBuild()
+	sk := g.Skeleton()
+	for u := 0; u < 5; u++ {
+		for v := u; v < 5; v++ {
+			if got, want := ExpectedJaccard(g, u, v), Jaccard(sk, u, v); math.Abs(got-want) > eps {
+				t.Fatalf("J(%d,%d): %v vs %v", u, v, got, want)
+			}
+			if got, want := ExpectedDice(g, u, v), Dice(sk, u, v); math.Abs(got-want) > eps {
+				t.Fatalf("D(%d,%d): %v vs %v", u, v, got, want)
+			}
+			if got, want := ExpectedCosine(g, u, v, CosineOptions{}), Cosine(sk, u, v); math.Abs(got-want) > eps {
+				t.Fatalf("C(%d,%d): %v vs %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedDispatch(t *testing.T) {
+	g := ugraph.PaperFig1()
+	if Expected(g, 0, 1, KindJaccard) != ExpectedJaccard(g, 0, 1) {
+		t.Fatal("dispatch Jaccard wrong")
+	}
+	if Expected(g, 0, 1, KindDice) != ExpectedDice(g, 0, 1) {
+		t.Fatal("dispatch Dice wrong")
+	}
+	if Expected(g, 0, 1, KindCosine) != ExpectedCosine(g, 0, 1, CosineOptions{}) {
+		t.Fatal("dispatch Cosine wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind accepted")
+		}
+	}()
+	Expected(g, 0, 1, Kind(99))
+}
+
+// Property: expected Jaccard and Dice match the enumeration oracle on
+// random small uncertain graphs, and all measures stay in [0,1].
+func TestQuickExpectedOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(4)
+		b := ugraph.NewBuilder(n)
+		arcs := 0
+		for u := 0; u < n && arcs < 10; u++ {
+			for v := 0; v < n && arcs < 10; v++ {
+				if r.Bool(0.5) {
+					b.AddArc(u, v, 0.1+0.9*r.Float64())
+					arcs++
+				}
+			}
+		}
+		g := b.MustBuild()
+		u, v := r.Intn(n), r.Intn(n)
+		wantJ := 0.0
+		wantD := 0.0
+		var bufU, bufV []int32
+		err := g.EnumerateWorlds(func(w ugraph.World, pr float64) {
+			bufU = w.Out(u, bufU[:0])
+			bufV = w.Out(v, bufV[:0])
+			inter := 0
+			i, j := 0, 0
+			for i < len(bufU) && j < len(bufV) {
+				switch {
+				case bufU[i] < bufV[j]:
+					i++
+				case bufU[i] > bufV[j]:
+					j++
+				default:
+					inter++
+					i++
+					j++
+				}
+			}
+			wantJ += pr * jaccardOf(inter, len(bufU), len(bufV))
+			wantD += pr * diceOf(inter, len(bufU), len(bufV))
+		})
+		if err != nil {
+			return false
+		}
+		gotJ := ExpectedJaccard(g, u, v)
+		gotD := ExpectedDice(g, u, v)
+		return math.Abs(gotJ-wantJ) < 1e-8 && math.Abs(gotD-wantD) < 1e-8 &&
+			gotJ >= 0 && gotJ <= 1+eps && gotD >= 0 && gotD <= 1+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

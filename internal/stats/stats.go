@@ -1,0 +1,142 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness and its tests: summary statistics, histograms, and
+// ordinary least squares (which the scalability analysis of Fig. 12 uses
+// to verify that execution time grows linearly with the edge count).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the moments and extremes of a sample.
+type Summary struct {
+	N                   int
+	Mean, Std, Min, Max float64
+}
+
+// Summarize computes a Summary. The standard deviation is the population
+// form; an empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(len(xs)))
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation of the sorted sample. It panics on an empty sample or a
+// q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Linear is a fitted line y = Intercept + Slope·x with its coefficient
+// of determination.
+type Linear struct {
+	Slope, Intercept, R2 float64
+}
+
+// FitLinear computes the ordinary least squares fit of y on x. It panics
+// when the lengths differ or fewer than two points are given.
+func FitLinear(x, y []float64) Linear {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: mismatched lengths %d vs %d", len(x), len(y)))
+	}
+	if len(x) < 2 {
+		panic("stats: need at least two points")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: degenerate x (no variance)")
+	}
+	l := Linear{Slope: sxy / sxx}
+	l.Intercept = my - l.Slope*mx
+	if syy == 0 {
+		l.R2 = 1 // constant y fitted exactly
+	} else {
+		l.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return l
+}
+
+// Histogram counts xs into equal-width buckets over [lo, hi); values
+// outside the range are clamped into the first/last bucket. It panics on
+// a non-positive bucket count or an empty range.
+func Histogram(xs []float64, lo, hi float64, buckets int) []int {
+	if buckets <= 0 {
+		panic("stats: non-positive bucket count")
+	}
+	if !(hi > lo) {
+		panic("stats: empty histogram range")
+	}
+	counts := make([]int, buckets)
+	width := (hi - lo) / float64(buckets)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// PearsonR returns the Pearson correlation of x and y.
+func PearsonR(x, y []float64) float64 {
+	l := FitLinear(x, y)
+	r := math.Sqrt(l.R2)
+	if l.Slope < 0 {
+		return -r
+	}
+	return r
+}

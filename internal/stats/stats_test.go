@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/rng"
+)
+
+const eps = 1e-12
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-2) > eps { // classic textbook sample
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > eps {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileUnsortedInput(t *testing.T) {
+	if got := Quantile([]float64{5, 1, 3, 2, 4}, 0.5); got != 3 {
+		t.Fatalf("median of unsorted = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad quantile arguments accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	l := FitLinear(x, y)
+	if math.Abs(l.Slope-2) > eps || math.Abs(l.Intercept-1) > eps || math.Abs(l.R2-1) > eps {
+		t.Fatalf("fit %+v", l)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	r := rng.New(9)
+	var x, y []float64
+	for i := 0; i < 2000; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 5+0.5*xi+r.NormFloat64())
+	}
+	l := FitLinear(x, y)
+	if math.Abs(l.Slope-0.5) > 0.01 {
+		t.Fatalf("slope %v", l.Slope)
+	}
+	if l.R2 < 0.99 {
+		t.Fatalf("R2 %v", l.R2)
+	}
+}
+
+func TestFitLinearConstantY(t *testing.T) {
+	l := FitLinear([]float64{1, 2, 3}, []float64{7, 7, 7})
+	if l.Slope != 0 || l.Intercept != 7 || l.R2 != 1 {
+		t.Fatalf("fit %+v", l)
+	}
+}
+
+func TestFitLinearPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { FitLinear([]float64{1}, []float64{1}) },
+		func() { FitLinear([]float64{1, 2}, []float64{1}) },
+		func() { FitLinear([]float64{3, 3}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad fit arguments accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.05, 0.15, 0.15, 0.95, -1, 2}
+	counts := Histogram(xs, 0, 1, 10)
+	if counts[0] != 2 { // 0.05 and the clamped -1
+		t.Fatalf("bucket 0 = %d", counts[0])
+	}
+	if counts[1] != 2 {
+		t.Fatalf("bucket 1 = %d", counts[1])
+	}
+	if counts[9] != 2 { // 0.95 and the clamped 2
+		t.Fatalf("bucket 9 = %d", counts[9])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram drops values: %d of %d", total, len(xs))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Histogram(nil, 0, 1, 0) },
+		func() { Histogram(nil, 1, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad histogram arguments accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPearsonRSigns(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	up := []float64{2, 4, 6, 8}
+	down := []float64{8, 6, 4, 2}
+	if r := PearsonR(x, up); math.Abs(r-1) > eps {
+		t.Fatalf("r = %v", r)
+	}
+	if r := PearsonR(x, down); math.Abs(r+1) > eps {
+		t.Fatalf("r = %v", r)
+	}
+}
+
+// Property: mean lies between min and max; std is non-negative.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*200 - 100
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-eps && s.Mean <= s.Max+eps && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fitting y = a + b·x recovers a and b exactly.
+func TestQuickFitRecovers(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := r.Float64()*10 - 5
+		b := r.Float64()*10 - 5
+		var x, y []float64
+		for i := 0; i < 10; i++ {
+			xi := float64(i) + r.Float64()
+			x = append(x, xi)
+			y = append(y, a+b*xi)
+		}
+		l := FitLinear(x, y)
+		return math.Abs(l.Slope-b) < 1e-9 && math.Abs(l.Intercept-a) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package topk
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"usimrank/internal/core"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+func engineFor(t *testing.T, g *ugraph.Graph) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(g, core.Options{Seed: 1, RowCacheSize: g.NumVertices() + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// bruteSingleSource computes the reference ranking without pruning.
+func bruteSingleSource(t *testing.T, e *core.Engine, u, k int) []Result {
+	t.Helper()
+	g := e.Graph()
+	var all []Result
+	for v := 0; v < g.NumVertices(); v++ {
+		if v == u {
+			continue
+		}
+		s, err := e.Baseline(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, Result{U: u, V: v, Score: s})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].V < all[j].V
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestSingleSourceMatchesBruteForceFig1(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := engineFor(t, g)
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, k := range []int{1, 2, 4} {
+			got, err := SingleSource(e, u, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteSingleSource(t, e, u, k)
+			if len(got) != len(want) {
+				t.Fatalf("u=%d k=%d: %d results, want %d", u, k, len(got), len(want))
+			}
+			for i := range want {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+					t.Fatalf("u=%d k=%d rank %d: %+v vs %+v", u, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSingleSourceMatchesBruteForcePPI(t *testing.T) {
+	ppi := gen.PlantedPPI(gen.DefaultPPIConfig(60), rng.New(3))
+	e := engineFor(t, ppi.Graph)
+	got, err := SingleSource(e, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteSingleSource(t, e, 0, 5)
+	for i := range want {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("rank %d: pruned %+v vs brute %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSingleSourceDescendingAndExcludesSelf(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := engineFor(t, g)
+	res, err := SingleSource(e, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.V == 2 {
+			t.Fatal("self included")
+		}
+		if i > 0 && res[i].Score > res[i-1].Score+1e-15 {
+			t.Fatal("results not descending")
+		}
+	}
+}
+
+func TestSingleSourceBadArgs(t *testing.T) {
+	e := engineFor(t, ugraph.PaperFig1())
+	if _, err := SingleSource(e, -1, 3); err == nil {
+		t.Fatal("negative vertex accepted")
+	}
+	if _, err := SingleSource(e, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestAllPairsMatchesExhaustive(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := engineFor(t, g)
+	got, err := AllPairs(e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive reference.
+	var all []Result
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := u + 1; v < g.NumVertices(); v++ {
+			s, err := e.Baseline(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, Result{U: u, V: v, Score: s})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	for i := 0; i < 3; i++ {
+		if math.Abs(got[i].Score-all[i].Score) > 1e-12 {
+			t.Fatalf("rank %d: %+v vs %+v", i, got[i], all[i])
+		}
+	}
+}
+
+func TestAllPairsKLargerThanPairs(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := engineFor(t, g)
+	res, err := AllPairs(e, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 { // C(5,2)
+		t.Fatalf("got %d pairs", len(res))
+	}
+}
+
+func TestAllPairsBadK(t *testing.T) {
+	e := engineFor(t, ugraph.PaperFig1())
+	if _, err := AllPairs(e, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

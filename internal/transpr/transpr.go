@@ -1,0 +1,294 @@
+// Package transpr implements the TransPr algorithm (Fig. 3 of the
+// paper): the disk-based computation of all k-step transition probability
+// matrices W(1), …, W(K) of an uncertain graph. Walks are materialised as
+// (walk, p, α) tuples in walk-probability files, extended level by level
+// with the Lemma 2 ratio (or the Lemma 3 shortcut below the girth),
+// sorted externally by (start, end), and folded into per-source
+// distribution vectors persisted column-by-column in a diskstore.
+//
+// The walk population grows with the k-th power of the average degree —
+// this is inherent to the exact method and is the reason the paper's
+// Baseline loses to sampling on large graphs. MaxWalks turns a runaway
+// computation into a clean error. For in-memory single-source exact rows
+// use walkpr.TransitionRows, which additionally merges equivalent walk
+// states; this package is the faithful external-memory variant and the
+// substrate of the I/O-cost experiments.
+package transpr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"usimrank/internal/diskstore"
+	"usimrank/internal/matrix"
+	"usimrank/internal/ugraph"
+	"usimrank/internal/walkpr"
+)
+
+// Options configures Run.
+type Options struct {
+	// BlockSize for the column store (diskstore.DefaultBlockSize if 0).
+	BlockSize int
+	// SortMemory caps in-memory tuples per external-sort run (1<<20 if 0).
+	SortMemory int
+	// MaxWalks caps tuples per level (default 8M).
+	MaxWalks int64
+}
+
+func (o Options) maxWalks() int64 {
+	if o.MaxWalks <= 0 {
+		return 8 << 20
+	}
+	return o.MaxWalks
+}
+
+// ErrWalkExplosion is returned when a level exceeds MaxWalks tuples.
+var ErrWalkExplosion = errors.New("transpr: walk file exceeds MaxWalks, graph too dense for the exact method")
+
+// Result gives access to the computed matrices and per-level statistics.
+type Result struct {
+	// Store holds W(1)..W(K); column u of matrix k is the distribution
+	// Pr(u →k ·).
+	Store *diskstore.ColumnStore
+	// WalksPerLevel[k] is the number of walk tuples of length k (index 0
+	// unused).
+	WalksPerLevel []int64
+	// Girth is the bounded skeleton girth used for the Lemma 3 fast path.
+	Girth int
+}
+
+// Run executes TransPr on g for K ≥ 1 steps, writing walk files and
+// matrices under dir.
+func Run(g *ugraph.Graph, K int, dir string, opt Options) (*Result, error) {
+	if K < 1 {
+		return nil, fmt.Errorf("transpr: K=%d < 1", K)
+	}
+	store, err := diskstore.NewColumnStore(dir, opt.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Store: store, WalksPerLevel: make([]int64, K+1)}
+
+	// Line 2 of Fig. 3: the girth bound for the Lemma 3 fast path.
+	res.Girth = g.Skeleton().Girth(K)
+
+	// Level 1: one tuple per arc; the walk probability of W = u,v is
+	// α_W(u), and the stored α is α_W(v) = 1 unless the arc is a
+	// self-loop (then the last vertex is also the transition source).
+	walkPath := func(k int) string { return filepath.Join(dir, fmt.Sprintf("walks%03d", k)) }
+	w1, err := diskstore.NewWalkWriter(walkPath(1))
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Out(u) {
+			walk := []int32{int32(u), v}
+			p := walkpr.WalkPr(g, walk)
+			alpha := alphaOfLast(g, walk)
+			if err := w1.Append(diskstore.WalkTuple{Walk: walk, P: p, Alpha: alpha}); err != nil {
+				w1.Close()
+				return nil, err
+			}
+		}
+	}
+	res.WalksPerLevel[1] = w1.Count()
+	if err := w1.Close(); err != nil {
+		return nil, err
+	}
+	if err := writeMatrixFromWalks(store, g.NumVertices(), 1, walkPath(1), opt); err != nil {
+		return nil, err
+	}
+
+	// Main loop (Fig. 3 lines 3–18): extend level k to level k+1.
+	for k := 1; k < K; k++ {
+		r, err := diskstore.NewWalkReader(walkPath(k))
+		if err != nil {
+			return nil, err
+		}
+		w, err := diskstore.NewWalkWriter(walkPath(k + 1))
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		maxWalks := opt.maxWalks()
+		for {
+			t, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				r.Close()
+				w.Close()
+				return nil, err
+			}
+			last := t.End()
+			for _, x := range g.Out(int(last)) {
+				ext := append(append(make([]int32, 0, len(t.Walk)+1), t.Walk...), x)
+				var p, alpha float64
+				if k < res.Girth {
+					// Lemma 3: no vertex repeats below the girth, so the
+					// extension ratio is the expected one-step probability
+					// and the new last vertex is fresh (α' = 1).
+					p = t.P * expectedStep(g, last, x)
+					alpha = 1
+				} else {
+					aOldOw, aOldC := usage(t.Walk, last)
+					aNewOw, aNewC := usage(ext, last)
+					aOld := alphaFor(g, last, aOldOw, aOldC)
+					aNew := alphaFor(g, last, aNewOw, aNewC)
+					p = t.P * aNew / aOld
+					alpha = alphaOfLast(g, ext)
+				}
+				if err := w.Append(diskstore.WalkTuple{Walk: ext, P: p, Alpha: alpha}); err != nil {
+					r.Close()
+					w.Close()
+					return nil, err
+				}
+				if w.Count() > maxWalks {
+					r.Close()
+					w.Close()
+					return nil, fmt.Errorf("%w: level %d", ErrWalkExplosion, k+1)
+				}
+			}
+		}
+		r.Close()
+		res.WalksPerLevel[k+1] = w.Count()
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		if err := writeMatrixFromWalks(store, g.NumVertices(), k+1, walkPath(k+1), opt); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// usage scans a walk and returns O_W(x) (sorted distinct out-neighbours
+// used from x) and c_W(x) (transitions leaving x).
+func usage(walk []int32, x int32) ([]int32, int) {
+	var ow []int32
+	c := 0
+	for i := 0; i+1 < len(walk); i++ {
+		if walk[i] != x {
+			continue
+		}
+		c++
+		nxt := walk[i+1]
+		pos := sort.Search(len(ow), func(j int) bool { return ow[j] >= nxt })
+		if pos == len(ow) || ow[pos] != nxt {
+			ow = append(ow, 0)
+			copy(ow[pos+1:], ow[pos:])
+			ow[pos] = nxt
+		}
+	}
+	return ow, c
+}
+
+func alphaFor(g *ugraph.Graph, v int32, ow []int32, c int) float64 {
+	if c == 0 && len(ow) == 0 {
+		return 1
+	}
+	return walkpr.Alpha(g, v, ow, c)
+}
+
+// alphaOfLast returns α_W(last(W)) computed from the full walk.
+func alphaOfLast(g *ugraph.Graph, walk []int32) float64 {
+	last := walk[len(walk)-1]
+	ow, c := usage(walk, last)
+	return alphaFor(g, last, ow, c)
+}
+
+// expectedStep returns Pr(u →1 v), memoisable but cheap enough to
+// recompute: α for the single-step walk.
+func expectedStep(g *ugraph.Graph, u, v int32) float64 {
+	return walkpr.Alpha(g, u, []int32{v}, 1)
+}
+
+// writeMatrixFromWalks sorts the level-k walk file by (start, end), sums
+// walk probabilities per group (Fig. 3 lines 15–18) and persists the
+// resulting per-source vectors.
+func writeMatrixFromWalks(store *diskstore.ColumnStore, n, k int, path string, opt Options) error {
+	sorted := path + ".sorted"
+	if err := diskstore.SortWalkFile(path, sorted, opt.SortMemory); err != nil {
+		return err
+	}
+	r, err := diskstore.NewWalkReader(sorted)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	cols := make([]matrix.Vec, n)
+	acc := make(map[int32]float64)
+	var curStart int32 = -1
+	flush := func() {
+		if curStart >= 0 {
+			cols[curStart] = matrix.FromMap(acc)
+			acc = make(map[int32]float64)
+		}
+	}
+	for {
+		t, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if t.Start() != curStart {
+			flush()
+			curStart = t.Start()
+		}
+		acc[t.End()] += t.P
+	}
+	flush()
+	return store.WriteMatrix(k, cols)
+}
+
+// Meeting computes m(k)(u,v) = Σ_w Pr(u →k w)·Pr(v →k w) from the
+// store by reading the two per-source vectors, the I/O pattern of the
+// paper's Baseline (Sec. VI-A).
+func Meeting(store *diskstore.ColumnStore, k, u, v int) (float64, error) {
+	cu, err := store.ReadColumn(k, u)
+	if err != nil {
+		return 0, err
+	}
+	cv, err := store.ReadColumn(k, v)
+	if err != nil {
+		return 0, err
+	}
+	return cu.Dot(cv), nil
+}
+
+// Baseline evaluates s(n)(u,v) entirely from a store previously built by
+// Run over the *reversed* graph (SimRank walks run along in-arcs).
+func Baseline(store *diskstore.ColumnStore, u, v int, c float64, n int) (float64, error) {
+	if !(c > 0 && c < 1) {
+		return 0, fmt.Errorf("transpr: decay factor %v outside (0,1)", c)
+	}
+	m := make([]float64, n+1)
+	if u == v {
+		m[0] = 1
+	}
+	for k := 1; k <= n; k++ {
+		mk, err := Meeting(store, k, u, v)
+		if err != nil {
+			return 0, err
+		}
+		m[k] = mk
+	}
+	s := 1.0
+	for i := 0; i < n; i++ {
+		s *= c
+	}
+	s *= m[n]
+	ck := 1.0
+	for k := 0; k < n; k++ {
+		s += (1 - c) * ck * m[k]
+		ck *= c
+	}
+	return s, nil
+}

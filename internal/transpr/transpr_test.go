@@ -1,0 +1,267 @@
+package transpr
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"usimrank/internal/core"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+	"usimrank/internal/walkpr"
+)
+
+const eps = 1e-9
+
+func TestRunFig1MatchesTransitionRows(t *testing.T) {
+	g := ugraph.PaperFig1()
+	const K = 4
+	res, err := Run(g, K, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < g.NumVertices(); src++ {
+		want, err := walkpr.TransitionRows(g, src, K, walkpr.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= K; k++ {
+			got, err := res.Store.ReadColumn(k, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := int32(0); v < int32(g.NumVertices()); v++ {
+				if math.Abs(got.At(v)-want[k].At(v)) > eps {
+					t.Fatalf("W(%d)[%d][%d]: disk %v vs memory %v", k, src, v, got.At(v), want[k].At(v))
+				}
+			}
+		}
+	}
+}
+
+func TestRunWalkCountsGrow(t *testing.T) {
+	g := ugraph.PaperFig1()
+	res, err := Run(g, 4, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WalksPerLevel[1] != int64(g.NumArcs()) {
+		t.Fatalf("level 1 has %d walks, want %d", res.WalksPerLevel[1], g.NumArcs())
+	}
+	for k := 2; k <= 4; k++ {
+		if res.WalksPerLevel[k] < res.WalksPerLevel[k-1] {
+			t.Fatalf("walk counts not monotone: %v", res.WalksPerLevel)
+		}
+	}
+}
+
+func TestRunGirthFastPathSelfLoop(t *testing.T) {
+	// Girth 1 disables the fast path entirely; correctness must hold.
+	b := ugraph.NewBuilder(2)
+	b.AddArc(0, 0, 0.5)
+	b.AddArc(0, 1, 0.7)
+	b.AddArc(1, 0, 0.4)
+	g := b.MustBuild()
+	res, err := Run(g, 4, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Girth != 1 {
+		t.Fatalf("girth = %d", res.Girth)
+	}
+	for src := 0; src < 2; src++ {
+		want, err := walkpr.EnumTransitionRows(g, src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 4; k++ {
+			got, err := res.Store.ReadColumn(k, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := int32(0); v < 2; v++ {
+				if math.Abs(got.At(v)-want[k].At(v)) > eps {
+					t.Fatalf("W(%d)[%d][%d]: %v vs %v", k, src, v, got.At(v), want[k].At(v))
+				}
+			}
+		}
+	}
+}
+
+func TestRunHighGirthUsesFastPath(t *testing.T) {
+	// 5-cycle: girth 5 ≥ K=4, so every extension takes the Lemma 3 path;
+	// verify against enumeration.
+	b := ugraph.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddArc(i, (i+1)%5, 0.3+0.1*float64(i))
+	}
+	g := b.MustBuild()
+	res, err := Run(g, 4, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Girth < 4 {
+		t.Fatalf("girth = %d", res.Girth)
+	}
+	for src := 0; src < 5; src++ {
+		want, err := walkpr.EnumTransitionRows(g, src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 4; k++ {
+			got, err := res.Store.ReadColumn(k, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := int32(0); v < 5; v++ {
+				if math.Abs(got.At(v)-want[k].At(v)) > eps {
+					t.Fatalf("W(%d)[%d][%d]: %v vs %v", k, src, v, got.At(v), want[k].At(v))
+				}
+			}
+		}
+	}
+}
+
+func TestBaselineFromStoreMatchesEngine(t *testing.T) {
+	g := ugraph.PaperFig1()
+	const n = 4
+	// SimRank walks run on the reversed graph.
+	res, err := Run(g.Reverse(), n, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(g, core.Options{C: 0.6, Steps: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		for v := u; v < 5; v++ {
+			want, err := e.Baseline(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Baseline(res.Store, u, v, 0.6, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > eps {
+				t.Fatalf("s(%d,%d): disk %v vs engine %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestRunWalkExplosionGuard(t *testing.T) {
+	g := ugraph.PaperFig1()
+	_, err := Run(g, 5, t.TempDir(), Options{MaxWalks: 3})
+	if !errors.Is(err, ErrWalkExplosion) {
+		t.Fatalf("err = %v, want ErrWalkExplosion", err)
+	}
+}
+
+func TestRunBadK(t *testing.T) {
+	if _, err := Run(ugraph.PaperFig1(), 0, t.TempDir(), Options{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestRunIOAccounting(t *testing.T) {
+	g := ugraph.PaperFig1()
+	res, err := Run(g, 3, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Store.Stats()
+	if st.BlockWrites == 0 {
+		t.Fatal("no block writes accounted")
+	}
+	res.Store.ResetStats()
+	if _, err := Meeting(res.Store, 2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if res.Store.Stats().BlockReads == 0 {
+		t.Fatal("no block reads accounted for Meeting")
+	}
+}
+
+func TestBaselineValidatesDecay(t *testing.T) {
+	g := ugraph.PaperFig1()
+	res, err := Run(g.Reverse(), 2, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Baseline(res.Store, 0, 1, 1.5, 2); err == nil {
+		t.Fatal("bad decay accepted")
+	}
+}
+
+func TestUsage(t *testing.T) {
+	walk := []int32{0, 2, 0, 2, 3, 1, 2, 3, 1}
+	cases := []struct {
+		x      int32
+		wantOw []int32
+		wantC  int
+	}{
+		{0, []int32{2}, 2},
+		{1, []int32{2}, 1},
+		{2, []int32{0, 3}, 3},
+		{3, []int32{1}, 2},
+		{4, nil, 0},
+	}
+	for _, c := range cases {
+		ow, cnt := usage(walk, c.x)
+		if cnt != c.wantC || len(ow) != len(c.wantOw) {
+			t.Fatalf("usage(%d) = %v,%d want %v,%d", c.x, ow, cnt, c.wantOw, c.wantC)
+		}
+		for i := range ow {
+			if ow[i] != c.wantOw[i] {
+				t.Fatalf("usage(%d) = %v, want %v", c.x, ow, c.wantOw)
+			}
+		}
+	}
+}
+
+// Property: disk TransPr equals the in-memory exact rows on random small
+// uncertain graphs (exercising both fast and slow paths).
+func TestQuickRunOracle(t *testing.T) {
+	r := rng.New(321)
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + r.Intn(4)
+		b := ugraph.NewBuilder(n)
+		arcs := 0
+		for u := 0; u < n && arcs < 8; u++ {
+			for v := 0; v < n && arcs < 8; v++ {
+				if r.Bool(0.5) {
+					b.AddArc(u, v, 0.2+0.8*r.Float64())
+					arcs++
+				}
+			}
+		}
+		g := b.MustBuild()
+		if g.NumArcs() == 0 {
+			continue
+		}
+		const K = 3
+		res, err := Run(g, K, t.TempDir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			want, err := walkpr.TransitionRows(g, src, K, walkpr.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k <= K; k++ {
+				got, err := res.Store.ReadColumn(k, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := int32(0); v < int32(n); v++ {
+					if math.Abs(got.At(v)-want[k].At(v)) > 1e-8 {
+						t.Fatalf("trial %d W(%d)[%d][%d]: %v vs %v", trial, k, src, v, got.At(v), want[k].At(v))
+					}
+				}
+			}
+		}
+	}
+}

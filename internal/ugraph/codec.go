@@ -1,0 +1,202 @@
+package ugraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Text format
+//
+//	ug <numVertices> <numArcs>
+//	<u> <v> <p>        (one line per arc)
+//
+// Lines starting with '#' and blank lines are ignored. The format is
+// line-oriented so datasets can be inspected and produced with standard
+// tools.
+
+// WriteText serialises g in the text format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "ug %d %d\n", g.NumVertices(), g.NumArcs()); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := g.OutProbs(u)
+		for i, v := range g.Out(u) {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, v, probs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *Builder
+	wantArcs := -1
+	gotArcs := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if b == nil {
+			if len(fields) != 3 || fields[0] != "ug" {
+				return nil, fmt.Errorf("ugraph: bad header %q", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("ugraph: bad vertex count %q", fields[1])
+			}
+			m, err := strconv.Atoi(fields[2])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("ugraph: bad arc count %q", fields[2])
+			}
+			b = NewBuilder(n)
+			wantArcs = m
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ugraph: bad arc line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: bad source %q", fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: bad target %q", fields[1])
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: bad probability %q", fields[2])
+		}
+		if u < 0 || u >= b.n || v < 0 || v >= b.n {
+			return nil, fmt.Errorf("ugraph: arc (%d,%d) out of range", u, v)
+		}
+		if !(p > 0 && p <= 1) {
+			return nil, fmt.Errorf("ugraph: probability %v outside (0,1]", p)
+		}
+		b.AddArc(u, v, p)
+		gotArcs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, errors.New("ugraph: empty input")
+	}
+	if gotArcs != wantArcs {
+		return nil, fmt.Errorf("ugraph: header promises %d arcs, found %d", wantArcs, gotArcs)
+	}
+	return b.Build()
+}
+
+// Binary format
+//
+//	magic   "USGR"            4 bytes
+//	version uint32 LE         (currently 1)
+//	n       uint64 LE
+//	m       uint64 LE
+//	arcs    m × (u uvarint, v uvarint, p float64 LE bits)
+//
+// Arcs are written in CSR order so files of the same graph are identical
+// byte-for-byte.
+
+var binMagic = [4]byte{'U', 'S', 'G', 'R'}
+
+const binVersion = 1
+
+// WriteBinary serialises g in the binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var hdr [4 + 8 + 8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], binVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(g.NumArcs()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := g.OutProbs(u)
+		for i, v := range g.Out(u) {
+			n := binary.PutUvarint(buf[:], uint64(u))
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+			n = binary.PutUvarint(buf[:], uint64(v))
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+			var pb [8]byte
+			binary.LittleEndian.PutUint64(pb[:], math.Float64bits(probs[i]))
+			if _, err := bw.Write(pb[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format, validating magic, version, ranges
+// and probability bounds.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("ugraph: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("ugraph: bad magic %q", magic[:])
+	}
+	var hdr [4 + 8 + 8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ugraph: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != binVersion {
+		return nil, fmt.Errorf("ugraph: unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:12])
+	m := binary.LittleEndian.Uint64(hdr[12:20])
+	if n > math.MaxInt32 || m > math.MaxInt32 {
+		return nil, fmt.Errorf("ugraph: unreasonable sizes n=%d m=%d", n, m)
+	}
+	b := NewBuilder(int(n))
+	for i := uint64(0); i < m; i++ {
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: arc %d source: %w", i, err)
+		}
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: arc %d target: %w", i, err)
+		}
+		var pb [8]byte
+		if _, err := io.ReadFull(br, pb[:]); err != nil {
+			return nil, fmt.Errorf("ugraph: arc %d probability: %w", i, err)
+		}
+		p := math.Float64frombits(binary.LittleEndian.Uint64(pb[:]))
+		if u >= n || v >= n {
+			return nil, fmt.Errorf("ugraph: arc %d endpoints (%d,%d) out of range", i, u, v)
+		}
+		if !(p > 0 && p <= 1) {
+			return nil, fmt.Errorf("ugraph: arc %d probability %v outside (0,1]", i, p)
+		}
+		b.AddArc(int(u), int(v), p)
+	}
+	return b.Build()
+}

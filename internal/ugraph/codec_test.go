@@ -1,0 +1,174 @@
+package ugraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"usimrank/internal/rng"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+		return false
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		ao, bo := a.Out(u), b.Out(u)
+		ap, bp := a.OutProbs(u), b.OutProbs(u)
+		if len(ao) != len(bo) {
+			return false
+		}
+		for i := range ao {
+			if ao[i] != bo[i] || ap[i] != bp[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := PaperFig1()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("text round trip changed the graph")
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nug 2 1\n# another\n0 1 0.5\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.Prob(0, 1) != 0.5 {
+		t.Fatal("parsed graph wrong")
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"xx 2 1\n0 1 0.5\n",        // bad header tag
+		"ug -1 0\n",                // negative n
+		"ug 2 2\n0 1 0.5\n",        // arc count mismatch
+		"ug 2 1\n0 5 0.5\n",        // out of range
+		"ug 2 1\n0 1 1.5\n",        // bad probability
+		"ug 2 1\n0 1 0\n",          // zero probability
+		"ug 2 1\n0 1\n",            // short arc line
+		"ug 2 1\nx 1 0.5\n",        // non-numeric
+		"ug 2 2\n0 1 .5\n0 1 .6\n", // duplicate arc
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := PaperFig1()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		g := randUGraph(r, 1+r.Intn(20), 0.3)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatal("binary round trip changed the graph")
+		}
+	}
+}
+
+func TestBinaryDeterministicBytes(t *testing.T) {
+	g := PaperFig1()
+	var a, b bytes.Buffer
+	if err := WriteBinary(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("binary encoding not deterministic")
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := PaperFig1()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Any strict prefix must fail cleanly, not panic.
+	for _, cut := range []int{0, 2, 4, 10, 19, 25, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryBadVersion(t *testing.T) {
+	g := PaperFig1()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // corrupt version
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestBinaryCorruptProbability(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddArc(0, 1, 0.5)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The last 8 bytes are the float64 probability; make it 2.0.
+	copy(raw[len(raw)-8:], []byte{0, 0, 0, 0, 0, 0, 0, 0x40})
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt probability accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package ugraph
+
+import (
+	"bytes"
+	"testing"
+
+	"usimrank/internal/rng"
+)
+
+// TestBinaryCorruptionNeverPanics flips random bytes in valid binary
+// encodings and checks the reader either fails cleanly or returns a
+// structurally valid graph — never panics, never hangs.
+func TestBinaryCorruptionNeverPanics(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 300; trial++ {
+		g := randUGraph(r, 1+r.Intn(10), 0.4)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		raw := append([]byte(nil), buf.Bytes()...)
+		// Corrupt 1–4 random bytes.
+		for c := 0; c <= r.Intn(4); c++ {
+			if len(raw) == 0 {
+				break
+			}
+			raw[r.Intn(len(raw))] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on corrupted input: %v", p)
+				}
+			}()
+			got, err := ReadBinary(bytes.NewReader(raw))
+			if err != nil {
+				return // clean rejection
+			}
+			// If accepted, the graph must be structurally valid.
+			for u := 0; u < got.NumVertices(); u++ {
+				probs := got.OutProbs(u)
+				for i, v := range got.Out(u) {
+					if v < 0 || int(v) >= got.NumVertices() {
+						t.Fatalf("accepted graph has bad arc target %d", v)
+					}
+					if !(probs[i] > 0 && probs[i] <= 1) {
+						t.Fatalf("accepted graph has bad probability %v", probs[i])
+					}
+				}
+			}
+		}()
+	}
+}
+
+// TestTextCorruptionNeverPanics does the same for the text codec by
+// splicing random garbage lines into valid encodings.
+func TestTextCorruptionNeverPanics(t *testing.T) {
+	r := rng.New(4048)
+	garbage := []string{"", "x", "1 2", "1 2 nan", "-1 0 0.5", "0 0 2.0", "ug ug ug", "\x00\x01"}
+	for trial := 0; trial < 100; trial++ {
+		g := randUGraph(r, 1+r.Intn(8), 0.4)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		pos := r.Intn(len(raw) + 1)
+		spliced := append(append(append([]byte(nil), raw[:pos]...),
+			[]byte("\n"+garbage[r.Intn(len(garbage))]+"\n")...), raw[pos:]...)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on corrupted text: %v", p)
+				}
+			}()
+			_, _ = ReadText(bytes.NewReader(spliced))
+		}()
+	}
+}
+
+func TestArcRangeCoversAllArcs(t *testing.T) {
+	g := PaperFig1()
+	covered := 0
+	var prevHi int32
+	for v := 0; v < g.NumVertices(); v++ {
+		lo, hi := g.ArcRange(v)
+		if lo != prevHi {
+			t.Fatalf("vertex %d: range [%d,%d) not contiguous with previous end %d", v, lo, hi, prevHi)
+		}
+		if int(hi-lo) != g.OutDegree(v) {
+			t.Fatalf("vertex %d: range size %d != degree %d", v, hi-lo, g.OutDegree(v))
+		}
+		covered += int(hi - lo)
+		prevHi = hi
+	}
+	if covered != g.NumArcs() {
+		t.Fatalf("ranges cover %d of %d arcs", covered, g.NumArcs())
+	}
+}
+
+func TestAverageOutDegree(t *testing.T) {
+	g := PaperFig1()
+	if got := g.AverageOutDegree(); got != 8.0/5 {
+		t.Fatalf("AverageOutDegree = %v", got)
+	}
+	if NewBuilder(0).MustBuild().AverageOutDegree() != 0 {
+		t.Fatal("empty graph average degree not 0")
+	}
+}

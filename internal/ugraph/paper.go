@@ -1,0 +1,36 @@
+package ugraph
+
+// PaperFig1 returns the uncertain graph of Fig. 1(a) in the paper, the
+// running example used by the WalkPr worked example (Table I).
+//
+// Vertices are numbered v1..v5 → 0..4. The figure labels eight arcs
+// e1..e8 with probabilities {0.8, 0.5, 0.8, 0.9, 0.7, 0.6, 0.6, 0.8} but
+// does not print the arc orientations legibly; the orientations and the
+// assignment below are reverse-engineered from Table I, which pins down
+//
+//	O(v1) = {v3}        with P(v1,v3) = 0.8
+//	O(v2) = {v1, v3}    with P(v2,v1) = 0.8, P(v2,v3) = 0.9
+//	O(v3) = {v1, v4}    with P(v3,v1)·P(v3,v4) = 0.3
+//	O(v4) = {v2, v5}    with P(v4,v2) = 0.7, P(v4,v5) = 0.6
+//
+// and the sampled walks of Fig. 6 require the remaining arc (v5,v3),
+// which receives the remaining probability 0.8. Within O(v3) we assign
+// P(v3,v1) = 0.5 and P(v3,v4) = 0.6 (Table I only fixes the product).
+func PaperFig1() *Graph {
+	b := NewBuilder(5)
+	b.AddArc(0, 2, 0.8) // v1 → v3
+	b.AddArc(1, 0, 0.8) // v2 → v1
+	b.AddArc(1, 2, 0.9) // v2 → v3
+	b.AddArc(2, 0, 0.5) // v3 → v1
+	b.AddArc(2, 3, 0.6) // v3 → v4
+	b.AddArc(3, 1, 0.7) // v4 → v2
+	b.AddArc(3, 4, 0.6) // v4 → v5
+	b.AddArc(4, 2, 0.8) // v5 → v3
+	return b.MustBuild()
+}
+
+// PaperTableIWalk returns the walk W = v1,v3,v1,v3,v4,v2,v3,v4,v2 used in
+// the paper's Table I worked example, as 0-based vertex indices.
+func PaperTableIWalk() []int32 {
+	return []int32{0, 2, 0, 2, 3, 1, 2, 3, 1}
+}

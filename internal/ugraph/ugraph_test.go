@@ -1,0 +1,374 @@
+package ugraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/graph"
+	"usimrank/internal/rng"
+)
+
+func fig1(t *testing.T) *Graph {
+	t.Helper()
+	return PaperFig1()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := fig1(t)
+	if g.NumVertices() != 5 || g.NumArcs() != 8 {
+		t.Fatalf("fig1 has %d vertices, %d arcs", g.NumVertices(), g.NumArcs())
+	}
+	if p := g.Prob(0, 2); p != 0.8 {
+		t.Fatalf("P(v1,v3) = %v", p)
+	}
+	if p := g.Prob(2, 0); p != 0.5 {
+		t.Fatalf("P(v3,v1) = %v", p)
+	}
+	if g.Prob(0, 1) != 0 || g.HasArc(0, 1) {
+		t.Fatal("non-arc has probability")
+	}
+	if d := g.OutDegree(1); d != 2 {
+		t.Fatalf("OutDegree(v2) = %d", d)
+	}
+}
+
+func TestBuilderRejectsDuplicates(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddArc(0, 1, 0.5)
+	b.AddArc(0, 1, 0.6)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate arc accepted")
+	}
+}
+
+func TestBuilderRejectsBadProbability(t *testing.T) {
+	for _, p := range []float64{0, -0.1, 1.0001, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("probability %v accepted", p)
+				}
+			}()
+			NewBuilder(2).AddArc(0, 1, p)
+		}()
+	}
+}
+
+func TestAddEdgeSymmetric(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 0.4)
+	g := b.MustBuild()
+	if g.Prob(0, 1) != 0.4 || g.Prob(1, 0) != 0.4 {
+		t.Fatal("AddEdge not symmetric")
+	}
+	if g.NumArcs() != 2 {
+		t.Fatalf("NumArcs = %d", g.NumArcs())
+	}
+}
+
+func TestArcEndpoints(t *testing.T) {
+	g := fig1(t)
+	for id := int32(0); id < int32(g.NumArcs()); id++ {
+		u, v, p := g.ArcEndpoints(id)
+		if got := g.Prob(int(u), int(v)); got != p {
+			t.Fatalf("arc %d: Prob(%d,%d)=%v, ArcEndpoints p=%v", id, u, v, got, p)
+		}
+	}
+}
+
+func TestReversePreservesProbabilities(t *testing.T) {
+	g := fig1(t)
+	r := g.Reverse()
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := g.OutProbs(u)
+		for i, v := range g.Out(u) {
+			if got := r.Prob(int(v), u); got != probs[i] {
+				t.Fatalf("reverse lost P(%d,%d)=%v, got %v", u, v, probs[i], got)
+			}
+		}
+	}
+	if r.NumArcs() != g.NumArcs() {
+		t.Fatal("reverse changed arc count")
+	}
+}
+
+func TestSkeleton(t *testing.T) {
+	g := fig1(t)
+	s := g.Skeleton()
+	if s.NumArcs() != g.NumArcs() {
+		t.Fatal("skeleton arc count mismatch")
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Out(u) {
+			if !s.HasArc(u, int(v)) {
+				t.Fatalf("skeleton missing arc (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestCertainRoundTrip(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	d := b.MustBuild()
+	g := Certain(d)
+	if g.NumArcs() != 2 || g.Prob(0, 1) != 1 || g.Prob(1, 2) != 1 {
+		t.Fatal("Certain wrong")
+	}
+	s := g.Skeleton()
+	if !s.HasArc(0, 1) || !s.HasArc(1, 2) || s.NumArcs() != 2 {
+		t.Fatal("Certain→Skeleton not identity")
+	}
+}
+
+func TestEnumerateWorldsProbabilitiesSumToOne(t *testing.T) {
+	g := fig1(t)
+	total := 0.0
+	worlds := 0
+	if err := g.EnumerateWorlds(func(w World, pr float64) {
+		total += pr
+		worlds++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if worlds != 1<<8 {
+		t.Fatalf("enumerated %d worlds, want 256", worlds)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("world probabilities sum to %v", total)
+	}
+}
+
+func TestEnumerateWorldsTooLarge(t *testing.T) {
+	b := NewBuilder(30)
+	for i := 0; i < MaxEnumerableArcs+1; i++ {
+		b.AddArc(i, i+1, 0.5)
+	}
+	if err := b.MustBuild().EnumerateWorlds(func(World, float64) {}); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+}
+
+func TestWorldFig1Example(t *testing.T) {
+	// The world of Fig. 1(b) keeps e1, e3, e5, e6, e8. With our reverse-
+	// engineered arc identities that is the world containing (v1,v3),
+	// (v2,v3), (v3,v4), (v4,v2)... — rather than guess the exact labels,
+	// check the probability formula on a specific mask: keep arcs
+	// {0,2,4,5,7}, drop {1,3,6}.
+	g := fig1(t)
+	var want float64 = 1
+	keep := map[int32]bool{0: true, 2: true, 4: true, 5: true, 7: true}
+	for id := int32(0); id < int32(g.NumArcs()); id++ {
+		_, _, p := g.ArcEndpoints(id)
+		if keep[id] {
+			want *= p
+		} else {
+			want *= 1 - p
+		}
+	}
+	var got float64 = -1
+	if err := g.EnumerateWorlds(func(w World, pr float64) {
+		match := true
+		for id := int32(0); id < int32(g.NumArcs()); id++ {
+			if w.ArcExists(id) != keep[id] {
+				match = false
+				break
+			}
+		}
+		if match {
+			got = pr
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("world probability = %v, want %v", got, want)
+	}
+}
+
+func TestWorldMaterializeMatchesOut(t *testing.T) {
+	g := fig1(t)
+	if err := g.EnumerateWorlds(func(w World, pr float64) {
+		if w.Mask()%37 != 0 { // spot-check a subset of worlds
+			return
+		}
+		d := w.Materialize()
+		var buf []int32
+		for v := 0; v < g.NumVertices(); v++ {
+			buf = w.Out(v, buf[:0])
+			row := d.Out(v)
+			if len(buf) != len(row) {
+				t.Fatalf("world %d vertex %d: Out %v vs materialized %v", w.Mask(), v, buf, row)
+			}
+			for i := range buf {
+				if buf[i] != row[i] {
+					t.Fatalf("world %d vertex %d: Out %v vs materialized %v", w.Mask(), v, buf, row)
+				}
+			}
+			if w.OutDegree(v) != len(row) {
+				t.Fatalf("world %d vertex %d: OutDegree mismatch", w.Mask(), v)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWorldFrequencies(t *testing.T) {
+	g := fig1(t)
+	r := rng.New(42)
+	const trials = 20000
+	counts := make(map[[2]int]int)
+	for i := 0; i < trials; i++ {
+		w := g.SampleWorld(r)
+		for u := 0; u < g.NumVertices(); u++ {
+			for _, v := range w.Out(u) {
+				counts[[2]int{u, int(v)}]++
+			}
+		}
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := g.OutProbs(u)
+		for i, v := range g.Out(u) {
+			got := float64(counts[[2]int{u, int(v)}]) / trials
+			if math.Abs(got-probs[i]) > 0.015 {
+				t.Fatalf("arc (%d,%d): empirical %v, want %v", u, v, got, probs[i])
+			}
+		}
+	}
+}
+
+func TestLazyWorldCachesInstantiation(t *testing.T) {
+	g := fig1(t)
+	w := NewLazyWorld(g, rng.New(7))
+	first := w.Out(2)
+	if !w.Visited(2) {
+		t.Fatal("vertex not marked visited")
+	}
+	second := w.Out(2)
+	if len(first) != len(second) {
+		t.Fatal("instantiation changed between accesses")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("instantiation changed between accesses")
+		}
+	}
+}
+
+func TestLazyWorldReset(t *testing.T) {
+	g := fig1(t)
+	w := NewLazyWorld(g, rng.New(7))
+	w.Out(0)
+	w.Reset()
+	if w.Visited(0) {
+		t.Fatal("Reset did not clear instantiation")
+	}
+}
+
+func TestLazyWorldFrequencies(t *testing.T) {
+	g := fig1(t)
+	r := rng.New(99)
+	w := NewLazyWorld(g, r)
+	const trials = 30000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		w.Reset()
+		// P(v4 keeps both out-arcs) = 0.7 * 0.6 = 0.42.
+		if len(w.Out(3)) == 2 {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.42) > 0.01 {
+		t.Fatalf("both-arcs frequency %v, want 0.42", got)
+	}
+}
+
+func TestMeanProbability(t *testing.T) {
+	g := fig1(t)
+	want := (0.8 + 0.8 + 0.9 + 0.5 + 0.6 + 0.7 + 0.6 + 0.8) / 8
+	if got := g.MeanProbability(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanProbability = %v, want %v", got, want)
+	}
+	if NewBuilder(3).MustBuild().MeanProbability() != 0 {
+		t.Fatal("arcless mean probability not 0")
+	}
+}
+
+func randUGraph(r *rng.RNG, n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if r.Bool(p) {
+				b.AddArc(u, v, 0.05+0.95*r.Float64())
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: reverse twice is the identity.
+func TestQuickDoubleReverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randUGraph(r, 2+r.Intn(12), 0.3)
+		rr := g.Reverse().Reverse()
+		if rr.NumArcs() != g.NumArcs() {
+			return false
+		}
+		for u := 0; u < g.NumVertices(); u++ {
+			probs := g.OutProbs(u)
+			for i, v := range g.Out(u) {
+				if rr.Prob(u, int(v)) != probs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marginal arc probability from enumeration equals P(e).
+func TestQuickEnumerationMarginals(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(4)
+		b := NewBuilder(n)
+		arcs := 0
+		for u := 0; u < n && arcs < 10; u++ {
+			for v := 0; v < n && arcs < 10; v++ {
+				if r.Bool(0.5) {
+					b.AddArc(u, v, 0.1+0.9*r.Float64())
+					arcs++
+				}
+			}
+		}
+		g := b.MustBuild()
+		marg := make([]float64, g.NumArcs())
+		if err := g.EnumerateWorlds(func(w World, pr float64) {
+			for id := int32(0); id < int32(g.NumArcs()); id++ {
+				if w.ArcExists(id) {
+					marg[id] += pr
+				}
+			}
+		}); err != nil {
+			return false
+		}
+		for id := int32(0); id < int32(g.NumArcs()); id++ {
+			_, _, p := g.ArcEndpoints(id)
+			if math.Abs(marg[id]-p) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

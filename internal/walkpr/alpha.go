@@ -1,0 +1,154 @@
+// Package walkpr implements the exact walk-probability machinery of
+// Sec. IV of the paper: the α_W(v) dynamic program (Lemma 1 / Eq. 11),
+// the WalkPr algorithm (Fig. 2), exact k-step transition rows via
+// state-merged walk extension (Lemma 2) with the girth fast path
+// (Lemma 3), and brute-force possible-world enumeration oracles used to
+// validate everything.
+package walkpr
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"usimrank/internal/ugraph"
+)
+
+// inv is the paper's inv(x): 1/x for x ≠ 0 and 1 for x = 0.
+func inv(x int) float64 {
+	if x == 0 {
+		return 1
+	}
+	return 1 / float64(x)
+}
+
+// invPow returns inv(x)^c.
+func invPow(x, c int) float64 {
+	if c == 0 {
+		return 1
+	}
+	return math.Pow(inv(x), float64(c))
+}
+
+// Alpha computes α_W(v) of Eq. 11 for a vertex v whose walk uses the
+// out-neighbours ow (sorted, distinct vertex IDs, each a potential
+// out-neighbour of v) a total of c times:
+//
+//	α = Π_{w∈ow} P(v,w) · Σ_x r(n,x) · inv(x+|ow|)^c
+//
+// where r(·,·) is the Poisson-binomial distribution of how many of v's
+// *other* potential out-arcs exist. Alpha panics if some w in ow is not a
+// potential out-neighbour of v.
+func Alpha(g *ugraph.Graph, v int32, ow []int32, c int) float64 {
+	nbrs := g.Out(int(v))
+	probs := g.OutProbs(int(v))
+
+	prodP := 1.0
+	j := 0
+	// Split the out-arcs of v into required (in ow) and others, walking
+	// the two sorted lists together.
+	others := make([]float64, 0, len(nbrs))
+	for i, w := range nbrs {
+		if j < len(ow) && ow[j] == w {
+			prodP *= probs[i]
+			j++
+			continue
+		}
+		others = append(others, probs[i])
+	}
+	if j != len(ow) {
+		panic("walkpr: Alpha called with a non-neighbour in ow")
+	}
+
+	// r DP: r[x] = probability exactly x of the other arcs exist.
+	r := make([]float64, len(others)+1)
+	r[0] = 1
+	for i, q := range others {
+		for x := i + 1; x >= 1; x-- {
+			r[x] = r[x]*(1-q) + r[x-1]*q
+		}
+		r[0] *= 1 - q
+	}
+
+	sum := 0.0
+	for x := 0; x <= len(others); x++ {
+		sum += r[x] * invPow(x+len(ow), c)
+	}
+	return prodP * sum
+}
+
+// WalkPr computes the walk probability
+// Pr_G(X₁=v₁, …, X_k=v_k | X₀=v₀) of Fig. 2 for the walk w (a sequence of
+// at least one vertex). It returns 0 if some step is not a potential arc
+// of g.
+func WalkPr(g *ugraph.Graph, w []int32) float64 {
+	if len(w) == 0 {
+		panic("walkpr: empty walk")
+	}
+	for i := 0; i+1 < len(w); i++ {
+		if !g.HasArc(int(w[i]), int(w[i+1])) {
+			return 0
+		}
+	}
+	type visit struct {
+		ow map[int32]bool
+		c  int
+	}
+	visits := make(map[int32]*visit)
+	for i := 0; i+1 < len(w); i++ {
+		vi := visits[w[i]]
+		if vi == nil {
+			vi = &visit{ow: make(map[int32]bool)}
+			visits[w[i]] = vi
+		}
+		vi.ow[w[i+1]] = true
+		vi.c++
+	}
+	p := 1.0
+	for v, vi := range visits {
+		ow := make([]int32, 0, len(vi.ow))
+		for x := range vi.ow {
+			ow = append(ow, x)
+		}
+		sort.Slice(ow, func(a, b int) bool { return ow[a] < ow[b] })
+		p *= Alpha(g, v, ow, vi.c)
+	}
+	return p
+}
+
+// alphaCache memoises Alpha by (vertex, used-neighbour set, count).
+type alphaCache struct {
+	g *ugraph.Graph
+	m map[alphaKey]float64
+}
+
+type alphaKey struct {
+	v  int32
+	c  int32
+	ow string
+}
+
+func newAlphaCache(g *ugraph.Graph) *alphaCache {
+	return &alphaCache{g: g, m: make(map[alphaKey]float64)}
+}
+
+func encodeIDs(ids []int32) string {
+	buf := make([]byte, 4*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(id))
+	}
+	return string(buf)
+}
+
+func (c *alphaCache) alpha(v int32, ow []int32, cnt int) float64 {
+	if cnt == 0 && len(ow) == 0 {
+		return 1
+	}
+	k := alphaKey{v: v, c: int32(cnt), ow: encodeIDs(ow)}
+	if a, ok := c.m[k]; ok {
+		return a
+	}
+	a := Alpha(c.g, v, ow, cnt)
+	c.m[k] = a
+	return a
+}

@@ -1,0 +1,121 @@
+package walkpr
+
+import (
+	"fmt"
+	"sort"
+
+	"usimrank/internal/matrix"
+	"usimrank/internal/ugraph"
+)
+
+// PrunedResult holds approximate transition rows together with a
+// certified bound on the probability mass the pruning discarded.
+type PrunedResult struct {
+	// Rows[k] under-approximates Pr(src →k ·) entrywise.
+	Rows []matrix.Vec
+	// LostMass[k] bounds the total probability discarded up to step k:
+	// for every vertex v, Rows[k][v] ≤ Pr(src →k v) ≤ Rows[k][v] +
+	// LostMass[k].
+	LostMass []float64
+	// States[k] is the number of live walk states kept at each level.
+	States []int
+}
+
+// TransitionRowsPruned computes k-step transition rows like
+// TransitionRows but keeps at most maxStates walk states per level,
+// discarding the least probable ones. Discarded probability mass is
+// tracked exactly: once a state is dropped, every walk extending it is
+// gone, and because extensions never increase a walk's probability the
+// dropped mass at level k can only shrink at later levels — so the
+// accumulated counter is a valid entrywise error bound for all
+// subsequent rows.
+//
+// This trades the exact method's exponential blow-up for a certified
+// approximation, the natural middle ground between the paper's Baseline
+// and its Sampling algorithm on graphs too dense for the former.
+func TransitionRowsPruned(g *ugraph.Graph, src, K, maxStates int) (*PrunedResult, error) {
+	if src < 0 || src >= g.NumVertices() {
+		return nil, fmt.Errorf("walkpr: source %d out of range [0,%d)", src, g.NumVertices())
+	}
+	if K < 0 {
+		return nil, fmt.Errorf("walkpr: negative K %d", K)
+	}
+	if maxStates < 1 {
+		return nil, fmt.Errorf("walkpr: maxStates %d < 1", maxStates)
+	}
+	cache := newAlphaCache(g)
+
+	res := &PrunedResult{
+		Rows:     make([]matrix.Vec, K+1),
+		LostMass: make([]float64, K+1),
+		States:   make([]int, K+1),
+	}
+	res.Rows[0] = matrix.Unit(int32(src))
+	res.States[0] = 1
+
+	level := map[string]*walkState{
+		stateKey(int32(src), nil): {end: int32(src), p: 1},
+	}
+	lost := 0.0
+	for k := 1; k <= K; k++ {
+		next := make(map[string]*walkState)
+		for _, st := range level {
+			e := st.end
+			for _, w := range g.Out(int(e)) {
+				entries, oldOw, oldC, newOw, newC := extendEntries(st.entries, e, w)
+				aOld := cache.alpha(e, oldOw, int(oldC))
+				aNew := cache.alpha(e, newOw, int(newC))
+				p := st.p * aNew / aOld
+				key := stateKey(w, entries)
+				if ns, ok := next[key]; ok {
+					ns.p += p
+				} else {
+					next[key] = &walkState{end: w, entries: entries, p: p}
+				}
+			}
+		}
+		if len(next) > maxStates {
+			// Keep the maxStates most probable states; count the rest as
+			// lost mass.
+			states := make([]*walkState, 0, len(next))
+			for _, st := range next {
+				states = append(states, st)
+			}
+			sort.Slice(states, func(i, j int) bool { return states[i].p > states[j].p })
+			pruned := make(map[string]*walkState, maxStates)
+			for i, st := range states {
+				if i < maxStates {
+					pruned[stateKey(st.end, st.entries)] = st
+				} else {
+					lost += st.p
+				}
+			}
+			next = pruned
+		}
+		acc := make(map[int32]float64)
+		for _, st := range next {
+			acc[st.end] += st.p
+		}
+		res.Rows[k] = matrix.FromMap(acc)
+		res.LostMass[k] = lost
+		res.States[k] = len(next)
+		level = next
+	}
+	return res, nil
+}
+
+// MeetingBounds combines two pruned row sets into lower and upper bounds
+// on the meeting probability m(k)(u,v) = Σ_w Pr(u →k w)·Pr(v →k w):
+// the lower bound is the dot product of the under-approximations, the
+// upper bound adds the cross terms the lost mass could contribute.
+func MeetingBounds(ru, rv *PrunedResult, k int) (lo, hi float64) {
+	lo = ru.Rows[k].Dot(rv.Rows[k])
+	// Each unit of lost mass on one side meets the other side's true row
+	// with probability at most the row's maximum entry ≤ 1; bound simply
+	// and safely.
+	hi = lo + ru.LostMass[k] + rv.LostMass[k]
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,170 @@
+package walkpr
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/matrix"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+func TestPrunedNoPruningEqualsExact(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for src := 0; src < g.NumVertices(); src++ {
+		pr, err := TransitionRowsPruned(g, src, 4, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := TransitionRows(g, src, 4, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 4; k++ {
+			if pr.LostMass[k] != 0 {
+				t.Fatalf("lost mass %v without pruning", pr.LostMass[k])
+			}
+			if !rowsClose([]matrix.Vec{pr.Rows[k]}, []matrix.Vec{exact[k]}, 1e-12) {
+				t.Fatalf("src %d k %d: rows differ", src, k)
+			}
+		}
+	}
+}
+
+func TestPrunedBoundsHold(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for _, maxStates := range []int{1, 2, 4, 8} {
+		for src := 0; src < g.NumVertices(); src++ {
+			pr, err := TransitionRowsPruned(g, src, 5, maxStates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := TransitionRows(g, src, 5, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k <= 5; k++ {
+				for v := int32(0); v < int32(g.NumVertices()); v++ {
+					lo := pr.Rows[k].At(v)
+					ex := exact[k].At(v)
+					if lo > ex+1e-12 {
+						t.Fatalf("maxStates=%d src=%d k=%d v=%d: lower bound %v above exact %v",
+							maxStates, src, k, v, lo, ex)
+					}
+					if ex > lo+pr.LostMass[k]+1e-12 {
+						t.Fatalf("maxStates=%d src=%d k=%d v=%d: exact %v above bound %v+%v",
+							maxStates, src, k, v, ex, lo, pr.LostMass[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrunedLostMassMonotone(t *testing.T) {
+	g := ugraph.PaperFig1()
+	pr, err := TransitionRowsPruned(g, 0, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 6; k++ {
+		if pr.LostMass[k] < pr.LostMass[k-1]-1e-15 {
+			t.Fatalf("lost mass not monotone: %v", pr.LostMass)
+		}
+		if pr.States[k] > 3 {
+			t.Fatalf("level %d kept %d states", k, pr.States[k])
+		}
+	}
+	if pr.LostMass[6] <= 0 {
+		t.Fatal("pruning with 3 states lost no mass (suspicious)")
+	}
+}
+
+func TestPrunedStateCountRespected(t *testing.T) {
+	// Dense random graph where exact enumeration would blow up.
+	r := rng.New(77)
+	b := ugraph.NewBuilder(30)
+	for u := 0; u < 30; u++ {
+		for v := 0; v < 30; v++ {
+			if u != v && r.Bool(0.4) {
+				b.AddArc(u, v, 0.2+0.8*r.Float64())
+			}
+		}
+	}
+	g := b.MustBuild()
+	pr, err := TransitionRowsPruned(g, 0, 6, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range pr.States {
+		if s > 500 {
+			t.Fatalf("level %d kept %d states", k, s)
+		}
+	}
+	// Rows remain substochastic.
+	for k, row := range pr.Rows {
+		if row.Sum() > 1+1e-9 {
+			t.Fatalf("row %d sums to %v", k, row.Sum())
+		}
+	}
+}
+
+func TestMeetingBounds(t *testing.T) {
+	g := ugraph.PaperFig1()
+	ru, err := TransitionRowsPruned(g, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := TransitionRowsPruned(g, 1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactU, err := TransitionRows(g, 0, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactV, err := TransitionRows(g, 1, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 4; k++ {
+		lo, hi := MeetingBounds(ru, rv, k)
+		exact := exactU[k].Dot(exactV[k])
+		if exact < lo-1e-12 || exact > hi+1e-12 {
+			t.Fatalf("k=%d: exact %v outside [%v, %v]", k, exact, lo, hi)
+		}
+		if hi > 1 {
+			t.Fatalf("upper bound %v above 1", hi)
+		}
+	}
+}
+
+func TestPrunedBadArgs(t *testing.T) {
+	g := ugraph.PaperFig1()
+	if _, err := TransitionRowsPruned(g, -1, 3, 10); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := TransitionRowsPruned(g, 0, -1, 10); err == nil {
+		t.Fatal("bad K accepted")
+	}
+	if _, err := TransitionRowsPruned(g, 0, 3, 0); err == nil {
+		t.Fatal("bad maxStates accepted")
+	}
+}
+
+func TestPrunedDeterministic(t *testing.T) {
+	g := ugraph.PaperFig1()
+	a, err := TransitionRowsPruned(g, 2, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TransitionRowsPruned(g, 2, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 5; k++ {
+		if math.Abs(a.LostMass[k]-b.LostMass[k]) > 0 {
+			t.Fatal("pruning not deterministic")
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package walkpr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"usimrank/internal/matrix"
+	"usimrank/internal/ugraph"
+)
+
+// DefaultMaxStates bounds the number of live walk states per level in
+// TransitionRows. The exact method is inherently exponential in the walk
+// length (the paper controls it the same way, by spilling walk files to
+// disk and by evaluating on sparse graphs); the cap turns a runaway
+// computation into a clean error.
+const DefaultMaxStates = 4_000_000
+
+// ErrStateExplosion is returned when TransitionRows exceeds its state cap.
+var ErrStateExplosion = errors.New("walkpr: walk state explosion, graph too dense for exact method")
+
+// Options configures TransitionRows.
+type Options struct {
+	// MaxStates caps live states per level; 0 means DefaultMaxStates.
+	MaxStates int
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return DefaultMaxStates
+	}
+	return o.MaxStates
+}
+
+// visitEntry records, for one vertex of a walk, the set of out-neighbours
+// the walk has used from it (O_W(v)) and how many transitions left it
+// (c_W(v)). Entries are kept sorted by vertex.
+type visitEntry struct {
+	v  int32
+	c  int32
+	ow []int32 // sorted, distinct
+}
+
+// walkState is the merged state of all walks that share an endpoint and a
+// visit record: by Lemma 2 the probability of any extension depends only
+// on this pair, so their probabilities can be summed.
+type walkState struct {
+	end     int32
+	entries []visitEntry
+	p       float64
+}
+
+// key returns a canonical byte-string identity of (endpoint, record).
+func stateKey(end int32, entries []visitEntry) string {
+	n := 4
+	for _, e := range entries {
+		n += 12 + 4*len(e.ow)
+	}
+	buf := make([]byte, 0, n)
+	buf = appendI32(buf, end)
+	for _, e := range entries {
+		buf = appendI32(buf, e.v)
+		buf = appendI32(buf, e.c)
+		buf = appendI32(buf, int32(len(e.ow)))
+		for _, w := range e.ow {
+			buf = appendI32(buf, w)
+		}
+	}
+	return string(buf)
+}
+
+func appendI32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// extendEntries returns a copy of entries with the transition e→w
+// recorded, along with the old and new (ow, c) of e for the α ratio.
+func extendEntries(entries []visitEntry, e, w int32) (out []visitEntry, oldOw []int32, oldC int32, newOw []int32, newC int32) {
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].v >= e })
+	out = make([]visitEntry, 0, len(entries)+1)
+	out = append(out, entries[:i]...)
+	if i < len(entries) && entries[i].v == e {
+		old := entries[i]
+		oldOw, oldC = old.ow, old.c
+		newC = old.c + 1
+		j := sort.Search(len(old.ow), func(j int) bool { return old.ow[j] >= w })
+		if j < len(old.ow) && old.ow[j] == w {
+			newOw = old.ow // already used this arc; set unchanged
+		} else {
+			newOw = make([]int32, 0, len(old.ow)+1)
+			newOw = append(newOw, old.ow[:j]...)
+			newOw = append(newOw, w)
+			newOw = append(newOw, old.ow[j:]...)
+		}
+		out = append(out, visitEntry{v: e, c: newC, ow: newOw})
+		out = append(out, entries[i+1:]...)
+		return out, oldOw, oldC, newOw, newC
+	}
+	newOw, newC = []int32{w}, 1
+	out = append(out, visitEntry{v: e, c: 1, ow: newOw})
+	out = append(out, entries[i:]...)
+	return out, nil, 0, newOw, newC
+}
+
+// TransitionRows computes the exact k-step transition probability rows
+// Pr_G(src →k ·) for k = 0..K (Eq. 6/7), the quantity the paper's
+// Baseline needs. Row 0 is the unit vector at src. Rows are substochastic
+// when dead ends are possible.
+//
+// The computation extends all walks level by level, merging walks that
+// share (endpoint, visit record) — Lemma 2 guarantees the merge is exact —
+// and uses the memoised α ratio to update probabilities incrementally.
+func TransitionRows(g *ugraph.Graph, src int, K int, opt Options) ([]matrix.Vec, error) {
+	if src < 0 || src >= g.NumVertices() {
+		return nil, fmt.Errorf("walkpr: source %d out of range [0,%d)", src, g.NumVertices())
+	}
+	if K < 0 {
+		return nil, fmt.Errorf("walkpr: negative K %d", K)
+	}
+	cache := newAlphaCache(g)
+	maxStates := opt.maxStates()
+
+	rows := make([]matrix.Vec, K+1)
+	rows[0] = matrix.Unit(int32(src))
+
+	level := map[string]*walkState{
+		stateKey(int32(src), nil): {end: int32(src), p: 1},
+	}
+	for k := 1; k <= K; k++ {
+		next := make(map[string]*walkState)
+		for _, st := range level {
+			e := st.end
+			for _, w := range g.Out(int(e)) {
+				entries, oldOw, oldC, newOw, newC := extendEntries(st.entries, e, w)
+				aOld := cache.alpha(e, oldOw, int(oldC))
+				aNew := cache.alpha(e, newOw, int(newC))
+				p := st.p * aNew / aOld
+				key := stateKey(w, entries)
+				if ns, ok := next[key]; ok {
+					ns.p += p
+				} else {
+					if len(next) >= maxStates {
+						return nil, fmt.Errorf("%w: more than %d states at step %d", ErrStateExplosion, maxStates, k)
+					}
+					next[key] = &walkState{end: w, entries: entries, p: p}
+				}
+			}
+		}
+		acc := make(map[int32]float64)
+		for _, st := range next {
+			acc[st.end] += st.p
+		}
+		rows[k] = matrix.FromMap(acc)
+		level = next
+	}
+	return rows, nil
+}
+
+// ExpectedOneStep returns the exact expected one-step transition matrix
+// W(1) of the uncertain graph: W(1)[u][v] = Pr_G(u →1 v) = α for the
+// single-step walk u,v. This is also the matrix the Du-et-al baseline
+// raises to the k-th power.
+func ExpectedOneStep(g *ugraph.Graph) *matrix.CSR {
+	b := matrix.NewCSRBuilder(g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Out(u) {
+			b.Set(u, int(v), Alpha(g, int32(u), []int32{v}, 1))
+		}
+	}
+	return b.MustBuild()
+}
+
+// ProductPropagator computes exact transition rows by the matrix-product
+// recurrence row(k) = row(k−1)·W(1) (Lemma 3). The girth check and the
+// expected one-step matrix are paid once at construction; per-source
+// queries are then K sparse vector-matrix products, which is the point
+// of the fast path.
+type ProductPropagator struct {
+	w1 *matrix.CSR
+	k  int
+	ws matrix.Workspace
+}
+
+// NewProductPropagator validates that no walk of length ≤ K can revisit
+// a transition source (skeleton girth ≥ K, the Lemma 3 condition) and
+// precomputes W(1). It returns an error when the recurrence would be
+// invalid.
+func NewProductPropagator(g *ugraph.Graph, K int) (*ProductPropagator, error) {
+	if K < 0 {
+		return nil, fmt.Errorf("walkpr: negative K %d", K)
+	}
+	if K > 1 {
+		if girth := g.Skeleton().Girth(K - 1); girth < K {
+			return nil, fmt.Errorf("walkpr: girth %d < K=%d, product recurrence invalid (Lemma 3)", girth, K)
+		}
+	}
+	return &ProductPropagator{w1: ExpectedOneStep(g), k: K}, nil
+}
+
+// Rows returns Pr_G(src →k ·) for k = 0..K.
+func (p *ProductPropagator) Rows(src int) ([]matrix.Vec, error) {
+	if src < 0 || src >= p.w1.Dim() {
+		return nil, fmt.Errorf("walkpr: source %d out of range [0,%d)", src, p.w1.Dim())
+	}
+	rows := make([]matrix.Vec, p.k+1)
+	rows[0] = matrix.Unit(int32(src))
+	for k := 1; k <= p.k; k++ {
+		rows[k] = p.w1.LeftMul(&p.ws, rows[k-1])
+	}
+	return rows, nil
+}
+
+// TransitionRowsProduct is the one-shot convenience form of
+// ProductPropagator: construction plus a single Rows call.
+func TransitionRowsProduct(g *ugraph.Graph, src int, K int) ([]matrix.Vec, error) {
+	p, err := NewProductPropagator(g, K)
+	if err != nil {
+		return nil, err
+	}
+	return p.Rows(src)
+}
+
+// EnumTransitionRows computes the same rows as TransitionRows by
+// exhaustive possible-world enumeration (Eq. 6 literally). It is the
+// ground-truth oracle for graphs with at most ugraph.MaxEnumerableArcs
+// arcs.
+func EnumTransitionRows(g *ugraph.Graph, src int, K int) ([]matrix.Vec, error) {
+	acc := make([]map[int32]float64, K+1)
+	for k := range acc {
+		acc[k] = make(map[int32]float64)
+	}
+	var buf []int32
+	err := g.EnumerateWorlds(func(w ugraph.World, pr float64) {
+		cur := map[int32]float64{int32(src): 1}
+		acc[0][int32(src)] += pr
+		for k := 1; k <= K; k++ {
+			next := make(map[int32]float64)
+			for v, pv := range cur {
+				buf = w.Out(int(v), buf[:0])
+				if len(buf) == 0 {
+					continue
+				}
+				share := pv / float64(len(buf))
+				for _, o := range buf {
+					next[o] += share
+				}
+			}
+			for v, pv := range next {
+				acc[k][v] += pr * pv
+			}
+			cur = next
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]matrix.Vec, K+1)
+	for k := range rows {
+		rows[k] = matrix.FromMap(acc[k])
+	}
+	return rows, nil
+}
+
+// EnumWalkPr computes the walk probability of w by exhaustive
+// possible-world enumeration (Eq. 8 literally), the oracle for WalkPr.
+func EnumWalkPr(g *ugraph.Graph, w []int32) (float64, error) {
+	if len(w) == 0 {
+		return 0, errors.New("walkpr: empty walk")
+	}
+	total := 0.0
+	var buf []int32
+	err := g.EnumerateWorlds(func(world ugraph.World, pr float64) {
+		p := 1.0
+		for i := 0; i+1 < len(w); i++ {
+			buf = world.Out(int(w[i]), buf[:0])
+			found := false
+			for _, o := range buf {
+				if o == w[i+1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				p = 0
+				break
+			}
+			p *= 1 / float64(len(buf))
+		}
+		total += pr * p
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}

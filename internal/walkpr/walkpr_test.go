@@ -1,0 +1,463 @@
+package walkpr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"usimrank/internal/matrix"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+const eps = 1e-10
+
+// TestAlphaTableI reproduces the α values of the paper's Table I for the
+// walk W = v1,v3,v1,v3,v4,v2,v3,v4,v2 on the Fig. 1(a) graph.
+//
+// Three of the four published values match Eq. 11 exactly. The published
+// α_W(v1) = 0.64 = 0.8² contradicts Eq. 11 (which gives P(v1,v3) = 0.8:
+// the arc's existence is a single event regardless of how often the walk
+// uses it); 0.64 is what the independence assumption the paper refutes
+// would produce, so we treat it as a typo. The enumeration oracle in
+// TestWalkPrMatchesEnumeration confirms Eq. 11 is the correct value.
+func TestAlphaTableI(t *testing.T) {
+	g := ugraph.PaperFig1()
+	cases := []struct {
+		v    int32
+		ow   []int32
+		c    int
+		want float64
+	}{
+		{0, []int32{2}, 2, 0.8},       // v1: paper's table prints 0.64 (typo, see above)
+		{1, []int32{2}, 1, 0.54},      // v2: 0.9·(0.2·1 + 0.8·½) = 0.54
+		{2, []int32{0, 3}, 3, 0.0375}, // v3: 0.5·0.6·(½)³ = 0.0375
+		{3, []int32{1}, 2, 0.385},     // v4: 0.7·(0.4·1 + 0.6·(½)²) = 0.385
+	}
+	for _, c := range cases {
+		if got := Alpha(g, c.v, c.ow, c.c); math.Abs(got-c.want) > eps {
+			t.Errorf("Alpha(v%d, %v, %d) = %v, want %v", c.v+1, c.ow, c.c, got, c.want)
+		}
+	}
+}
+
+func TestWalkPrTableIWalk(t *testing.T) {
+	g := ugraph.PaperFig1()
+	w := ugraph.PaperTableIWalk()
+	want := 0.8 * 0.54 * 0.0375 * 0.385
+	if got := WalkPr(g, w); math.Abs(got-want) > eps {
+		t.Fatalf("WalkPr = %v, want %v", got, want)
+	}
+	// Cross-check against exhaustive enumeration.
+	oracle, err := EnumWalkPr(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(oracle-want) > eps {
+		t.Fatalf("enumeration oracle = %v, want %v (confirms Table I v1 typo)", oracle, want)
+	}
+}
+
+func TestAlphaSingleStepIsExpectedTransition(t *testing.T) {
+	// For a single-step walk u,v: α(u,{v},1) = P(u,v)·E[1/(1+X)] where X
+	// counts existing other arcs. Check v2 → v3 by hand:
+	// 0.9 · (0.2·1 + 0.8·0.5) = 0.54.
+	g := ugraph.PaperFig1()
+	if got := Alpha(g, 1, []int32{2}, 1); math.Abs(got-0.54) > eps {
+		t.Fatalf("α = %v", got)
+	}
+}
+
+func TestAlphaNoRequiredArcsIsOne(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for v := int32(0); v < 5; v++ {
+		if got := Alpha(g, v, nil, 0); math.Abs(got-1) > eps {
+			t.Fatalf("Alpha(v%d, ∅, 0) = %v, want 1", v+1, got)
+		}
+	}
+}
+
+func TestAlphaCertainArcSingleOut(t *testing.T) {
+	// Vertex with one certain out-arc: α({v},c) = 1 for any c.
+	b := ugraph.NewBuilder(2)
+	b.AddArc(0, 1, 1)
+	g := b.MustBuild()
+	for c := 1; c <= 4; c++ {
+		if got := Alpha(g, 0, []int32{1}, c); math.Abs(got-1) > eps {
+			t.Fatalf("c=%d: α = %v", c, got)
+		}
+	}
+}
+
+func TestAlphaPanicsOnNonNeighbour(t *testing.T) {
+	g := ugraph.PaperFig1()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-neighbour")
+		}
+	}()
+	Alpha(g, 0, []int32{4}, 1) // v5 is not an out-neighbour of v1
+}
+
+func TestWalkPrNonWalkIsZero(t *testing.T) {
+	g := ugraph.PaperFig1()
+	if got := WalkPr(g, []int32{0, 4}); got != 0 {
+		t.Fatalf("non-walk probability %v", got)
+	}
+}
+
+func TestWalkPrSingleVertexIsOne(t *testing.T) {
+	g := ugraph.PaperFig1()
+	if got := WalkPr(g, []int32{3}); got != 1 {
+		t.Fatalf("length-0 walk probability %v", got)
+	}
+}
+
+func TestWalkPrMatchesEnumeration(t *testing.T) {
+	g := ugraph.PaperFig1()
+	walks := [][]int32{
+		{0, 2},
+		{0, 2, 0},
+		{0, 2, 0, 2},
+		{0, 2, 3, 1},
+		{1, 2, 3, 4, 2},
+		{2, 3, 1, 2, 3},
+		{4, 2, 0, 2, 3, 4},
+		ugraph.PaperTableIWalk(),
+	}
+	for _, w := range walks {
+		want, err := EnumWalkPr(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := WalkPr(g, w); math.Abs(got-want) > eps {
+			t.Fatalf("walk %v: WalkPr %v, oracle %v", w, got, want)
+		}
+	}
+}
+
+func randUGraph(r *rng.RNG, n, maxArcs int) *ugraph.Graph {
+	b := ugraph.NewBuilder(n)
+	arcs := 0
+	for u := 0; u < n && arcs < maxArcs; u++ {
+		for v := 0; v < n && arcs < maxArcs; v++ {
+			if r.Bool(0.4) {
+				b.AddArc(u, v, 0.1+0.9*r.Float64())
+			}
+			arcs = b.NumArcs()
+		}
+	}
+	return b.MustBuild()
+}
+
+// randWalk draws a random walk over potential arcs (ignoring
+// probabilities), or nil if it gets stuck.
+func randWalk(r *rng.RNG, g *ugraph.Graph, length int) []int32 {
+	w := []int32{int32(r.Intn(g.NumVertices()))}
+	for len(w) <= length {
+		nbrs := g.Out(int(w[len(w)-1]))
+		if len(nbrs) == 0 {
+			return nil
+		}
+		w = append(w, nbrs[r.Intn(len(nbrs))])
+	}
+	return w
+}
+
+// Property: WalkPr equals the enumeration oracle on random small graphs.
+func TestQuickWalkPrOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randUGraph(r, 2+r.Intn(4), 10)
+		w := randWalk(r, g, 1+r.Intn(5))
+		if w == nil {
+			return true
+		}
+		want, err := EnumWalkPr(g, w)
+		if err != nil {
+			return false
+		}
+		return math.Abs(WalkPr(g, w)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rowsClose(a, b []matrix.Vec, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		seen := make(map[int32]bool)
+		for _, i := range a[k].Idx {
+			seen[i] = true
+		}
+		for _, i := range b[k].Idx {
+			seen[i] = true
+		}
+		for i := range seen {
+			if math.Abs(a[k].At(i)-b[k].At(i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTransitionRowsFig1MatchesEnumeration(t *testing.T) {
+	g := ugraph.PaperFig1()
+	for src := 0; src < g.NumVertices(); src++ {
+		got, err := TransitionRows(g, src, 4, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EnumTransitionRows(g, src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowsClose(got, want, 1e-9) {
+			t.Fatalf("src %d: rows mismatch\ngot:  %+v\nwant: %+v", src, got, want)
+		}
+	}
+}
+
+func TestTransitionRowsRowZeroIsUnit(t *testing.T) {
+	g := ugraph.PaperFig1()
+	rows, err := TransitionRows(g, 2, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Len() != 1 || rows[0].At(2) != 1 {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+}
+
+func TestTransitionRowsSubstochastic(t *testing.T) {
+	g := ugraph.PaperFig1()
+	rows, err := TransitionRows(g, 0, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, row := range rows {
+		if s := row.Sum(); s > 1+eps || s < 0 {
+			t.Fatalf("row %d sums to %v", k, s)
+		}
+		for _, v := range row.Val {
+			if v < -eps || v > 1+eps {
+				t.Fatalf("row %d has entry %v", k, v)
+			}
+		}
+	}
+}
+
+func TestTransitionRowsDeterministicGraphIsMatrixPower(t *testing.T) {
+	// On a certain graph the rows must equal powers of the row-normalised
+	// adjacency matrix, W(k) = A^k (Sec. II).
+	b := ugraph.NewBuilder(4)
+	b.AddArc(0, 1, 1)
+	b.AddArc(0, 2, 1)
+	b.AddArc(1, 2, 1)
+	b.AddArc(2, 0, 1)
+	b.AddArc(2, 3, 1)
+	b.AddArc(3, 0, 1)
+	g := b.MustBuild()
+
+	mb := matrix.NewCSRBuilder(4)
+	for u := 0; u < 4; u++ {
+		deg := g.OutDegree(u)
+		for _, v := range g.Out(u) {
+			mb.Set(u, int(v), 1/float64(deg))
+		}
+	}
+	a := mb.MustBuild()
+
+	for src := 0; src < 4; src++ {
+		rows, err := TransitionRows(g, src, 5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ws matrix.Workspace
+		cur := matrix.Unit(int32(src))
+		for k := 1; k <= 5; k++ {
+			cur = a.LeftMul(&ws, cur)
+			if !rowsClose([]matrix.Vec{rows[k]}, []matrix.Vec{cur}, 1e-12) {
+				t.Fatalf("src %d k %d: %+v vs %+v", src, k, rows[k], cur)
+			}
+		}
+	}
+}
+
+// TestWkNotPowerOfW1 verifies the paper's central finding: on an
+// uncertain graph with a short cycle, W(2) ≠ W(1)².
+func TestWkNotPowerOfW1(t *testing.T) {
+	b := ugraph.NewBuilder(2)
+	b.AddArc(0, 1, 0.5)
+	b.AddArc(1, 0, 0.5)
+	b.AddArc(0, 0, 0.5) // self-loop makes even W(2)[0][·] history-dependent
+	g := b.MustBuild()
+
+	rows, err := TransitionRows(g, 0, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := ExpectedOneStep(g)
+	var ws matrix.Workspace
+	power := w1.LeftMul(&ws, w1.LeftMul(&ws, matrix.Unit(0)))
+
+	diff := 0.0
+	for v := int32(0); v < 2; v++ {
+		if d := math.Abs(rows[2].At(v) - power.At(v)); d > diff {
+			diff = d
+		}
+	}
+	if diff < 1e-6 {
+		t.Fatalf("W(2) equals W(1)² (diff %v); expected them to differ", diff)
+	}
+	// And the exact rows must match enumeration.
+	want, err := EnumTransitionRows(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsClose(rows, want, 1e-9) {
+		t.Fatal("exact rows do not match enumeration")
+	}
+}
+
+func TestExpectedOneStepMatchesRows(t *testing.T) {
+	g := ugraph.PaperFig1()
+	w1 := ExpectedOneStep(g)
+	for src := 0; src < g.NumVertices(); src++ {
+		rows, err := TransitionRows(g, src, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if math.Abs(rows[1].At(int32(v))-w1.At(src, v)) > eps {
+				t.Fatalf("W(1)[%d][%d]: %v vs %v", src, v, rows[1].At(int32(v)), w1.At(src, v))
+			}
+		}
+	}
+}
+
+func TestTransitionRowsProductOnDAG(t *testing.T) {
+	// A DAG has no cycles, so the product recurrence is exact for any K.
+	b := ugraph.NewBuilder(5)
+	b.AddArc(0, 1, 0.7)
+	b.AddArc(0, 2, 0.4)
+	b.AddArc(1, 3, 0.9)
+	b.AddArc(2, 3, 0.8)
+	b.AddArc(3, 4, 0.5)
+	g := b.MustBuild()
+
+	got, err := TransitionRowsProduct(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EnumTransitionRows(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsClose(got, want, 1e-9) {
+		t.Fatalf("product path wrong on DAG:\ngot  %+v\nwant %+v", got, want)
+	}
+	// And it agrees with the general method.
+	general, err := TransitionRows(g, 0, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsClose(got, general, 1e-9) {
+		t.Fatal("product path disagrees with state-merged method on DAG")
+	}
+}
+
+func TestTransitionRowsProductRejectsShortCycles(t *testing.T) {
+	b := ugraph.NewBuilder(2)
+	b.AddArc(0, 1, 0.5)
+	b.AddArc(1, 0, 0.5)
+	g := b.MustBuild()
+	if _, err := TransitionRowsProduct(g, 0, 4); err == nil {
+		t.Fatal("product path accepted a 2-cycle with K=4")
+	}
+	// K = 1 never needs the girth condition.
+	if _, err := TransitionRowsProduct(g, 0, 1); err != nil {
+		t.Fatalf("K=1 rejected: %v", err)
+	}
+}
+
+func TestTransitionRowsStateCap(t *testing.T) {
+	g := ugraph.PaperFig1()
+	_, err := TransitionRows(g, 0, 6, Options{MaxStates: 2})
+	if !errors.Is(err, ErrStateExplosion) {
+		t.Fatalf("err = %v, want ErrStateExplosion", err)
+	}
+}
+
+func TestTransitionRowsBadArgs(t *testing.T) {
+	g := ugraph.PaperFig1()
+	if _, err := TransitionRows(g, -1, 2, Options{}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := TransitionRows(g, 99, 2, Options{}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := TransitionRows(g, 0, -1, Options{}); err == nil {
+		t.Fatal("negative K accepted")
+	}
+}
+
+func TestTransitionRowsSinkVertex(t *testing.T) {
+	b := ugraph.NewBuilder(2)
+	b.AddArc(0, 1, 0.6)
+	g := b.MustBuild()
+	rows, err := TransitionRows(g, 1, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		if rows[k].Len() != 0 {
+			t.Fatalf("sink row %d = %+v", k, rows[k])
+		}
+	}
+}
+
+// Property: state-merged rows equal the enumeration oracle on random
+// small uncertain graphs.
+func TestQuickTransitionRowsOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randUGraph(r, 2+r.Intn(4), 11)
+		src := r.Intn(g.NumVertices())
+		K := 1 + r.Intn(4)
+		got, err := TransitionRows(g, src, K, Options{})
+		if err != nil {
+			return false
+		}
+		want, err := EnumTransitionRows(g, src, K)
+		if err != nil {
+			return false
+		}
+		return rowsClose(got, want, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransitionRowsFig1(b *testing.B) {
+	g := ugraph.PaperFig1()
+	for i := 0; i < b.N; i++ {
+		if _, err := TransitionRows(g, 0, 5, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkPr(b *testing.B) {
+	g := ugraph.PaperFig1()
+	w := ugraph.PaperTableIWalk()
+	for i := 0; i < b.N; i++ {
+		WalkPr(g, w)
+	}
+}

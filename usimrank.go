@@ -1,0 +1,166 @@
+// Package usimrank computes SimRank similarities on uncertain graphs,
+// implementing "SimRank Computation on Uncertain Graphs" (Zhu, Zou, Li —
+// ICDE 2016) under the possible-world model.
+//
+// An uncertain graph assigns each directed arc an independent existence
+// probability. SimRank on such a graph cannot reuse deterministic
+// algorithms: the k-step transition matrix W(k) is not the k-th power of
+// the one-step matrix W(1), because arc existence is sampled once per
+// possible world and therefore couples the transitions of a walk that
+// revisits a vertex. This package provides the paper's measure and its
+// four computation strategies:
+//
+//   - Baseline — exact, via walk-probability dynamic programming;
+//   - Sampling — Monte Carlo with lazily instantiated possible worlds;
+//   - TwoPhase (SR-TS) — exact meeting probabilities for short walks,
+//     sampled for long ones, with an order-of-magnitude accuracy gain at
+//     comparable cost;
+//   - SRSP (SR-SP) — TwoPhase with a bit-vector technique that runs all
+//     N sampling processes simultaneously.
+//
+// Quick start:
+//
+//	b := usimrank.NewBuilder(4)
+//	b.AddEdge(0, 1, 0.9)
+//	b.AddEdge(1, 2, 0.5)
+//	b.AddEdge(2, 3, 0.8)
+//	g := b.MustBuild()
+//	e, _ := usimrank.New(g, usimrank.Options{})
+//	s, _ := e.Baseline(0, 2)
+//
+// The subpackages under internal/ contain the substrates (walk
+// probability machinery, disk-backed TransPr, deterministic and Du-et-al
+// baselines, expected Jaccard/Dice/cosine measures, dataset generators,
+// the entity-resolution case study, and the experiment harness that
+// regenerates every table and figure of the paper).
+package usimrank
+
+import (
+	"io"
+
+	"usimrank/internal/core"
+	"usimrank/internal/detsim"
+	"usimrank/internal/dusim"
+	"usimrank/internal/graph"
+	"usimrank/internal/simmeasure"
+	"usimrank/internal/topk"
+	"usimrank/internal/ugraph"
+)
+
+// Graph is an uncertain directed graph: arcs carry independent existence
+// probabilities in (0, 1].
+type Graph = ugraph.Graph
+
+// Builder accumulates probabilistic arcs for a Graph.
+type Builder = ugraph.Builder
+
+// NewBuilder returns a builder for an uncertain graph with n vertices.
+func NewBuilder(n int) *Builder { return ugraph.NewBuilder(n) }
+
+// DeterministicGraph is a plain directed graph (the possible worlds of a
+// Graph, and the input of the deterministic baselines).
+type DeterministicGraph = graph.Graph
+
+// Options configures an Engine. The zero value selects the paper's
+// defaults: c = 0.6, n = 5, N = 1000, l = 1.
+type Options = core.Options
+
+// Engine computes SimRank similarities on one uncertain graph. It is not
+// safe for concurrent use; create one engine per goroutine.
+type Engine = core.Engine
+
+// New builds an Engine for g.
+func New(g *Graph, opt Options) (*Engine, error) { return core.NewEngine(g, opt) }
+
+// Algorithm selects one of the four computation strategies for Compute
+// and Batch.
+type Algorithm = core.Algorithm
+
+// The four algorithms of the paper's Sec. VI.
+const (
+	AlgBaseline = core.AlgBaseline
+	AlgSampling = core.AlgSampling
+	AlgTwoPhase = core.AlgTwoPhase
+	AlgSRSP     = core.AlgSRSP
+)
+
+// PairResult is one outcome of a Batch computation.
+type PairResult = core.PairResult
+
+// Batch computes the similarities of many pairs concurrently on engine
+// clones, returning results in input order. Results are identical to
+// sequential computation (per-query randomness depends only on the seed
+// and the pair).
+func Batch(e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
+	return core.Batch(e, alg, pairs, workers)
+}
+
+// Certain embeds a deterministic graph as an uncertain graph whose arcs
+// all have probability 1 (Theorem 3: SimRank then coincides with
+// deterministic SimRank).
+func Certain(d *DeterministicGraph) *Graph { return ugraph.Certain(d) }
+
+// ReadText parses the textual uncertain-graph format
+// ("ug <n> <m>" header, then "<u> <v> <p>" lines).
+func ReadText(r io.Reader) (*Graph, error) { return ugraph.ReadText(r) }
+
+// WriteText serialises g in the textual format.
+func WriteText(w io.Writer, g *Graph) error { return ugraph.WriteText(w, g) }
+
+// ReadBinary parses the binary uncertain-graph format.
+func ReadBinary(r io.Reader) (*Graph, error) { return ugraph.ReadBinary(r) }
+
+// WriteBinary serialises g in the binary format.
+func WriteBinary(w io.Writer, g *Graph) error { return ugraph.WriteBinary(w, g) }
+
+// DeterministicSimRank computes the n-th random-walk SimRank iterate on
+// a deterministic graph (the paper's SimRank-II / DSIM baseline).
+func DeterministicSimRank(g *DeterministicGraph, u, v int, c float64, n int) float64 {
+	return detsim.SinglePair(g, u, v, c, n)
+}
+
+// DuSimRank computes SimRank under the W(k) = W(1)^k assumption of Du et
+// al. (the paper's SimRank-III baseline). It is exact only when walks of
+// length ≤ n cannot revisit a vertex; the package exists so the bias of
+// that assumption is measurable.
+func DuSimRank(g *Graph, u, v int, c float64, n int) float64 {
+	return dusim.SinglePair(g, u, v, c, n)
+}
+
+// ExpectedJaccard computes the expected Jaccard similarity of the
+// out-neighbourhoods of u and v over possible worlds (the paper's
+// Jaccard-I comparison measure, after Zou & Li).
+func ExpectedJaccard(g *Graph, u, v int) float64 {
+	return simmeasure.ExpectedJaccard(g, u, v)
+}
+
+// ExpectedDice computes the expected Dice similarity over possible
+// worlds.
+func ExpectedDice(g *Graph, u, v int) float64 {
+	return simmeasure.ExpectedDice(g, u, v)
+}
+
+// ExpectedCosine computes the expected cosine similarity over possible
+// worlds (exact DP with a Monte Carlo fallback for very high degrees).
+func ExpectedCosine(g *Graph, u, v int) float64 {
+	return simmeasure.ExpectedCosine(g, u, v, simmeasure.CosineOptions{})
+}
+
+// ErrorBound returns the Theorem 2 truncation bound |s(n) − s| ≤ c^(n+1).
+func ErrorBound(c float64, n int) float64 { return core.ErrorBound(c, n) }
+
+// TopKResult is one scored vertex (or pair) of a top-k query.
+type TopKResult = topk.Result
+
+// TopKSimilar returns the k vertices most similar to u under the exact
+// measure, pruning candidates with the geometric tail bound (the query
+// of the paper's Fig. 14 case study).
+func TopKSimilar(e *Engine, u, k int) ([]TopKResult, error) {
+	return topk.SingleSource(e, u, k)
+}
+
+// TopKPairs returns the k most similar distinct vertex pairs under the
+// exact measure (the query of the paper's Fig. 13 case study).
+func TopKPairs(e *Engine, k int) ([]TopKResult, error) {
+	return topk.AllPairs(e, k)
+}

@@ -1,0 +1,144 @@
+package usimrank_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"usimrank"
+	"usimrank/internal/graph"
+)
+
+func chainGraph(t *testing.T) *usimrank.Graph {
+	t.Helper()
+	b := usimrank.NewBuilder(4)
+	b.AddEdge(0, 1, 0.9)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(2, 3, 0.8)
+	return b.MustBuild()
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := chainGraph(t)
+	e, err := usimrank.New(g, usimrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Baseline(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s >= 1 {
+		t.Fatalf("s(0,2) = %v", s)
+	}
+	// All four algorithms agree to Monte Carlo tolerance.
+	e2, err := usimrank.New(g, usimrank.Options{N: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(int, int) (float64, error){
+		"Sampling": e2.Sampling,
+		"TwoPhase": e2.TwoPhase,
+		"SRSP":     e2.SRSP,
+	} {
+		v, err := f(0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-s) > 0.02 {
+			t.Fatalf("%s = %v, baseline %v", name, v, s)
+		}
+	}
+}
+
+func TestFacadeTheorem3(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	b.AddArc(1, 3)
+	b.AddArc(2, 3)
+	d := b.MustBuild()
+	g := usimrank.Certain(d)
+	e, err := usimrank.New(g, usimrank.Options{C: 0.8, Steps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Baseline(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := usimrank.DeterministicSimRank(d, 1, 2, 0.8, 4)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("certain graph: %v vs deterministic %v", got, want)
+	}
+}
+
+func TestFacadeBaselinesExposed(t *testing.T) {
+	g := chainGraph(t)
+	if v := usimrank.DuSimRank(g, 0, 2, 0.6, 4); v < 0 || v > 1 {
+		t.Fatalf("DuSimRank = %v", v)
+	}
+	if v := usimrank.ExpectedJaccard(g, 0, 2); v < 0 || v > 1 {
+		t.Fatalf("ExpectedJaccard = %v", v)
+	}
+	if v := usimrank.ExpectedDice(g, 0, 2); v < 0 || v > 1 {
+		t.Fatalf("ExpectedDice = %v", v)
+	}
+	if v := usimrank.ExpectedCosine(g, 0, 2); v < 0 || v > 1 {
+		t.Fatalf("ExpectedCosine = %v", v)
+	}
+}
+
+func TestFacadeCodecs(t *testing.T) {
+	g := chainGraph(t)
+	var txt, bin bytes.Buffer
+	if err := usimrank.WriteText(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := usimrank.WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := usimrank.ReadText(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := usimrank.ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumArcs() != g.NumArcs() || g3.NumArcs() != g.NumArcs() {
+		t.Fatal("codec round trip changed the graph")
+	}
+}
+
+func TestFacadeErrorBound(t *testing.T) {
+	if usimrank.ErrorBound(0.6, 5) != math.Pow(0.6, 6) {
+		t.Fatal("ErrorBound wrong")
+	}
+}
+
+func TestFacadeTopK(t *testing.T) {
+	g := chainGraph(t)
+	e, err := usimrank.New(g, usimrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	similar, err := usimrank.TopKSimilar(e, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(similar) != 2 || similar[0].Score < similar[1].Score {
+		t.Fatalf("TopKSimilar wrong: %+v", similar)
+	}
+	pairs, err := usimrank.TopKPairs(e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("TopKPairs returned %d", len(pairs))
+	}
+	// The top pair must score at least as high as any TopKSimilar hit.
+	if pairs[0].Score < similar[0].Score-1e-12 {
+		t.Fatalf("global top pair %v below single-source top %v", pairs[0].Score, similar[0].Score)
+	}
+}
