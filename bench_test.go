@@ -6,15 +6,50 @@
 package usimrank_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
+	"usimrank"
 	"usimrank/internal/exp"
 	"usimrank/internal/gen"
+	"usimrank/internal/rng"
 )
 
 func benchCfg() exp.Config {
 	return exp.Config{Scale: gen.Tiny, Seed: 1, Out: io.Discard}
+}
+
+// BenchmarkSRSPParallel sweeps the engine's Parallelism knob over the
+// SR-SP matrix sweep (the amortised all-pairs hot path): one RMAT bench
+// graph, fixed seed, 1/2/4/8 workers. The estimates are bit-identical
+// across the sweep — only wall time may change — and on multi-core
+// hardware the 4-worker leg is expected to run ≥2× faster than the
+// 1-worker leg. Filter-pool construction (the paper's offline phase) is
+// excluded from the timed region.
+func BenchmarkSRSPParallel(b *testing.B) {
+	g := gen.WithUniformProbs(gen.RMAT(10, 8192, 0.45, 0.22, 0.22, rng.New(1)), 0.2, 0.9, rng.New(2))
+	verts := make([]int, 48)
+	for i := range verts {
+		verts[i] = (i * 17) % g.NumVertices()
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := usimrank.New(g, usimrank.Options{N: 2048, Seed: 1, Parallelism: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.SRSP(0, 1); err != nil { // build filter pools offline
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.SRSPMatrix(verts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkTable1WalkPr(b *testing.B) {

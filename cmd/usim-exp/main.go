@@ -63,9 +63,10 @@ func runAblations(cfg exp.Config) error {
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment id (or 'all')")
-		scale = flag.String("scale", "tiny", "tiny | small | paper")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		run     = flag.String("run", "all", "experiment id (or 'all')")
+		scale   = flag.String("scale", "tiny", "tiny | small | paper")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all cores); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -81,7 +82,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usim-exp: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	cfg := exp.Config{Scale: sc, Seed: *seed, Out: os.Stdout}
+	cfg := exp.Config{Scale: sc, Seed: *seed, Out: os.Stdout, Parallelism: *workers}
 
 	found := false
 	for _, r := range runners {

@@ -30,6 +30,7 @@ func main() {
 		samples   = flag.Int("N", 1000, "sampled walk pairs")
 		l         = flag.Int("l", 1, "two-phase split")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "sampling worker goroutines (0 = all cores); results are identical for every value")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := usimrank.Options{C: *c, Steps: *n, N: *samples, L: *l, Seed: *seed}
+	opt := usimrank.Options{C: *c, Steps: *n, N: *samples, L: *l, Seed: *seed, Parallelism: *workers}
 
 	algorithms := map[string]usimrank.Algorithm{
 		"baseline": usimrank.AlgBaseline,

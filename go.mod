@@ -1,0 +1,3 @@
+module usimrank
+
+go 1.24

@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sync"
+
+	"usimrank/internal/parallel"
 )
 
 // Algorithm selects one of the four SimRank computation strategies.
@@ -34,34 +35,41 @@ func (a Algorithm) String() string {
 
 // Compute dispatches to the selected algorithm.
 func (e *Engine) Compute(alg Algorithm, u, v int) (float64, error) {
+	return e.computeWith(e.pool, alg, u, v)
+}
+
+// computeWith dispatches with an explicit sampling pool (nil = inline),
+// so outer fan-outs like Batch can disable the per-query one.
+func (e *Engine) computeWith(p *parallel.Pool, alg Algorithm, u, v int) (float64, error) {
 	switch alg {
 	case AlgBaseline:
 		return e.Baseline(u, v)
 	case AlgSampling:
-		return e.Sampling(u, v)
+		return e.samplingWith(p, u, v)
 	case AlgTwoPhase:
-		return e.TwoPhase(u, v)
+		return e.twoPhaseWith(p, u, v)
 	case AlgSRSP:
-		return e.SRSP(u, v)
+		return e.srspWith(p, u, v)
 	default:
 		return 0, fmt.Errorf("core: unknown algorithm %d", int(alg))
 	}
 }
 
 // Clone returns an engine over the same graph with the same options but
-// independent mutable state (row cache). The reversed graph and the
-// SR-SP filter pools are shared: both are immutable after construction,
-// so a clone may be used concurrently with the receiver. Clone forces
-// the lazy pool construction so no write races remain.
+// an independent row cache. The reversed graph and the SR-SP filter
+// pools are shared: both are immutable after construction. Since the
+// Engine itself is now safe for concurrent use, Clone is only needed to
+// isolate row-cache churn between workloads, not for safety.
 func (e *Engine) Clone() *Engine {
-	e.pools() // materialise shared read-only pools before sharing
+	fu, fv := e.pools() // materialise shared read-only pools before sharing
 	return &Engine{
 		g:        e.g,
 		rev:      e.rev,
 		opt:      e.opt,
+		pool:     e.pool,
 		rowCache: make(map[int]cachedRows),
-		poolU:    e.poolU,
-		poolV:    e.poolV,
+		poolU:    fu,
+		poolV:    fv,
 	}
 }
 
@@ -72,40 +80,27 @@ type PairResult struct {
 	Err   error
 }
 
-// Batch computes the similarity of every pair concurrently on `workers`
-// engine clones and returns results in input order. Determinism: the
-// per-query seeds depend only on (engine seed, u, v), so Batch returns
-// the same values as sequential computation regardless of scheduling.
-// workers < 1 selects 1.
+// Batch computes the similarity of every pair concurrently and returns
+// results in input order. All workers share the one engine — its row
+// cache, reversed graph and sampled SR-SP filter pools — so no per-worker
+// cloning or filter rebuilding happens. Parallelism lives entirely in
+// the across-pairs fan-out: each query's own sampling runs inline, so
+// worker counts never multiply into Parallelism² goroutines.
+// Determinism: the per-query seeds depend only on (engine seed, u, v),
+// so Batch returns the same values as sequential computation regardless
+// of scheduling. workers < 1 selects the engine's Parallelism option.
 func Batch(e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
 	if workers < 1 {
-		workers = 1
+		workers = e.opt.Parallelism
 	}
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if alg == AlgSRSP {
+		e.pools() // build the shared filters once, before the fan-out
 	}
 	out := make([]PairResult, len(pairs))
-	if len(pairs) == 0 {
-		return out
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		eng := e.Clone()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				u, v := pairs[i][0], pairs[i][1]
-				val, err := eng.Compute(alg, u, v)
-				out[i] = PairResult{U: u, V: v, Value: val, Err: err}
-			}
-		}()
-	}
-	for i := range pairs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	parallel.NewPool(workers).For(len(pairs), func(i int) {
+		u, v := pairs[i][0], pairs[i][1]
+		val, err := e.computeWith(nil, alg, u, v)
+		out[i] = PairResult{U: u, V: v, Value: val, Err: err}
+	})
 	return out
 }

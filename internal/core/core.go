@@ -14,9 +14,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"usimrank/internal/matrix"
 	"usimrank/internal/mc"
+	"usimrank/internal/parallel"
 	"usimrank/internal/rng"
 	"usimrank/internal/speedup"
 	"usimrank/internal/ugraph"
@@ -49,6 +52,14 @@ type Options struct {
 	SharedPool bool
 	// RowCacheSize bounds the per-source exact-row cache. Default 4096.
 	RowCacheSize int
+	// Parallelism bounds the worker goroutines of the sampling hot
+	// paths: Monte Carlo chunks, SR-SP filter construction and
+	// propagations, and the SRSPMatrix sweep. Default
+	// runtime.GOMAXPROCS(0). Results are bit-identical for every value
+	// ≥ 1: random work is split into fixed-size chunks whose seeds
+	// derive from the engine seed in chunk order, never from
+	// scheduling.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +81,9 @@ func (o Options) withDefaults() Options {
 	if o.RowCacheSize == 0 {
 		o.RowCacheSize = 4096
 	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -86,17 +100,28 @@ func (o Options) validate() error {
 	if o.L < 0 || o.L > o.Steps {
 		return fmt.Errorf("core: two-phase split l=%d outside [0,%d]", o.L, o.Steps)
 	}
+	if o.Parallelism < 1 {
+		return fmt.Errorf("core: parallelism %d < 1", o.Parallelism)
+	}
 	return nil
 }
 
 // Engine computes SimRank similarities over one uncertain graph. It is
-// not safe for concurrent use.
+// safe for concurrent use: queries may be issued from many goroutines,
+// and each query additionally fans its own sampling work out over the
+// engine's worker pool (bounded by Options.Parallelism). Determinism is
+// preserved either way — results depend only on the options and the
+// query, never on scheduling.
 type Engine struct {
-	g   *ugraph.Graph // original graph
-	rev *ugraph.Graph // reversed graph, where the walks run
-	opt Options
+	g    *ugraph.Graph // original graph
+	rev  *ugraph.Graph // reversed graph, where the walks run
+	opt  Options
+	pool *parallel.Pool // bounded at opt.Parallelism
 
+	cacheMu  sync.Mutex // guards rowCache
 	rowCache map[int]cachedRows
+
+	filterMu sync.Mutex // guards lazy poolU/poolV construction
 	poolU    *speedup.Filters
 	poolV    *speedup.Filters
 }
@@ -115,6 +140,7 @@ func NewEngine(g *ugraph.Graph, opt Options) (*Engine, error) {
 		g:        g,
 		rev:      g.Reverse(),
 		opt:      opt,
+		pool:     parallel.NewPool(opt.Parallelism),
 		rowCache: make(map[int]cachedRows),
 	}, nil
 }
@@ -133,18 +159,28 @@ func (e *Engine) checkVertex(v int) error {
 }
 
 // exactRows returns Pr_rev(src →k ·) for k = 0..K, caching per source.
+// The cache is mutex-guarded; the row computation itself runs outside
+// the lock so concurrent queries for different sources proceed in
+// parallel (two goroutines missing on the same source both compute it —
+// identical values, last insert wins).
 func (e *Engine) exactRows(src, K int) ([]matrix.Vec, error) {
+	e.cacheMu.Lock()
 	if c, ok := e.rowCache[src]; ok && len(c.rows) > K {
-		return c.rows[:K+1], nil
+		rows := c.rows[:K+1]
+		e.cacheMu.Unlock()
+		return rows, nil
 	}
+	e.cacheMu.Unlock()
 	rows, err := walkpr.TransitionRows(e.rev, src, K, walkpr.Options{MaxStates: e.opt.MaxStates})
 	if err != nil {
 		return nil, err
 	}
+	e.cacheMu.Lock()
 	if len(e.rowCache) >= e.opt.RowCacheSize {
 		e.rowCache = make(map[int]cachedRows)
 	}
 	e.rowCache[src] = cachedRows{rows: rows}
+	e.cacheMu.Unlock()
 	return rows, nil
 }
 
@@ -239,23 +275,55 @@ func (e *Engine) querySeed(u, v int, salt uint64) uint64 {
 }
 
 // MeetingSampled estimates m(k)(u,v) for k = 0..Steps with the Sampling
-// algorithm (Fig. 4).
+// algorithm (Fig. 4). The N sample pairs are split into fixed-size
+// chunks, each driven by its own RNG stream split off the per-query
+// seed in chunk order, and the chunks run concurrently on the engine's
+// pool. Merging the integer per-chunk meeting counts is
+// order-independent, so the estimate is bit-identical for every
+// Parallelism setting.
 func (e *Engine) MeetingSampled(u, v int) ([]float64, error) {
+	return e.meetingSampledWith(e.pool, u, v)
+}
+
+// meetingSampledWith is MeetingSampled on an explicit pool: Batch
+// parallelises across pairs and passes nil here so the two fan-out
+// levels never multiply into Parallelism² goroutines.
+func (e *Engine) meetingSampledWith(p *parallel.Pool, u, v int) ([]float64, error) {
 	if err := e.checkVertex(u); err != nil {
 		return nil, err
 	}
 	if err := e.checkVertex(v); err != nil {
 		return nil, err
 	}
-	r := rng.New(e.querySeed(u, v, 0xA5))
-	wu := mc.Sample(e.rev, u, e.opt.Steps, e.opt.N, r)
-	wv := mc.Sample(e.rev, v, e.opt.Steps, e.opt.N, r)
-	return mc.MeetingEstimates(wu, wv), nil
+	base := rng.New(e.querySeed(u, v, 0xA5))
+	chunks := parallel.SplitChunks(e.opt.N, parallel.DefaultChunkSize, base)
+	counts := make([][]int, len(chunks))
+	p.For(len(chunks), func(ci int) {
+		ch := chunks[ci]
+		r := rng.New(ch.Seed)
+		wu := mc.Sample(e.rev, u, e.opt.Steps, ch.Len(), r)
+		wv := mc.Sample(e.rev, v, e.opt.Steps, ch.Len(), r)
+		counts[ci] = mc.MeetingCounts(wu, wv)
+	})
+	m := make([]float64, e.opt.Steps+1)
+	for _, c := range counts {
+		for k, x := range c {
+			m[k] += float64(x)
+		}
+	}
+	for k := range m {
+		m[k] /= float64(e.opt.N)
+	}
+	return m, nil
 }
 
 // Sampling computes ŝ(n)(u,v) by pure Monte Carlo (Sec. VI-B, Eq. 14).
 func (e *Engine) Sampling(u, v int) (float64, error) {
-	m, err := e.MeetingSampled(u, v)
+	return e.samplingWith(e.pool, u, v)
+}
+
+func (e *Engine) samplingWith(p *parallel.Pool, u, v int) (float64, error) {
+	m, err := e.meetingSampledWith(p, u, v)
 	if err != nil {
 		return 0, err
 	}
@@ -265,6 +333,10 @@ func (e *Engine) Sampling(u, v int) (float64, error) {
 // TwoPhase computes ŝ(n)(u,v) with the SR-TS algorithm (Sec. VI-C):
 // exact meeting probabilities for k ≤ l, sampled for l < k ≤ n.
 func (e *Engine) TwoPhase(u, v int) (float64, error) {
+	return e.twoPhaseWith(e.pool, u, v)
+}
+
+func (e *Engine) twoPhaseWith(p *parallel.Pool, u, v int) (float64, error) {
 	exact, err := e.MeetingExact(u, v, min(e.opt.L, e.opt.Steps))
 	if err != nil {
 		return 0, err
@@ -272,7 +344,7 @@ func (e *Engine) TwoPhase(u, v int) (float64, error) {
 	if e.opt.L >= e.opt.Steps {
 		return Combine(exact, e.opt.C, e.opt.Steps), nil
 	}
-	sampled, err := e.MeetingSampled(u, v)
+	sampled, err := e.meetingSampledWith(p, u, v)
 	if err != nil {
 		return 0, err
 	}
@@ -280,14 +352,19 @@ func (e *Engine) TwoPhase(u, v int) (float64, error) {
 }
 
 // pools lazily builds the SR-SP filter-vector pools (the paper's offline
-// phase). With SharedPool both sides use one pool, the literal Fig. 5.
+// phase), fanning the per-vertex filter construction out over the
+// engine's worker pool. With SharedPool both sides use one pool, the
+// literal Fig. 5. The mutex makes the lazy build safe under concurrent
+// first queries; after construction the filters are immutable.
 func (e *Engine) pools() (*speedup.Filters, *speedup.Filters) {
+	e.filterMu.Lock()
+	defer e.filterMu.Unlock()
 	if e.poolU == nil {
-		e.poolU = speedup.BuildFilters(e.rev, e.opt.N, rng.New(e.opt.Seed^0xF117E55))
+		e.poolU = speedup.BuildFiltersPool(e.rev, e.opt.N, rng.New(e.opt.Seed^0xF117E55), e.pool)
 		if e.opt.SharedPool {
 			e.poolV = e.poolU
 		} else {
-			e.poolV = speedup.BuildFilters(e.rev, e.opt.N, rng.New(e.opt.Seed^0x0DDB175))
+			e.poolV = speedup.BuildFiltersPool(e.rev, e.opt.N, rng.New(e.opt.Seed^0x0DDB175), e.pool)
 		}
 	}
 	return e.poolU, e.poolV
@@ -296,6 +373,10 @@ func (e *Engine) pools() (*speedup.Filters, *speedup.Filters) {
 // MeetingSpeedup estimates m(k)(u,v) for k = 0..Steps with the bit-vector
 // speed-up (Sec. VI-D, Eq. 16).
 func (e *Engine) MeetingSpeedup(u, v int) ([]float64, error) {
+	return e.meetingSpeedupWith(e.pool, u, v)
+}
+
+func (e *Engine) meetingSpeedupWith(p *parallel.Pool, u, v int) ([]float64, error) {
 	if err := e.checkVertex(u); err != nil {
 		return nil, err
 	}
@@ -303,12 +384,24 @@ func (e *Engine) MeetingSpeedup(u, v int) ([]float64, error) {
 		return nil, err
 	}
 	fu, fv := e.pools()
-	return speedup.Estimate(fu, fv, u, v, e.opt.Steps), nil
+	var tu, tv *speedup.Tables
+	p.For(2, func(side int) {
+		if side == 0 {
+			tu = speedup.Propagate(fu, u, e.opt.Steps)
+		} else {
+			tv = speedup.Propagate(fv, v, e.opt.Steps)
+		}
+	})
+	return speedup.MeetingEstimates(tu, tv), nil
 }
 
 // SRSP computes ŝ(n)(u,v) with the two-phase algorithm whose sampling
 // stage uses the speed-up technique (the paper's SR-SP).
 func (e *Engine) SRSP(u, v int) (float64, error) {
+	return e.srspWith(e.pool, u, v)
+}
+
+func (e *Engine) srspWith(p *parallel.Pool, u, v int) (float64, error) {
 	exact, err := e.MeetingExact(u, v, min(e.opt.L, e.opt.Steps))
 	if err != nil {
 		return 0, err
@@ -316,7 +409,7 @@ func (e *Engine) SRSP(u, v int) (float64, error) {
 	if e.opt.L >= e.opt.Steps {
 		return Combine(exact, e.opt.C, e.opt.Steps), nil
 	}
-	sampled, err := e.MeetingSpeedup(u, v)
+	sampled, err := e.meetingSpeedupWith(p, u, v)
 	if err != nil {
 		return 0, err
 	}
@@ -341,26 +434,39 @@ func (e *Engine) SRSPMatrix(vertices []int) ([][]float64, error) {
 	n := e.opt.Steps
 	l := min(e.opt.L, n)
 
+	// Phase 1: counting-table propagations, two independent tasks per
+	// vertex (u-side and v-side pools), fanned out over the worker pool.
+	// Each task writes only its own slot, so the fan-out is
+	// deterministic.
 	tabU := make([]*speedup.Tables, len(vertices))
 	tabV := make([]*speedup.Tables, len(vertices))
+	if l < n {
+		e.pool.For(2*len(vertices), func(t int) {
+			i := t / 2
+			if t%2 == 0 {
+				tabU[i] = speedup.Propagate(fu, vertices[i], n)
+			} else {
+				tabV[i] = speedup.Propagate(fv, vertices[i], n)
+			}
+		})
+	}
+	// Phase 2: exact prefix rows, sequential so every source hits the
+	// row cache exactly once and errors surface deterministically.
 	exact := make([][]matrix.Vec, len(vertices))
 	for i, v := range vertices {
-		if l < n {
-			tabU[i] = speedup.Propagate(fu, v, n)
-			tabV[i] = speedup.Propagate(fv, v, n)
-		}
 		rows, err := e.exactRows(v, l)
 		if err != nil {
 			return nil, err
 		}
 		exact[i] = rows
 	}
+	// Phase 3: pairwise combination, one output row per task.
 	out := make([][]float64, len(vertices))
 	for i := range vertices {
 		out[i] = make([]float64, len(vertices))
 	}
-	exactM := make([]float64, l+1)
-	for i := range vertices {
+	e.pool.For(len(vertices), func(i int) {
+		exactM := make([]float64, l+1)
 		for j := range vertices {
 			for k := 0; k <= l; k++ {
 				exactM[k] = exact[i][k].Dot(exact[j][k])
@@ -372,7 +478,7 @@ func (e *Engine) SRSPMatrix(vertices []int) ([][]float64, error) {
 			sampled := speedup.MeetingEstimates(tabU[i], tabV[j])
 			out[i][j] = CombineTwoPhase(exactM, sampled, e.opt.C, l, n)
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -391,11 +497,4 @@ func (e *Engine) Series(u, v, maxN int) ([]float64, error) {
 		out[n] = Combine(m, e.opt.C, n)
 	}
 	return out, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+// testGraph returns a graph big enough that sampling splits into many
+// chunks and SRSPMatrix propagates from several vertices.
+func testGraph() *ugraph.Graph {
+	return gen.WithUniformProbs(gen.RMAT(7, 512, 0.45, 0.22, 0.22, rng.New(3)), 0.2, 0.9, rng.New(4))
+}
+
+// TestParallelismDeterminism is the engine's core concurrency contract:
+// for a fixed seed, every algorithm returns bit-identical results
+// whatever the Parallelism setting, because random work is split into
+// fixed-size chunks seeded in chunk order, never by scheduling.
+func TestParallelismDeterminism(t *testing.T) {
+	g := testGraph()
+	pairs := [][2]int{{0, 1}, {5, 17}, {40, 2}, {63, 64}}
+	type results struct {
+		sampling, twophase, srsp []float64
+		matrix                   [][]float64
+	}
+	run := func(par int) results {
+		e := newEngine(t, g, Options{N: 600, Seed: 21, Parallelism: par})
+		var res results
+		for _, p := range pairs {
+			s, err := e.Sampling(p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp, err := e.TwoPhase(p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := e.SRSP(p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.sampling = append(res.sampling, s)
+			res.twophase = append(res.twophase, tp)
+			res.srsp = append(res.srsp, sp)
+		}
+		m, err := e.SRSPMatrix([]int{0, 3, 9, 27, 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.matrix = m
+		return res
+	}
+	ref := run(1)
+	for _, par := range []int{2, 4, 8} {
+		got := run(par)
+		for i := range pairs {
+			if got.sampling[i] != ref.sampling[i] {
+				t.Fatalf("Parallelism=%d: Sampling(%v) = %v, want %v", par, pairs[i], got.sampling[i], ref.sampling[i])
+			}
+			if got.twophase[i] != ref.twophase[i] {
+				t.Fatalf("Parallelism=%d: TwoPhase(%v) = %v, want %v", par, pairs[i], got.twophase[i], ref.twophase[i])
+			}
+			if got.srsp[i] != ref.srsp[i] {
+				t.Fatalf("Parallelism=%d: SRSP(%v) = %v, want %v", par, pairs[i], got.srsp[i], ref.srsp[i])
+			}
+		}
+		for i := range ref.matrix {
+			for j := range ref.matrix[i] {
+				if got.matrix[i][j] != ref.matrix[i][j] {
+					t.Fatalf("Parallelism=%d: SRSPMatrix[%d][%d] = %v, want %v",
+						par, i, j, got.matrix[i][j], ref.matrix[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestSharedEngineConcurrentQueries hammers one engine from many
+// goroutines mixing every algorithm — the race detector (the CI race
+// leg) guards the row cache, the lazy filter build, and the worker
+// fan-out; the value checks guard determinism under contention.
+func TestSharedEngineConcurrentQueries(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 300, Seed: 9, Parallelism: 4})
+	pairs := [][2]int{{0, 1}, {2, 3}, {10, 77}, {64, 5}, {33, 34}}
+	want := make([]map[string]float64, len(pairs))
+	for i, p := range pairs {
+		want[i] = map[string]float64{}
+		var err error
+		if want[i]["baseline"], err = e.Baseline(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+		if want[i]["sampling"], err = e.Sampling(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+		if want[i]["srsp"], err = e.SRSP(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				i := (gi + rep) % len(pairs)
+				p := pairs[i]
+				if s, err := e.Baseline(p[0], p[1]); err != nil || s != want[i]["baseline"] {
+					errCh <- err
+					return
+				}
+				if s, err := e.Sampling(p[0], p[1]); err != nil || s != want[i]["sampling"] {
+					errCh <- err
+					return
+				}
+				if s, err := e.SRSP(p[0], p[1]); err != nil || s != want[i]["srsp"] {
+					errCh <- err
+					return
+				}
+				if _, err := e.SRSPMatrix([]int{0, 7, 19}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Fatal("concurrent query diverged from sequential value")
+	}
+}
+
+// TestSRSPMatrixMatchesPairwiseSRSP pins the amortised sweep to the
+// pairwise API it accelerates.
+func TestSRSPMatrixMatchesPairwiseSRSP(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 400, Seed: 13, Parallelism: 3})
+	verts := []int{1, 8, 21, 42}
+	m, err := e.SRSPMatrix(verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range verts {
+		for j, v := range verts {
+			s, err := e.SRSP(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m[i][j] != s {
+				t.Fatalf("SRSPMatrix[%d][%d] = %v, SRSP(%d,%d) = %v", i, j, m[i][j], u, v, s)
+			}
+		}
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	if _, err := NewEngine(ugraph.PaperFig1(), Options{Parallelism: -2}); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	e := newEngine(t, ugraph.PaperFig1(), Options{})
+	if e.Options().Parallelism < 1 {
+		t.Fatalf("defaulted parallelism %d < 1", e.Options().Parallelism)
+	}
+}

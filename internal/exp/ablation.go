@@ -251,7 +251,7 @@ func AblationLSweep(cfg Config) (*AblationResult, error) {
 	r := rng.New(cfg.Seed + 29)
 	pairs := randomPairs(g.NumVertices(), params(cfg.Scale).pairs, r)
 
-	exact, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+	exact, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed}))
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +265,7 @@ func AblationLSweep(cfg Config) (*AblationResult, error) {
 	res := &AblationResult{Name: "l-sweep", Values: map[string]float64{}}
 	fmt.Fprintf(cfg.Out, "Ablation (two-phase split l): Corollary 1 trade-off on %s\n", d.Name)
 	for l := 0; l <= 4; l++ {
-		e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l, N: 200})
+		e, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: l, N: 200}))
 		if err != nil {
 			return nil, err
 		}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"usimrank/internal/core"
 	"usimrank/internal/gen"
 	"usimrank/internal/rng"
 	"usimrank/internal/ugraph"
@@ -43,6 +44,17 @@ type Config struct {
 	Seed uint64
 	// Out receives the printed tables (io.Discard when nil).
 	Out io.Writer
+	// Parallelism bounds the engine worker pools (0 selects the engine
+	// default, runtime.GOMAXPROCS(0)). Results are identical for every
+	// value; only wall time changes.
+	Parallelism int
+}
+
+// engineOptions applies the config's parallelism to an engine option
+// set, so every runner threads the knob the same way.
+func (c Config) engineOptions(base core.Options) core.Options {
+	base.Parallelism = c.Parallelism
+	return base
 }
 
 func (c Config) norm() Config {

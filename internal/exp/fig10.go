@@ -40,7 +40,7 @@ func Fig10Accuracy(cfg Config) (*Fig10Result, error) {
 		r := rng.New(cfg.Seed + 13)
 		pairs := randomPairs(g.NumVertices(), p.pairs, r)
 
-		exactEngine, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+		exactEngine, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed}))
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +60,7 @@ func Fig10Accuracy(cfg Config) (*Fig10Result, error) {
 		}
 
 		{
-			e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+			e, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed}))
 			if err != nil {
 				return nil, err
 			}
@@ -73,7 +73,7 @@ func Fig10Accuracy(cfg Config) (*Fig10Result, error) {
 			record("Sampling", vals)
 		}
 		for _, l := range []int{1, 2, 3} {
-			ets, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l})
+			ets, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: l}))
 			if err != nil {
 				return nil, err
 			}
@@ -85,7 +85,7 @@ func Fig10Accuracy(cfg Config) (*Fig10Result, error) {
 			}
 			record(fmt.Sprintf("SR-TS(l=%d)", l), vals)
 
-			esp, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l})
+			esp, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: l}))
 			if err != nil {
 				return nil, err
 			}

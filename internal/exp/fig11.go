@@ -39,7 +39,7 @@ func Fig11NSweep(cfg Config) (*Fig11Result, error) {
 	r := rng.New(cfg.Seed + 17)
 	pairs := randomPairs(g.NumVertices(), p.pairs, r)
 
-	exact, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+	exact, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed}))
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +55,7 @@ func Fig11NSweep(cfg Config) (*Fig11Result, error) {
 	fmt.Fprintf(cfg.Out, "  %-6s %-12s %-12s %-10s %-10s\n", "N", "SR-TS time", "SR-SP time", "TS err", "SP err")
 
 	for _, n := range p.nSweep {
-		ets, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: 1, N: n})
+		ets, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: 1, N: n}))
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +68,7 @@ func Fig11NSweep(cfg Config) (*Fig11Result, error) {
 			tsVals[i] = v
 		})
 
-		esp, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: 1, N: n})
+		esp, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: 1, N: n}))
 		if err != nil {
 			return nil, err
 		}

@@ -47,7 +47,7 @@ func Fig12Scalability(cfg Config) (*Fig12Result, error) {
 		g := gen.WithUniformProbs(skeleton, 0.05, 1.0, r.Split())
 		pairs := randomPairs(g.NumVertices(), params(cfg.Scale).pairs, r)
 
-		ets, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: 1})
+		ets, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: 1}))
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +57,7 @@ func Fig12Scalability(cfg Config) (*Fig12Result, error) {
 			}
 		})
 
-		esp, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: 1})
+		esp, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: 1}))
 		if err != nil {
 			return nil, err
 		}

@@ -50,7 +50,7 @@ func Fig13Proteins(cfg Config) (*Fig13Result, error) {
 
 	// USIM: exact uncertain SimRank for all pairs; the per-source row
 	// cache makes the all-pairs sweep O(n) row computations.
-	engine, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, RowCacheSize: n + 1})
+	engine, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, RowCacheSize: n + 1}))
 	if err != nil {
 		return nil, err
 	}
@@ -71,8 +71,9 @@ func Fig13Proteins(cfg Config) (*Fig13Result, error) {
 		return core.Combine(m, opt.C, opt.Steps)
 	}
 
-	// USIM top-20 via the top-k search module.
-	usimTop, err := topk.AllPairs(engine, 20)
+	// USIM top-20 via the top-k search module, scoring sources on the
+	// engine's worker pool.
+	usimTop, err := topk.AllPairsParallel(engine, 20)
 	if err != nil {
 		return nil, err
 	}

@@ -58,7 +58,7 @@ func Fig7Table3Bias(cfg Config) (*Fig7Result, error) {
 		}
 		g := d.Build(cfg.Seed)
 		sk := g.Skeleton()
-		engine, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+		engine, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed}))
 		if err != nil {
 			return nil, err
 		}

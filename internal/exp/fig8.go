@@ -41,7 +41,7 @@ func Fig8Convergence(cfg Config) (*Fig8Result, error) {
 			return nil, err
 		}
 		g := d.Build(cfg.Seed)
-		engine, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+		engine, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed}))
 		if err != nil {
 			return nil, err
 		}

@@ -61,7 +61,7 @@ func Fig9Efficiency(cfg Config) (*Fig9Result, error) {
 		// Baseline: fresh engine per run so the row cache reflects the
 		// per-query cost honestly (each query computes its own rows).
 		{
-			e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, RowCacheSize: 1})
+			e, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, RowCacheSize: 1}))
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +82,7 @@ func Fig9Efficiency(cfg Config) (*Fig9Result, error) {
 		}
 		// Sampling.
 		{
-			e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed})
+			e, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed}))
 			if err != nil {
 				return nil, err
 			}
@@ -95,7 +95,7 @@ func Fig9Efficiency(cfg Config) (*Fig9Result, error) {
 		}
 		// SR-TS and SR-SP for l = 1, 2, 3.
 		for _, l := range []int{1, 2, 3} {
-			e, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l})
+			e, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: l}))
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +106,7 @@ func Fig9Efficiency(cfg Config) (*Fig9Result, error) {
 			})
 			record(fmt.Sprintf("SR-TS(l=%d)", l), mean, false)
 
-			esp, err := core.NewEngine(g, core.Options{Seed: cfg.Seed, L: l})
+			esp, err := core.NewEngine(g, cfg.engineOptions(core.Options{Seed: cfg.Seed, L: l}))
 			if err != nil {
 				return nil, err
 			}

@@ -67,15 +67,18 @@ func (w *Walks) At(i, k int) int32 {
 	return w.Pos[i][k]
 }
 
-// MeetingEstimates returns the estimates m̂(k)(u,v) for k = 0..n per
-// Eq. 13: the fraction of walk pairs (Wᵘᵢ, Wᵛᵢ) that are on the same
-// vertex at step k. The two Walks must have equal Steps and N.
-func MeetingEstimates(wu, wv *Walks) []float64 {
+// MeetingCounts returns, for k = 0..n, the number of walk pairs
+// (Wᵘᵢ, Wᵛᵢ) that are on the same vertex at step k. The integer counts
+// are the mergeable form of Eq. 13: chunked samplers sum the per-chunk
+// counts (addition is order-independent, so the merged total is
+// bit-identical for any chunk scheduling) and divide by the overall N
+// once at the end. The two Walks must have equal Steps and N.
+func MeetingCounts(wu, wv *Walks) []int {
 	if wu.Steps != wv.Steps || wu.N != wv.N {
 		panic("mc: mismatched walk sets")
 	}
 	n, N := wu.Steps, wu.N
-	m := make([]float64, n+1)
+	counts := make([]int, n+1)
 	for i := 0; i < N; i++ {
 		limit := len(wu.Pos[i])
 		if l := len(wv.Pos[i]); l < limit {
@@ -83,12 +86,21 @@ func MeetingEstimates(wu, wv *Walks) []float64 {
 		}
 		for k := 0; k < limit; k++ {
 			if wu.Pos[i][k] == wv.Pos[i][k] {
-				m[k]++
+				counts[k]++
 			}
 		}
 	}
-	for k := range m {
-		m[k] /= float64(N)
+	return counts
+}
+
+// MeetingEstimates returns the estimates m̂(k)(u,v) for k = 0..n per
+// Eq. 13: the fraction of walk pairs (Wᵘᵢ, Wᵛᵢ) that are on the same
+// vertex at step k. The two Walks must have equal Steps and N.
+func MeetingEstimates(wu, wv *Walks) []float64 {
+	counts := MeetingCounts(wu, wv)
+	m := make([]float64, len(counts))
+	for k, c := range counts {
+		m[k] = float64(c) / float64(wu.N)
 	}
 	return m
 }

@@ -1,0 +1,156 @@
+// Package parallel provides the bounded fork-join pool and the
+// deterministic work-splitting helpers behind the engine's concurrent
+// sampling paths (the Monte Carlo Sampling algorithm and the SR-SP
+// bit-vector propagations).
+//
+// Determinism contract: randomised work is divided into fixed-size
+// chunks by SplitChunks, which assigns every chunk a seed drawn from the
+// base stream in chunk order. The chunk→seed mapping therefore depends
+// only on the base stream's state and the chunk size — never on the
+// worker count or on scheduling — so per-chunk integer accumulators can
+// be merged in any order and the result is bit-identical for every
+// parallelism level, including 1. Non-random work (propagations, matrix
+// rows) achieves the same guarantee by writing to disjoint per-index
+// locations.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"usimrank/internal/rng"
+)
+
+// Workers normalises a parallelism knob: values < 1 select
+// runtime.GOMAXPROCS(0), everything else passes through.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool is a bounded fork-join pool shared by every query of an engine.
+// The bound is pool-wide, not per call: helper goroutines draw tokens
+// from one semaphore of capacity Workers−1, and the goroutine calling
+// For always works through jobs itself. One For call therefore runs on
+// at most Workers goroutines, and Q concurrent For calls on at most
+// Q + Workers − 1 — never Q × Workers. nil and the zero value run
+// everything inline; an idle pool holds no goroutines.
+type Pool struct {
+	workers int
+	sem     chan struct{} // helper tokens, capacity workers-1
+}
+
+// NewPool returns a pool bounded at Workers(workers) goroutines.
+func NewPool(workers int) *Pool {
+	w := Workers(workers)
+	p := &Pool{workers: w}
+	if w > 1 {
+		p.sem = make(chan struct{}, w-1)
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency bound (1 for a nil or zero
+// pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// For runs fn(i) for every i in [0, n) and returns when all n jobs have
+// finished. The caller's goroutine participates, so For makes progress
+// even when every helper token is held by concurrent For calls on the
+// same pool. fn must confine its writes to per-i locations or otherwise
+// order-independent accumulators; the iteration order is unspecified,
+// so determinism must come from the work decomposition, never from
+// scheduling.
+func (p *Pool) For(n int, fn func(i int)) {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || p == nil || p.sem == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	// Spawn up to w-1 helpers, but only while pool-wide tokens are free;
+	// contended calls simply run more of the range on the caller.
+	for g := 1; g < w; g++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
+				}
+			}()
+		default:
+			g = w // no free token: stop spawning
+		}
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(i)
+	}
+	wg.Wait()
+}
+
+// Chunk is one deterministic unit of sampled work: sample indexes
+// [Lo, Hi) driven by the chunk's own RNG seed.
+type Chunk struct {
+	Lo, Hi int
+	Seed   uint64
+}
+
+// Len returns the number of samples in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// DefaultChunkSize is the number of samples per chunk used by the
+// engine's Monte Carlo paths: small enough that the paper's default
+// N = 1000 splits into several chunks and keeps 8 workers busy, large
+// enough that per-chunk setup (one lazy world, one RNG) is amortised.
+const DefaultChunkSize = 128
+
+// SplitChunks splits total samples into ⌈total/size⌉ chunks of at most
+// size samples each and assigns every chunk a seed split off base in
+// chunk order (advancing base once per chunk, exactly like rng.Split).
+// The result depends only on base's state and size, so callers get the
+// same chunk set — and hence bit-identical merged estimates — whatever
+// worker count later processes it. size < 1 selects DefaultChunkSize.
+func SplitChunks(total, size int, base *rng.RNG) []Chunk {
+	if total <= 0 {
+		return nil
+	}
+	if size < 1 {
+		size = DefaultChunkSize
+	}
+	chunks := make([]Chunk, 0, (total+size-1)/size)
+	for lo := 0; lo < total; lo += size {
+		hi := lo + size
+		if hi > total {
+			hi = total
+		}
+		chunks = append(chunks, Chunk{Lo: lo, Hi: hi, Seed: base.Uint64()})
+	}
+	return chunks
+}

@@ -1,0 +1,190 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"usimrank/internal/rng"
+)
+
+func TestWorkersNormalisation(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d", got)
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestPoolNilAndZeroRunInline(t *testing.T) {
+	var nilPool *Pool
+	var zero Pool
+	for _, p := range []*Pool{nilPool, &zero} {
+		if p.Workers() != 1 {
+			t.Fatalf("Workers() = %d, want 1", p.Workers())
+		}
+		sum := 0
+		p.For(10, func(i int) { sum += i }) // inline: unsynchronised write is safe
+		if sum != 45 {
+			t.Fatalf("sum = %d", sum)
+		}
+	}
+}
+
+func TestForCoversAllIndexesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := NewPool(workers)
+		const n = 1000
+		var hits [n]atomic.Int32
+		p.For(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d run %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	p := NewPool(4)
+	called := false
+	p.For(0, func(int) { called = true })
+	p.For(-3, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	p.For(100, func(int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+	})
+	if peak.Load() > workers {
+		t.Fatalf("observed %d concurrent jobs, bound %d", peak.Load(), workers)
+	}
+}
+
+func TestSplitChunksCoverage(t *testing.T) {
+	for _, tc := range []struct{ total, size, want int }{
+		{1000, 128, 8},
+		{128, 128, 1},
+		{129, 128, 2},
+		{7, 3, 3},
+		{5, 0, 1}, // size < 1 → DefaultChunkSize
+	} {
+		chunks := SplitChunks(tc.total, tc.size, rng.New(1))
+		if len(chunks) != tc.want {
+			t.Fatalf("SplitChunks(%d,%d): %d chunks, want %d", tc.total, tc.size, len(chunks), tc.want)
+		}
+		covered := 0
+		for i, c := range chunks {
+			if c.Lo != covered || c.Hi <= c.Lo {
+				t.Fatalf("chunk %d = %+v not contiguous", i, c)
+			}
+			covered = c.Hi
+			if c.Len() != c.Hi-c.Lo {
+				t.Fatalf("chunk %d Len mismatch", i)
+			}
+		}
+		if covered != tc.total {
+			t.Fatalf("chunks cover %d of %d", covered, tc.total)
+		}
+	}
+	if got := SplitChunks(0, 16, rng.New(1)); got != nil {
+		t.Fatalf("SplitChunks(0) = %v", got)
+	}
+}
+
+func TestSplitChunksDeterministicSeeds(t *testing.T) {
+	a := SplitChunks(1000, 128, rng.New(42))
+	b := SplitChunks(1000, 128, rng.New(42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different base stream must give different seeds.
+	c := SplitChunks(1000, 128, rng.New(43))
+	same := 0
+	for i := range a {
+		if a[i].Seed == c[i].Seed {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("distinct base seeds produced identical chunk seeds")
+	}
+	// Chunk seeds within one split must be pairwise distinct (with
+	// overwhelming probability for a 64-bit stream).
+	seen := map[uint64]bool{}
+	for _, ch := range a {
+		if seen[ch.Seed] {
+			t.Fatalf("duplicate chunk seed %#x", ch.Seed)
+		}
+		seen[ch.Seed] = true
+	}
+}
+
+// TestSplitChunksMatchesRNGSplit pins the seed-derivation discipline to
+// rng.Split: chunk i's seed is the i-th Uint64 of the base stream, the
+// exact value Split would use to construct the child generator.
+func TestSplitChunksMatchesRNGSplit(t *testing.T) {
+	ref := rng.New(7)
+	chunks := SplitChunks(512, 128, rng.New(7))
+	for i, ch := range chunks {
+		child := ref.Split()
+		want := rng.New(ch.Seed)
+		for j := 0; j < 4; j++ {
+			if a, b := child.Uint64(), want.Uint64(); a != b {
+				t.Fatalf("chunk %d draw %d: split stream %#x vs chunk stream %#x", i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestPoolBoundIsPoolWide verifies the semaphore is shared across
+// concurrent For calls: Q callers on one pool of W workers run at most
+// Q + W - 1 jobs at once, never Q*W.
+func TestPoolBoundIsPoolWide(t *testing.T) {
+	const workers, callers = 2, 4
+	p := NewPool(workers)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.For(200, func(int) {
+				n := cur.Add(1)
+				mu.Lock()
+				if n > peak.Load() {
+					peak.Store(n)
+				}
+				mu.Unlock()
+				cur.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > callers+workers-1 {
+		t.Fatalf("peak concurrency %d exceeds pool-wide bound %d", got, callers+workers-1)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"usimrank/internal/bitvec"
+	"usimrank/internal/parallel"
 	"usimrank/internal/rng"
 	"usimrank/internal/ugraph"
 )
@@ -37,25 +38,41 @@ type Filters struct {
 // BuildFilters constructs filter vectors for all arcs of g offline: for
 // every vertex w and process i, each arc leaving w is instantiated with
 // its probability and one instantiated arc is selected uniformly at
-// random (reservoir sampling keeps the selection single-pass).
+// random (reservoir sampling keeps the selection single-pass). It is
+// BuildFiltersPool with an inline (single-worker) pool.
 func BuildFilters(g *ugraph.Graph, N int, r *rng.RNG) *Filters {
+	return BuildFiltersPool(g, N, r, nil)
+}
+
+// BuildFiltersPool builds the same filters as BuildFilters, fanning the
+// per-vertex work out over pool (nil runs inline). Every vertex draws a
+// child seed from r in vertex order before the fan-out and fills only
+// its own arc range, so the output depends solely on r's state — it is
+// bit-identical for every pool size, including the inline one.
+func BuildFiltersPool(g *ugraph.Graph, N int, r *rng.RNG, pool *parallel.Pool) *Filters {
 	if N <= 0 {
 		panic(fmt.Sprintf("speedup: bad N %d", N))
 	}
+	nv := g.NumVertices()
+	seeds := make([]uint64, nv)
+	for w := range seeds {
+		seeds[w] = r.Uint64()
+	}
 	f := &Filters{N: N, g: g, arc: make([]*bitvec.Vector, g.NumArcs())}
-	for w := 0; w < g.NumVertices(); w++ {
+	pool.For(nv, func(w int) {
 		lo, hi := g.ArcRange(w)
 		if lo == hi {
-			continue
+			return
 		}
+		rw := rng.New(seeds[w])
 		probs := g.OutProbs(w)
 		for i := 0; i < N; i++ {
 			pick := int32(-1)
 			count := 0
 			for id := lo; id < hi; id++ {
-				if r.Bool(probs[id-lo]) {
+				if rw.Bool(probs[id-lo]) {
 					count++
-					if count == 1 || r.Intn(count) == 0 {
+					if count == 1 || rw.Intn(count) == 0 {
 						pick = id
 					}
 				}
@@ -67,7 +84,7 @@ func BuildFilters(g *ugraph.Graph, N int, r *rng.RNG) *Filters {
 				f.arc[pick].Set(i)
 			}
 		}
-	}
+	})
 	return f
 }
 

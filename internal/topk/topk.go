@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"usimrank/internal/core"
+	"usimrank/internal/parallel"
 )
 
 // Result is one scored vertex or pair.
@@ -27,11 +28,27 @@ type Result struct {
 	Score float64
 }
 
-// resultHeap is a min-heap by score, holding the current best k.
+// better reports whether a ranks above b in the canonical result order:
+// score descending, ties broken by (U, V) ascending. Every top-k
+// selection in this package — heap eviction included — uses this one
+// total order, so sequential and parallel sweeps agree even when
+// scores tie at the k boundary.
+func better(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// resultHeap is a min-heap under the canonical order (worst of the
+// current best k at the root), holding the current best k.
 type resultHeap []Result
 
 func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Less(i, j int) bool  { return better(h[j], h[i]) }
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
 func (h *resultHeap) Pop() interface{} {
@@ -42,22 +59,23 @@ func (h *resultHeap) Pop() interface{} {
 	return x
 }
 
-// sortedDesc drains the heap into a descending slice with deterministic
-// tie-breaking by (U, V).
-func sortedDesc(h resultHeap) []Result {
-	out := make([]Result, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Result)
+// offerK offers r to the k-bounded heap: push while below capacity,
+// otherwise evict the root iff r ranks above it in the canonical order.
+func offerK(h *resultHeap, r Result, k int) {
+	if len(*h) < k {
+		heap.Push(h, r)
+	} else if better(r, (*h)[0]) {
+		heap.Pop(h)
+		heap.Push(h, r)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
+}
+
+// sortedDesc copies the results into a slice sorted by the canonical
+// (score desc, U, V) order. The input needs no heap invariant — any
+// result collection sorts the same way.
+func sortedDesc(h resultHeap) []Result {
+	out := append([]Result(nil), h...)
+	sort.SliceStable(out, func(i, j int) bool { return better(out[i], out[j]) })
 	return out
 }
 
@@ -115,13 +133,7 @@ func SingleSource(e *core.Engine, u, k int) ([]Result, error) {
 		if pruned {
 			continue
 		}
-		score := core.Combine(m, c, n)
-		if len(h) < k {
-			heap.Push(&h, Result{U: u, V: v, Score: score})
-		} else if score > h[0].Score {
-			heap.Pop(&h)
-			heap.Push(&h, Result{U: u, V: v, Score: score})
-		}
+		offerK(&h, Result{U: u, V: v, Score: core.Combine(m, c, n)}, k)
 	}
 	return sortedDesc(h), nil
 }
@@ -142,6 +154,62 @@ func partialScore(m []float64, c float64, j, n int) float64 {
 	return s
 }
 
+// AllPairsParallel returns exactly the same result as AllPairs, scoring
+// the sources concurrently on the engine's worker pool (the Parallelism
+// option): every source u owns one task that scores all pairs (u, v>u)
+// into a private top-k heap, and the per-source winners are merged with
+// the deterministic (score desc, U, V) order afterwards. Because the
+// exact measure is deterministic and each task writes only its own
+// slot, the outcome is independent of the worker count.
+func AllPairsParallel(e *core.Engine, k int) ([]Result, error) {
+	g := e.Graph()
+	if k < 1 {
+		return nil, fmt.Errorf("topk: k = %d < 1", k)
+	}
+	n := g.NumVertices()
+	opt := e.Options()
+	// Prefetch every source's transition rows sequentially, as
+	// SRSPMatrix does: a cold cache would otherwise make the first wave
+	// of workers recompute the same rows up to `workers` times. Skipped
+	// when the cache cannot hold all sources anyway.
+	if opt.RowCacheSize >= n {
+		for v := 0; v < n; v++ {
+			if _, err := e.MeetingExact(v, v, opt.Steps); err != nil {
+				return nil, err
+			}
+		}
+	}
+	local := make([][]Result, n)
+	errs := make([]error, n)
+	parallel.NewPool(opt.Parallelism).For(n, func(u int) {
+		h := resultHeap{}
+		heap.Init(&h)
+		for v := u + 1; v < n; v++ {
+			s, err := e.Baseline(u, v)
+			if err != nil {
+				errs[u] = err
+				return
+			}
+			offerK(&h, Result{U: u, V: v, Score: s}, k)
+		}
+		local[u] = h
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []Result
+	for _, l := range local {
+		all = append(all, l...)
+	}
+	merged := sortedDesc(resultHeap(all))
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
 // AllPairs returns the k most similar distinct pairs (u < v) under the
 // exact measure. It computes per-source transition rows once (through
 // the engine's row cache) and scores all pairs; intended for the
@@ -159,12 +227,7 @@ func AllPairs(e *core.Engine, k int) ([]Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if len(h) < k {
-				heap.Push(&h, Result{U: u, V: v, Score: s})
-			} else if s > h[0].Score {
-				heap.Pop(&h)
-				heap.Push(&h, Result{U: u, V: v, Score: s})
-			}
+			offerK(&h, Result{U: u, V: v, Score: s}, k)
 		}
 	}
 	return sortedDesc(h), nil

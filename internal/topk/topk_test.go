@@ -155,3 +155,84 @@ func TestAllPairsBadK(t *testing.T) {
 		t.Fatal("k=0 accepted")
 	}
 }
+
+// TestAllPairsParallelMatchesSequential pins the pool-based sweep to
+// AllPairs for several worker counts, including ragged k boundaries.
+func TestAllPairsParallelMatchesSequential(t *testing.T) {
+	ppi := gen.PlantedPPI(gen.DefaultPPIConfig(60), rng.New(2))
+	for _, k := range []int{1, 5, 20} {
+		e, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, RowCacheSize: 61, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := AllPairs(e, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			ep, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, RowCacheSize: 61, Parallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := AllPairsParallel(ep, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d workers=%d: %d results, want %d", k, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d workers=%d: result %d = %+v, want %+v", k, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllPairsParallelBadK(t *testing.T) {
+	e := engineFor(t, ugraph.PaperFig1())
+	if _, err := AllPairsParallel(e, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestAllPairsTieAtBoundary pins the canonical tie-break: with many
+// zero-score pairs tied at the k boundary, the sequential and parallel
+// sweeps must still agree exactly (score desc, then (U, V) asc).
+func TestAllPairsTieAtBoundary(t *testing.T) {
+	b := ugraph.NewBuilder(6)
+	b.AddArc(0, 4, 0.8)
+	b.AddArc(0, 5, 0.8)
+	g := b.MustBuild()
+	for _, workers := range []int{1, 4} {
+		e, err := core.NewEngine(g, core.Options{Seed: 1, Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := AllPairs(e, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := AllPairsParallel(e, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != 3 || len(par) != 3 {
+			t.Fatalf("workers=%d: lengths %d, %d", workers, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("workers=%d rank %d: sequential %+v vs parallel %+v", workers, i, seq[i], par[i])
+			}
+		}
+		// Only (4,5) scores > 0; the tied zero-score tail must fill in
+		// (U, V) order.
+		if seq[0].U != 4 || seq[0].V != 5 || seq[0].Score <= 0 {
+			t.Fatalf("workers=%d: top result %+v", workers, seq[0])
+		}
+		if seq[1] != (Result{U: 0, V: 1}) || seq[2] != (Result{U: 0, V: 2}) {
+			t.Fatalf("workers=%d: tied tail %+v, %+v", workers, seq[1], seq[2])
+		}
+	}
+}

@@ -53,12 +53,14 @@ func TransitionRowsPruned(g *ugraph.Graph, src, K, maxStates int) (*PrunedResult
 	res.Rows[0] = matrix.Unit(int32(src))
 	res.States[0] = 1
 
-	level := map[string]*walkState{
-		stateKey(int32(src), nil): {end: int32(src), p: 1},
-	}
+	// As in TransitionRows, the maps are only dedup indexes: every fold
+	// (probability merge, prune, row accumulation) runs over the
+	// insertion-order slice so the result is bit-deterministic.
+	level := []*walkState{{end: int32(src), p: 1}}
 	lost := 0.0
 	for k := 1; k <= K; k++ {
-		next := make(map[string]*walkState)
+		var next []*walkState
+		nextIndex := make(map[string]*walkState)
 		for _, st := range level {
 			e := st.end
 			for _, w := range g.Out(int(e)) {
@@ -67,30 +69,24 @@ func TransitionRowsPruned(g *ugraph.Graph, src, K, maxStates int) (*PrunedResult
 				aNew := cache.alpha(e, newOw, int(newC))
 				p := st.p * aNew / aOld
 				key := stateKey(w, entries)
-				if ns, ok := next[key]; ok {
+				if ns, ok := nextIndex[key]; ok {
 					ns.p += p
 				} else {
-					next[key] = &walkState{end: w, entries: entries, p: p}
+					ns = &walkState{end: w, entries: entries, p: p}
+					nextIndex[key] = ns
+					next = append(next, ns)
 				}
 			}
 		}
 		if len(next) > maxStates {
 			// Keep the maxStates most probable states; count the rest as
-			// lost mass.
-			states := make([]*walkState, 0, len(next))
-			for _, st := range next {
-				states = append(states, st)
+			// lost mass. The stable sort breaks probability ties by
+			// insertion order, keeping the prune deterministic.
+			sort.SliceStable(next, func(i, j int) bool { return next[i].p > next[j].p })
+			for _, st := range next[maxStates:] {
+				lost += st.p
 			}
-			sort.Slice(states, func(i, j int) bool { return states[i].p > states[j].p })
-			pruned := make(map[string]*walkState, maxStates)
-			for i, st := range states {
-				if i < maxStates {
-					pruned[stateKey(st.end, st.entries)] = st
-				} else {
-					lost += st.p
-				}
-			}
-			next = pruned
+			next = next[:maxStates]
 		}
 		acc := make(map[int32]float64)
 		for _, st := range next {

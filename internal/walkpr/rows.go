@@ -110,6 +110,12 @@ func extendEntries(entries []visitEntry, e, w int32) (out []visitEntry, oldOw []
 // The computation extends all walks level by level, merging walks that
 // share (endpoint, visit record) — Lemma 2 guarantees the merge is exact —
 // and uses the memoised α ratio to update probabilities incrementally.
+//
+// Every float accumulation folds in deterministic insertion order (the
+// maps are used only for deduplication; iteration runs over an order
+// slice), so the rows are bit-identical across runs — the property the
+// engine's parallelism guarantee and the repository's reproducibility
+// contract both rest on.
 func TransitionRows(g *ugraph.Graph, src int, K int, opt Options) ([]matrix.Vec, error) {
 	if src < 0 || src >= g.NumVertices() {
 		return nil, fmt.Errorf("walkpr: source %d out of range [0,%d)", src, g.NumVertices())
@@ -123,11 +129,10 @@ func TransitionRows(g *ugraph.Graph, src int, K int, opt Options) ([]matrix.Vec,
 	rows := make([]matrix.Vec, K+1)
 	rows[0] = matrix.Unit(int32(src))
 
-	level := map[string]*walkState{
-		stateKey(int32(src), nil): {end: int32(src), p: 1},
-	}
+	level := []*walkState{{end: int32(src), p: 1}}
 	for k := 1; k <= K; k++ {
-		next := make(map[string]*walkState)
+		var next []*walkState
+		nextIndex := make(map[string]*walkState)
 		for _, st := range level {
 			e := st.end
 			for _, w := range g.Out(int(e)) {
@@ -136,13 +141,15 @@ func TransitionRows(g *ugraph.Graph, src int, K int, opt Options) ([]matrix.Vec,
 				aNew := cache.alpha(e, newOw, int(newC))
 				p := st.p * aNew / aOld
 				key := stateKey(w, entries)
-				if ns, ok := next[key]; ok {
+				if ns, ok := nextIndex[key]; ok {
 					ns.p += p
 				} else {
-					if len(next) >= maxStates {
+					if len(nextIndex) >= maxStates {
 						return nil, fmt.Errorf("%w: more than %d states at step %d", ErrStateExplosion, maxStates, k)
 					}
-					next[key] = &walkState{end: w, entries: entries, p: p}
+					ns = &walkState{end: w, entries: entries, p: p}
+					nextIndex[key] = ns
+					next = append(next, ns)
 				}
 			}
 		}

@@ -18,6 +18,14 @@
 //   - SRSP (SR-SP) — TwoPhase with a bit-vector technique that runs all
 //     N sampling processes simultaneously.
 //
+// All sampling strategies execute on a bounded worker pool controlled by
+// Options.Parallelism (default runtime.GOMAXPROCS(0)): Monte Carlo
+// samples are fanned out in fixed-size chunks whose RNG streams are
+// split off the per-query seed in chunk order, and SR-SP filter
+// construction, propagations, and matrix sweeps are decomposed into
+// disjoint per-vertex tasks. Results are therefore bit-identical for
+// every Parallelism value — raising the knob changes only wall time.
+//
 // Quick start:
 //
 //	b := usimrank.NewBuilder(4)
@@ -62,11 +70,14 @@ func NewBuilder(n int) *Builder { return ugraph.NewBuilder(n) }
 type DeterministicGraph = graph.Graph
 
 // Options configures an Engine. The zero value selects the paper's
-// defaults: c = 0.6, n = 5, N = 1000, l = 1.
+// defaults: c = 0.6, n = 5, N = 1000, l = 1, and a worker pool sized to
+// runtime.GOMAXPROCS(0) (the Parallelism field).
 type Options = core.Options
 
-// Engine computes SimRank similarities on one uncertain graph. It is not
-// safe for concurrent use; create one engine per goroutine.
+// Engine computes SimRank similarities on one uncertain graph. It is
+// safe for concurrent use: one engine can serve queries from many
+// goroutines, and each query also parallelises its own sampling work
+// across the engine's pool. Results never depend on scheduling.
 type Engine = core.Engine
 
 // New builds an Engine for g.
@@ -87,10 +98,12 @@ const (
 // PairResult is one outcome of a Batch computation.
 type PairResult = core.PairResult
 
-// Batch computes the similarities of many pairs concurrently on engine
-// clones, returning results in input order. Results are identical to
-// sequential computation (per-query randomness depends only on the seed
-// and the pair).
+// Batch computes the similarities of many pairs concurrently on one
+// shared engine (its row cache and SR-SP filter pools are reused across
+// all workers), returning results in input order. Results are identical
+// to sequential computation (per-query randomness depends only on the
+// seed and the pair). workers < 1 selects the engine's Parallelism
+// option.
 func Batch(e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
 	return core.Batch(e, alg, pairs, workers)
 }
@@ -160,7 +173,9 @@ func TopKSimilar(e *Engine, u, k int) ([]TopKResult, error) {
 }
 
 // TopKPairs returns the k most similar distinct vertex pairs under the
-// exact measure (the query of the paper's Fig. 13 case study).
+// exact measure (the query of the paper's Fig. 13 case study). Sources
+// are scored concurrently on the engine's worker pool; the result is
+// identical to a sequential sweep.
 func TopKPairs(e *Engine, k int) ([]TopKResult, error) {
-	return topk.AllPairs(e, k)
+	return topk.AllPairsParallel(e, k)
 }
