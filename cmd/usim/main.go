@@ -1,9 +1,14 @@
-// Command usim computes the SimRank similarity between two vertices of
-// an uncertain graph with any of the algorithms from the paper.
+// Command usim computes SimRank similarities on an uncertain graph with
+// any of the algorithms from the paper, in four query shapes:
 //
-// Usage:
+//	usim -graph g.ug -u 3 -v 17 -alg srsp            # one pair
+//	usim -graph g.ug -source 3 -alg srsp             # s(3, ·) for every vertex
+//	usim -graph g.ug -source 3 -topk 10 -alg srsp    # 10 most similar to 3
+//	usim -graph g.ug -topk 10 -alg baseline          # 10 most similar pairs
 //
-//	usim -graph g.ug -u 3 -v 17 -alg srsp -n 5 -c 0.6 -N 1000 -l 1
+// Single-source and top-k queries run on the engine's one-pass
+// single-source kernels, so the source's sampling work is done once for
+// the whole query; scores are bit-identical to the pairwise shape.
 //
 // The graph file is the textual format ("ug <n> <m>" header and
 // "<u> <v> <p>" lines) or the binary format when the file starts with
@@ -31,6 +36,8 @@ func main() {
 		l         = flag.Int("l", 1, "two-phase split")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "sampling worker goroutines (0 = all cores); results are identical for every value")
+		source    = flag.Int("source", -1, "single-source mode: compute s(source, ·) instead of one pair")
+		topK      = flag.Int("topk", 0, "top-k mode: report the k best candidates (with -source) or vertex pairs (without)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -49,6 +56,46 @@ func main() {
 		"sampling": usimrank.AlgSampling,
 		"twophase": usimrank.AlgTwoPhase,
 		"srsp":     usimrank.AlgSRSP,
+	}
+	if *source >= 0 || *topK > 0 {
+		a, ok := algorithms[*alg]
+		if !ok {
+			fatal(fmt.Errorf("algorithm %q does not support -source/-topk (use baseline, sampling, twophase or srsp)", *alg))
+		}
+		e, err := usimrank.New(g, opt)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *source >= 0 && *topK > 0:
+			res, err := usimrank.TopKSimilar(e, a, *source, *topK)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("top-%d most similar to %d  [%s, n=%d, c=%g]\n", *topK, *source, *alg, *n, *c)
+			for rank, r := range res {
+				fmt.Printf("%3d. v=%-8d s=%.8f\n", rank+1, r.V, r.Score)
+			}
+		case *source >= 0:
+			scores, err := e.SingleSource(a, *source)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("s(%d, ·)  [%s, n=%d, c=%g]\n", *source, *alg, *n, *c)
+			for v, s := range scores {
+				fmt.Printf("%d %.8f\n", v, s)
+			}
+		default: // -topk without -source: best pairs
+			res, err := usimrank.TopKPairs(e, a, *topK)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("top-%d most similar pairs  [%s, n=%d, c=%g]\n", *topK, *alg, *n, *c)
+			for rank, r := range res {
+				fmt.Printf("%3d. (%d, %d)  s=%.8f\n", rank+1, r.U, r.V, r.Score)
+			}
+		}
+		return
 	}
 	var s float64
 	switch *alg {

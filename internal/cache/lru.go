@@ -1,0 +1,139 @@
+// Package cache provides the bounded, concurrency-safe LRU used by the
+// engine's shared row cache. The previous cache wiped its whole map
+// whenever it filled up, so an all-pairs or single-source sweep that
+// slightly exceeded the capacity thrashed: every reset threw away rows
+// that were about to be reused. The LRU replaces the wholesale reset
+// with bounded per-entry eviction — repeated queries against a warm
+// working set stay warm.
+//
+// The cache is internally mutex-guarded so callers can share one
+// instance across query goroutines without external locking. Values are
+// returned as stored; callers that hand out slices or pointers must
+// treat them as immutable.
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// entry is one node of the intrusive recency list.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// LRU is a fixed-capacity least-recently-used cache, safe for
+// concurrent use. Get promotes, Add inserts or updates (also
+// promoting), and inserting into a full cache evicts the
+// least-recently-used entry.
+type LRU[K comparable, V any] struct {
+	mu        sync.Mutex
+	capacity  int
+	items     map[K]*entry[K, V]
+	head      *entry[K, V] // most recently used
+	tail      *entry[K, V] // least recently used
+	evictions uint64
+}
+
+// New returns an empty LRU holding at most capacity entries. It panics
+// if capacity < 1: a cache that cannot hold anything is a
+// configuration error, not a degenerate mode.
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: capacity %d < 1", capacity))
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		items:    make(map[K]*entry[K, V]),
+	}
+}
+
+// unlink removes e from the recency list.
+func (c *LRU[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (c *LRU[K, V]) pushFront(e *entry[K, V]) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Get returns the value stored under k and promotes the entry to most
+// recently used.
+func (c *LRU[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.val, true
+}
+
+// Add stores v under k, promoting the entry. When the cache is full and
+// k is new, the least-recently-used entry is evicted.
+func (c *LRU[K, V]) Add(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[k]; ok {
+		e.val = v
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	if len(c.items) >= c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+		c.evictions++
+	}
+	e := &entry[K, V]{key: k, val: v}
+	c.items[k] = e
+	c.pushFront(e)
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Cap returns the cache's capacity.
+func (c *LRU[K, V]) Cap() int { return c.capacity }
+
+// Evictions returns the number of entries evicted so far — the
+// observable difference between bounded eviction and the old
+// wipe-everything reset, and a cheap thrash metric for callers sizing
+// RowCacheSize.
+func (c *LRU[K, V]) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetMissAndHit(t *testing.T) {
+	c := New[int, string](2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add(1, "a")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("got %q, %v", v, ok)
+	}
+	if c.Len() != 1 || c.Cap() != 2 {
+		t.Fatalf("len=%d cap=%d", c.Len(), c.Cap())
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	c.Add(3, 30) // evicts 1
+	if _, ok := c.Get(1); ok {
+		t.Fatal("1 survived eviction")
+	}
+	if v, ok := c.Get(2); !ok || v != 20 {
+		t.Fatal("2 lost")
+	}
+	if v, ok := c.Get(3); !ok || v != 30 {
+		t.Fatal("3 lost")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d", c.Evictions())
+	}
+}
+
+func TestGetPromotes(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	c.Get(1)     // promote 1; 2 is now LRU
+	c.Add(3, 30) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Fatal("promoted entry evicted instead of LRU")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("promoted entry lost")
+	}
+}
+
+func TestAddUpdatesAndPromotes(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	c.Add(1, 11) // update, promote; 2 is LRU
+	c.Add(3, 30) // evicts 2
+	if v, ok := c.Get(1); !ok || v != 11 {
+		t.Fatalf("update lost: %v %v", v, ok)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 survived")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	c := New[string, int](1)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived in capacity-1 cache")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatal("b lost")
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	New[int, int](0)
+}
+
+// TestConcurrentMixedAccess exercises the internal locking under the
+// race detector: many goroutines hammering overlapping keys must never
+// corrupt the recency list or lose the capacity bound.
+func TestConcurrentMixedAccess(t *testing.T) {
+	c := New[int, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*7 + i) % 40
+				c.Add(k, k*10)
+				if v, ok := c.Get(k); ok && v != k*10 {
+					panic(fmt.Sprintf("key %d holds %d", k, v))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}

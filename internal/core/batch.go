@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"usimrank/internal/cache"
+	"usimrank/internal/matrix"
 	"usimrank/internal/parallel"
 )
 
@@ -63,13 +65,13 @@ func (e *Engine) computeWith(p *parallel.Pool, alg Algorithm, u, v int) (float64
 func (e *Engine) Clone() *Engine {
 	fu, fv := e.pools() // materialise shared read-only pools before sharing
 	return &Engine{
-		g:        e.g,
-		rev:      e.rev,
-		opt:      e.opt,
-		pool:     e.pool,
-		rowCache: make(map[int]cachedRows),
-		poolU:    fu,
-		poolV:    fv,
+		g:     e.g,
+		rev:   e.rev,
+		opt:   e.opt,
+		pool:  e.pool,
+		rows:  cache.New[int, []matrix.Vec](e.opt.RowCacheSize),
+		poolU: fu,
+		poolV: fv,
 	}
 }
 
@@ -81,26 +83,65 @@ type PairResult struct {
 }
 
 // Batch computes the similarity of every pair concurrently and returns
-// results in input order. All workers share the one engine — its row
-// cache, reversed graph and sampled SR-SP filter pools — so no per-worker
-// cloning or filter rebuilding happens. Parallelism lives entirely in
-// the across-pairs fan-out: each query's own sampling runs inline, so
-// worker counts never multiply into Parallelism² goroutines.
-// Determinism: the per-query seeds depend only on (engine seed, u, v),
-// so Batch returns the same values as sequential computation regardless
-// of scheduling. workers < 1 selects the engine's Parallelism option.
+// results in input order. Pairs are grouped by their first vertex and
+// each group runs through the single-source kernel, so a batch that
+// asks for many candidates of the same source pays for that source's
+// rows, walks and propagations exactly once. All groups share the one
+// engine — its LRU row cache, reversed graph and sampled SR-SP filter
+// pools. Determinism: the kernels are bit-identical to pairwise
+// computation and per-side walk streams depend only on (engine seed,
+// vertex, side), so Batch returns the same values as a sequential
+// Compute loop regardless of grouping or scheduling. workers < 1
+// selects the engine's Parallelism option.
 func Batch(e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
 	if workers < 1 {
 		workers = e.opt.Parallelism
 	}
-	if alg == AlgSRSP {
+	if alg == AlgSRSP && e.opt.L < e.opt.Steps {
 		e.pools() // build the shared filters once, before the fan-out
 	}
 	out := make([]PairResult, len(pairs))
-	parallel.NewPool(workers).For(len(pairs), func(i int) {
-		u, v := pairs[i][0], pairs[i][1]
-		val, err := e.computeWith(nil, alg, u, v)
-		out[i] = PairResult{U: u, V: v, Value: val, Err: err}
+	// Group valid pairs by source, preserving first-appearance order.
+	groups := make(map[int][]int)
+	var sources []int
+	for i, p := range pairs {
+		u, v := p[0], p[1]
+		out[i] = PairResult{U: u, V: v}
+		if err := e.checkVertex(u); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if err := e.checkVertex(v); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if _, ok := groups[u]; !ok {
+			sources = append(sources, u)
+		}
+		groups[u] = append(groups[u], i)
+	}
+	// One task per source group. Inner kernels share the same pool: its
+	// helper tokens are pool-wide, so the two fan-out levels never
+	// multiply into workers² goroutines.
+	pool := parallel.NewPool(workers)
+	pool.For(len(sources), func(gi int) {
+		idx := groups[sources[gi]]
+		candidates := make([]int, len(idx))
+		for j, i := range idx {
+			candidates[j] = pairs[i][1]
+		}
+		vals := make([]float64, len(candidates))
+		errs := make([]error, len(candidates))
+		if err := e.singleSourceInto(pool, alg, sources[gi], candidates, vals, errs); err != nil {
+			for _, i := range idx {
+				out[i].Err = err
+			}
+			return
+		}
+		for j, i := range idx {
+			out[i].Value = vals[j]
+			out[i].Err = errs[j]
+		}
 	})
 	return out
 }

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 
+	"usimrank/internal/cache"
 	"usimrank/internal/matrix"
 	"usimrank/internal/mc"
 	"usimrank/internal/parallel"
@@ -50,7 +51,10 @@ type Options struct {
 	// independence semantics of the Sampling algorithm; the ablation
 	// experiments quantify the difference.
 	SharedPool bool
-	// RowCacheSize bounds the per-source exact-row cache. Default 4096.
+	// RowCacheSize bounds the shared per-source exact-row LRU cache.
+	// When the working set exceeds it, the least-recently-used source's
+	// rows are evicted one at a time (never a wholesale reset). Default
+	// 4096.
 	RowCacheSize int
 	// Parallelism bounds the worker goroutines of the sampling hot
 	// paths: Monte Carlo chunks, SR-SP filter construction and
@@ -103,6 +107,9 @@ func (o Options) validate() error {
 	if o.Parallelism < 1 {
 		return fmt.Errorf("core: parallelism %d < 1", o.Parallelism)
 	}
+	if o.RowCacheSize < 1 {
+		return fmt.Errorf("core: row cache size %d < 1", o.RowCacheSize)
+	}
 	return nil
 }
 
@@ -118,16 +125,14 @@ type Engine struct {
 	opt  Options
 	pool *parallel.Pool // bounded at opt.Parallelism
 
-	cacheMu  sync.Mutex // guards rowCache
-	rowCache map[int]cachedRows
+	// rows caches per-source exact transition rows: rows[k] =
+	// Pr_rev(src →k ·) for k = 0..len-1. Bounded LRU, shared by every
+	// query shape (pair, single-source, matrix, batch, top-k).
+	rows *cache.LRU[int, []matrix.Vec]
 
 	filterMu sync.Mutex // guards lazy poolU/poolV construction
 	poolU    *speedup.Filters
 	poolV    *speedup.Filters
-}
-
-type cachedRows struct {
-	rows []matrix.Vec // rows[k] = Pr_rev(src →k ·) for k = 0..len-1
 }
 
 // NewEngine validates opt and builds an engine for g.
@@ -137,16 +142,23 @@ func NewEngine(g *ugraph.Graph, opt Options) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		g:        g,
-		rev:      g.Reverse(),
-		opt:      opt,
-		pool:     parallel.NewPool(opt.Parallelism),
-		rowCache: make(map[int]cachedRows),
+		g:    g,
+		rev:  g.Reverse(),
+		opt:  opt,
+		pool: parallel.NewPool(opt.Parallelism),
+		rows: cache.New[int, []matrix.Vec](opt.RowCacheSize),
 	}, nil
 }
 
 // Options returns the engine's effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opt }
+
+// WorkerPool returns the engine's bounded worker pool. Sweeps layered
+// on top of the engine (top-k, batch) should fan out on this pool
+// rather than a fresh one: its helper tokens are pool-wide, so outer
+// fan-outs and the kernels they call share one Parallelism bound
+// instead of multiplying.
+func (e *Engine) WorkerPool() *parallel.Pool { return e.pool }
 
 // Graph returns the engine's uncertain graph.
 func (e *Engine) Graph() *ugraph.Graph { return e.g }
@@ -158,30 +170,137 @@ func (e *Engine) checkVertex(v int) error {
 	return nil
 }
 
-// exactRows returns Pr_rev(src →k ·) for k = 0..K, caching per source.
-// The cache is mutex-guarded; the row computation itself runs outside
-// the lock so concurrent queries for different sources proceed in
-// parallel (two goroutines missing on the same source both compute it —
-// identical values, last insert wins).
+// exactRows returns Pr_rev(src →k ·) for k = 0..K through the shared
+// LRU row cache. The row computation itself runs outside the cache's
+// lock so concurrent queries for different sources proceed in parallel
+// (two goroutines missing on the same source both compute it —
+// identical values, last insert wins). Cached rows are immutable;
+// callers only read them.
 func (e *Engine) exactRows(src, K int) ([]matrix.Vec, error) {
-	e.cacheMu.Lock()
-	if c, ok := e.rowCache[src]; ok && len(c.rows) > K {
-		rows := c.rows[:K+1]
-		e.cacheMu.Unlock()
-		return rows, nil
+	if rows, ok := e.rows.Get(src); ok && len(rows) > K {
+		return rows[:K+1], nil
 	}
-	e.cacheMu.Unlock()
 	rows, err := walkpr.TransitionRows(e.rev, src, K, walkpr.Options{MaxStates: e.opt.MaxStates})
 	if err != nil {
 		return nil, err
 	}
-	e.cacheMu.Lock()
-	if len(e.rowCache) >= e.opt.RowCacheSize {
-		e.rowCache = make(map[int]cachedRows)
-	}
-	e.rowCache[src] = cachedRows{rows: rows}
-	e.cacheMu.Unlock()
+	e.rows.Add(src, rows)
 	return rows, nil
+}
+
+// WarmRows precomputes the exact transition rows of the given sources
+// for k = 0..K and inserts them into the shared row cache — the
+// explicit prefetch path for sweeps that are about to touch every
+// source (all-pairs top-k, matrix queries). The computation fans out
+// over the engine's worker pool; insertion happens afterwards in
+// vertex order, so the resulting cache state is deterministic. Sources
+// beyond the cache's capacity are not computed: warming more than the
+// cache can hold would only evict rows warmed a moment earlier.
+func (e *Engine) WarmRows(vertices []int, K int) error {
+	for _, v := range vertices {
+		if err := e.checkVertex(v); err != nil {
+			return err
+		}
+	}
+	if c := e.rows.Cap(); len(vertices) > c {
+		vertices = vertices[:c]
+	}
+	rows := make([][]matrix.Vec, len(vertices))
+	errs := make([]error, len(vertices))
+	e.pool.For(len(vertices), func(i int) {
+		if cached, ok := e.rows.Get(vertices[i]); ok && len(cached) > K {
+			return // already warm
+		}
+		rows[i], errs[i] = walkpr.TransitionRows(e.rev, vertices[i], K, walkpr.Options{MaxStates: e.opt.MaxStates})
+	})
+	for i, err := range errs {
+		if err != nil {
+			return err
+		}
+		if rows[i] != nil {
+			e.rows.Add(vertices[i], rows[i])
+		}
+	}
+	return nil
+}
+
+// RowCacheStats reports the shared row cache's current occupancy and
+// the total number of evictions so far (a thrash metric for sizing
+// RowCacheSize).
+func (e *Engine) RowCacheStats() (size int, evictions uint64) {
+	return e.rows.Len(), e.rows.Evictions()
+}
+
+// exactDepth reports how deep the algorithm's exact-row prefix goes —
+// the single source of truth the kernels and the warm path share — or
+// ok=false when the algorithm never consults exact rows.
+func (e *Engine) exactDepth(alg Algorithm) (int, bool) {
+	switch alg {
+	case AlgBaseline:
+		return e.opt.Steps, true
+	case AlgTwoPhase, AlgSRSP:
+		return min(e.opt.L, e.opt.Steps), true
+	default:
+		return 0, false
+	}
+}
+
+// WarmRowsFor warms the row cache for a sweep that will run alg over
+// the given sources, deriving the prefix depth from the algorithm so
+// callers cannot drift from what the kernels actually fetch. A no-op
+// for algorithms that never touch exact rows.
+func (e *Engine) WarmRowsFor(alg Algorithm, vertices []int) error {
+	depth, ok := e.exactDepth(alg)
+	if !ok {
+		return nil
+	}
+	return e.WarmRows(vertices, depth)
+}
+
+// MeetingWalker progressively yields the exact meeting probabilities
+// m(0)(u,v), m(1)(u,v), … one step per Next call. Unlike repeated
+// MeetingExact calls — which recompute v's rows 0..j from scratch at
+// every deepening — each level of v's transition rows is computed
+// exactly once over the walker's lifetime, while u's rows come from the
+// shared cache at full depth up-front (a top-k sweep reuses the source
+// against every candidate anyway). Values are bit-identical to
+// MeetingExact. A walker is single-goroutine state; create one per
+// candidate.
+type MeetingWalker struct {
+	ru []matrix.Vec
+	rw *walkpr.RowWalker
+	k  int
+}
+
+// NewMeetingWalker returns a walker over m(k)(u, v) for k = 0..maxK.
+func (e *Engine) NewMeetingWalker(u, v, maxK int) (*MeetingWalker, error) {
+	if err := e.checkVertex(u); err != nil {
+		return nil, err
+	}
+	if err := e.checkVertex(v); err != nil {
+		return nil, err
+	}
+	ru, err := e.exactRows(u, maxK)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := walkpr.NewRowWalker(e.rev, v, walkpr.Options{MaxStates: e.opt.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	return &MeetingWalker{ru: ru, rw: rw}, nil
+}
+
+// Next returns m(k)(u, v) for the next k, starting at k = 0. Calling it
+// past the maxK the walker was built for panics (u's rows end there).
+func (w *MeetingWalker) Next() (float64, error) {
+	rows, err := w.rw.Rows(w.k)
+	if err != nil {
+		return 0, err
+	}
+	m := w.ru[w.k].Dot(rows[w.k])
+	w.k++
+	return m, nil
 }
 
 // MeetingExact returns the exact meeting probabilities
@@ -265,20 +384,41 @@ func (e *Engine) Baseline(u, v int) (float64, error) {
 	return Combine(m, e.opt.C, e.opt.Steps), nil
 }
 
-// querySeed derives a deterministic per-query RNG seed.
-func (e *Engine) querySeed(u, v int, salt uint64) uint64 {
-	x := e.opt.Seed ^ (uint64(u)+1)*0x9e3779b97f4a7c15 ^ (uint64(v)+1)*0xc2b2ae3d27d4eb4f ^ salt
+// Per-side walk-stream salts: a vertex's u-side and v-side walk sets
+// stay independent even for s(u,u).
+const (
+	saltWalkU = 0xA5
+	saltWalkV = 0x5A
+)
+
+// sideSeed derives the deterministic seed of one vertex's walk stream
+// on one side of the meeting computation. The stream depends only on
+// (engine seed, vertex, side) — never on the other endpoint of the
+// query — which is what lets the single-source kernels sample the
+// source's walks once and replay them against every candidate while
+// staying bit-identical to the pairwise path.
+func (e *Engine) sideSeed(v int, salt uint64) uint64 {
+	x := e.opt.Seed ^ (uint64(v)+1)*0x9e3779b97f4a7c15 ^ salt*0xc2b2ae3d27d4eb4f
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
 	return x
 }
 
+// walkChunks splits the N walk samples of one vertex-side into
+// fixed-size chunks, each with its own RNG seed drawn from the side's
+// stream in chunk order. The chunk set depends only on (engine seed,
+// vertex, side, N), so every query shape — pairwise, single-source,
+// batch — slices the same vertex's walks identically.
+func (e *Engine) walkChunks(v int, salt uint64) []parallel.Chunk {
+	return parallel.SplitChunks(e.opt.N, parallel.DefaultChunkSize, rng.New(e.sideSeed(v, salt)))
+}
+
 // MeetingSampled estimates m(k)(u,v) for k = 0..Steps with the Sampling
 // algorithm (Fig. 4). The N sample pairs are split into fixed-size
-// chunks, each driven by its own RNG stream split off the per-query
-// seed in chunk order, and the chunks run concurrently on the engine's
-// pool. Merging the integer per-chunk meeting counts is
+// chunks; chunk i pairs the i-th chunk of u's walk stream with the i-th
+// chunk of v's walk stream, and the chunks run concurrently on the
+// engine's pool. Merging the integer per-chunk meeting counts is
 // order-independent, so the estimate is bit-identical for every
 // Parallelism setting.
 func (e *Engine) MeetingSampled(u, v int) ([]float64, error) {
@@ -295,16 +435,20 @@ func (e *Engine) meetingSampledWith(p *parallel.Pool, u, v int) ([]float64, erro
 	if err := e.checkVertex(v); err != nil {
 		return nil, err
 	}
-	base := rng.New(e.querySeed(u, v, 0xA5))
-	chunks := parallel.SplitChunks(e.opt.N, parallel.DefaultChunkSize, base)
-	counts := make([][]int, len(chunks))
-	p.For(len(chunks), func(ci int) {
-		ch := chunks[ci]
-		r := rng.New(ch.Seed)
-		wu := mc.Sample(e.rev, u, e.opt.Steps, ch.Len(), r)
-		wv := mc.Sample(e.rev, v, e.opt.Steps, ch.Len(), r)
+	cu := e.walkChunks(u, saltWalkU)
+	cv := e.walkChunks(v, saltWalkV)
+	counts := make([][]int, len(cu))
+	p.For(len(cu), func(ci int) {
+		wu := mc.Sample(e.rev, u, e.opt.Steps, cu[ci].Len(), rng.New(cu[ci].Seed))
+		wv := mc.Sample(e.rev, v, e.opt.Steps, cv[ci].Len(), rng.New(cv[ci].Seed))
 		counts[ci] = mc.MeetingCounts(wu, wv)
 	})
+	return e.mergeMeetingCounts(counts), nil
+}
+
+// mergeMeetingCounts folds per-chunk integer meeting counts (in chunk
+// order) into the m̂(k) estimate of Eq. 13.
+func (e *Engine) mergeMeetingCounts(counts [][]int) []float64 {
 	m := make([]float64, e.opt.Steps+1)
 	for _, c := range counts {
 		for k, x := range c {
@@ -314,7 +458,7 @@ func (e *Engine) meetingSampledWith(p *parallel.Pool, u, v int) ([]float64, erro
 	for k := range m {
 		m[k] /= float64(e.opt.N)
 	}
-	return m, nil
+	return m
 }
 
 // Sampling computes ŝ(n)(u,v) by pure Monte Carlo (Sec. VI-B, Eq. 14).
@@ -337,7 +481,8 @@ func (e *Engine) TwoPhase(u, v int) (float64, error) {
 }
 
 func (e *Engine) twoPhaseWith(p *parallel.Pool, u, v int) (float64, error) {
-	exact, err := e.MeetingExact(u, v, min(e.opt.L, e.opt.Steps))
+	l, _ := e.exactDepth(AlgTwoPhase)
+	exact, err := e.MeetingExact(u, v, l)
 	if err != nil {
 		return 0, err
 	}
@@ -402,7 +547,8 @@ func (e *Engine) SRSP(u, v int) (float64, error) {
 }
 
 func (e *Engine) srspWith(p *parallel.Pool, u, v int) (float64, error) {
-	exact, err := e.MeetingExact(u, v, min(e.opt.L, e.opt.Steps))
+	l, _ := e.exactDepth(AlgSRSP)
+	exact, err := e.MeetingExact(u, v, l)
 	if err != nil {
 		return 0, err
 	}
@@ -432,7 +578,7 @@ func (e *Engine) SRSPMatrix(vertices []int) ([][]float64, error) {
 	}
 	fu, fv := e.pools()
 	n := e.opt.Steps
-	l := min(e.opt.L, n)
+	l, _ := e.exactDepth(AlgSRSP)
 
 	// Phase 1: counting-table propagations, two independent tasks per
 	// vertex (u-side and v-side pools), fanned out over the worker pool.
@@ -460,23 +606,15 @@ func (e *Engine) SRSPMatrix(vertices []int) ([][]float64, error) {
 		}
 		exact[i] = rows
 	}
-	// Phase 3: pairwise combination, one output row per task.
+	// Phase 3: pairwise combination through the same per-pair kernel the
+	// single-source SRSP path uses, one output row per task.
 	out := make([][]float64, len(vertices))
 	for i := range vertices {
 		out[i] = make([]float64, len(vertices))
 	}
 	e.pool.For(len(vertices), func(i int) {
-		exactM := make([]float64, l+1)
 		for j := range vertices {
-			for k := 0; k <= l; k++ {
-				exactM[k] = exact[i][k].Dot(exact[j][k])
-			}
-			if l >= n {
-				out[i][j] = Combine(exactM, e.opt.C, n)
-				continue
-			}
-			sampled := speedup.MeetingEstimates(tabU[i], tabV[j])
-			out[i][j] = CombineTwoPhase(exactM, sampled, e.opt.C, l, n)
+			out[i][j] = e.srspPair(exact[i], exact[j], tabU[i], tabV[j], l)
 		}
 	})
 	return out, nil

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+var allAlgorithms = []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP}
+
+// smallTestGraph is big enough that sampling splits into several chunks
+// but small enough for exhaustive single-source sweeps in tests.
+func smallTestGraph() *ugraph.Graph {
+	return gen.WithUniformProbs(gen.RMAT(6, 256, 0.45, 0.22, 0.22, rng.New(5)), 0.2, 0.9, rng.New(6))
+}
+
+// TestSingleSourceMatchesPairwiseBitForBit is the kernel contract:
+// SingleSource(alg, u)[v] == Compute(alg, u, v) exactly — no tolerance —
+// for every algorithm, across seeds and Parallelism values. The
+// pairwise path samples each side's walks from per-side streams and the
+// kernel replays the identical chunks, so the floats must agree to the
+// last bit.
+func TestSingleSourceMatchesPairwiseBitForBit(t *testing.T) {
+	graphs := map[string]*ugraph.Graph{
+		"fig1": ugraph.PaperFig1(),
+		"rmat": smallTestGraph(),
+	}
+	for name, g := range graphs {
+		for _, seed := range []uint64{1, 42} {
+			for _, par := range []int{1, 4} {
+				e := newEngine(t, g, Options{N: 320, Seed: seed, L: 1, Parallelism: par})
+				for _, alg := range allAlgorithms {
+					u := int(seed) % g.NumVertices()
+					got, err := e.SingleSource(alg, u)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != g.NumVertices() {
+						t.Fatalf("%s %v: %d scores for %d vertices", name, alg, len(got), g.NumVertices())
+					}
+					for v := 0; v < g.NumVertices(); v++ {
+						want, err := e.Compute(alg, u, v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got[v] != want {
+							t.Fatalf("%s %v seed=%d par=%d: SingleSource(%d)[%d] = %v, Compute = %v",
+								name, alg, seed, par, u, v, got[v], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSingleSourceParallelismInvariant: the kernel's own fan-out must
+// not change a single bit of the output.
+func TestSingleSourceParallelismInvariant(t *testing.T) {
+	g := smallTestGraph()
+	for _, alg := range allAlgorithms {
+		e1 := newEngine(t, g, Options{N: 320, Seed: 9, Parallelism: 1})
+		ref, err := e1.SingleSource(alg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			ep := newEngine(t, g, Options{N: 320, Seed: 9, Parallelism: par})
+			got, err := ep.SingleSource(alg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range ref {
+				if got[v] != ref[v] {
+					t.Fatalf("%v par=%d: score[%d] = %v, want %v", alg, par, v, got[v], ref[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSingleSourceAgainstSubset: explicit candidate lists, including
+// duplicates and the source itself.
+func TestSingleSourceAgainstSubset(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e := newEngine(t, g, Options{N: 256, Seed: 3})
+	candidates := []int{4, 0, 4, 2, 0}
+	for _, alg := range allAlgorithms {
+		got, err := e.SingleSourceAgainst(alg, 0, candidates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range candidates {
+			want, err := e.Compute(alg, 0, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("%v candidate %d (vertex %d): %v, want %v", alg, i, v, got[i], want)
+			}
+		}
+	}
+}
+
+func TestSingleSourceBadArgs(t *testing.T) {
+	e := newEngine(t, ugraph.PaperFig1(), Options{})
+	if _, err := e.SingleSource(AlgBaseline, -1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := e.SingleSource(AlgBaseline, 99); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := e.SingleSourceAgainst(AlgSRSP, 0, []int{1, 99}); err == nil {
+		t.Fatal("out-of-range candidate accepted")
+	}
+	if _, err := e.SingleSource(Algorithm(42), 0); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := e.SingleSourceAgainst(Algorithm(42), 0, nil); err == nil {
+		t.Fatal("unknown algorithm with empty candidates accepted")
+	}
+	if got, err := e.SingleSourceAgainst(AlgSRSP, 0, nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty candidates: %v, %v", got, err)
+	}
+}
+
+// TestSingleSourceConcurrent hammers one engine with single-source
+// queries from many goroutines mixing all four algorithms — the CI race
+// leg guards the shared LRU row cache, the lazy filter build, and the
+// nested pool fan-outs; the value checks guard determinism under
+// contention.
+func TestSingleSourceConcurrent(t *testing.T) {
+	g := smallTestGraph()
+	e := newEngine(t, g, Options{N: 256, Seed: 17, Parallelism: 4, RowCacheSize: 8})
+	sources := []int{0, 5, 11, 23}
+	want := make(map[Algorithm][][]float64)
+	for _, alg := range allAlgorithms {
+		for _, u := range sources {
+			s, err := e.SingleSource(alg, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[alg] = append(want[alg], s)
+		}
+	}
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errCh := make(chan string, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for rep := 0; rep < 2; rep++ {
+				alg := allAlgorithms[(gi+rep)%len(allAlgorithms)]
+				si := (gi * 3 / 2) % len(sources)
+				got, err := e.SingleSource(alg, sources[si])
+				if err != nil {
+					errCh <- err.Error()
+					return
+				}
+				ref := want[alg][si]
+				for v := range ref {
+					if got[v] != ref[v] {
+						errCh <- "concurrent single-source diverged from sequential value"
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errCh)
+	for msg := range errCh {
+		t.Fatal(msg)
+	}
+}
+
+// TestMeetingWalkerMatchesMeetingExact: the progressive walker behind
+// the pruned top-k search must yield exactly the MeetingExact values,
+// one level at a time.
+func TestMeetingWalkerMatchesMeetingExact(t *testing.T) {
+	g := smallTestGraph()
+	e := newEngine(t, g, Options{})
+	n := e.Options().Steps
+	for _, pair := range [][2]int{{0, 1}, {3, 17}, {5, 5}} {
+		want, err := e.MeetingExact(pair[0], pair[1], n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw, err := e.NewMeetingWalker(pair[0], pair[1], n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= n; k++ {
+			got, err := mw.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want[k] {
+				t.Fatalf("pair %v: walker m(%d) = %v, MeetingExact %v", pair, k, got, want[k])
+			}
+		}
+	}
+	if _, err := e.NewMeetingWalker(0, 99, n); err == nil {
+		t.Fatal("out-of-range candidate accepted")
+	}
+}
+
+// TestBatchGroupsBySource: grouped kernel execution must equal the
+// sequential pairwise loop, including mixed valid/invalid pairs.
+func TestBatchGroupsBySource(t *testing.T) {
+	g := smallTestGraph()
+	e := newEngine(t, g, Options{N: 256, Seed: 7, Parallelism: 3})
+	pairs := [][2]int{{0, 1}, {0, 9}, {5, 2}, {0, 3}, {99, 0}, {5, 200}, {5, 5}}
+	for _, alg := range allAlgorithms {
+		got := Batch(e, alg, pairs, 4)
+		for i, p := range pairs {
+			if p[0] >= g.NumVertices() || p[1] >= g.NumVertices() {
+				if got[i].Err == nil {
+					t.Fatalf("%v pair %v: invalid pair accepted", alg, p)
+				}
+				continue
+			}
+			want, err := e.Compute(alg, p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i].Err != nil || got[i].Value != want {
+				t.Fatalf("%v pair %v: batch %v (err %v), want %v", alg, p, got[i].Value, got[i].Err, want)
+			}
+		}
+	}
+}
+
+// TestWarmRowsPrefetch: warming fills the LRU deterministically, caps at
+// capacity, and never changes query results.
+func TestWarmRowsPrefetch(t *testing.T) {
+	g := ugraph.PaperFig1()
+	cold := newEngine(t, g, Options{})
+	warm := newEngine(t, g, Options{})
+	if err := warm.WarmRows([]int{0, 1, 2, 3, 4}, warm.Options().Steps); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := warm.RowCacheStats(); size != 5 {
+		t.Fatalf("warmed cache holds %d sources", size)
+	}
+	for u := 0; u < 5; u++ {
+		for v := u; v < 5; v++ {
+			a, err := cold.Baseline(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := warm.Baseline(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("warm cache changed s(%d,%d): %v vs %v", u, v, a, b)
+			}
+		}
+	}
+	// Warming beyond capacity computes only what fits.
+	tiny := newEngine(t, g, Options{RowCacheSize: 2})
+	if err := tiny.WarmRows([]int{0, 1, 2, 3, 4}, tiny.Options().Steps); err != nil {
+		t.Fatal(err)
+	}
+	size, evictions := tiny.RowCacheStats()
+	if size != 2 || evictions != 0 {
+		t.Fatalf("capacity-2 warm: size=%d evictions=%d", size, evictions)
+	}
+	if err := tiny.WarmRows([]int{0, 99}, 5); err == nil {
+		t.Fatal("invalid warm vertex accepted")
+	}
+}
+
+// TestRowCacheBoundedEviction: a sweep over more sources than the cache
+// holds must evict incrementally (not reset wholesale) and still return
+// exact values.
+func TestRowCacheBoundedEviction(t *testing.T) {
+	g := smallTestGraph()
+	small := newEngine(t, g, Options{RowCacheSize: 4})
+	big := newEngine(t, g, Options{RowCacheSize: g.NumVertices() + 1})
+	for v := 1; v < 12; v++ {
+		a, err := small.Baseline(0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := big.Baseline(0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("eviction changed s(0,%d): %v vs %v", v, a, b)
+		}
+	}
+	size, evictions := small.RowCacheStats()
+	if size > 4 {
+		t.Fatalf("cache grew past capacity: %d", size)
+	}
+	if evictions == 0 {
+		t.Fatal("sweep past capacity recorded no evictions")
+	}
+}

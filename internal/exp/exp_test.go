@@ -198,6 +198,9 @@ func TestFig13Proteins(t *testing.T) {
 	if len(res.HubTop5) != 5 {
 		t.Fatalf("hub top-5 has %d entries", len(res.HubTop5))
 	}
+	if len(res.HubTop5SRSP) != 5 {
+		t.Fatalf("SR-SP hub top-5 has %d entries", len(res.HubTop5SRSP))
+	}
 	// The paper's claim: accounting for uncertainty finds at least as
 	// many co-complex pairs as ignoring it.
 	if res.CoComplexUSIM < res.CoComplexDSIM {

@@ -31,9 +31,13 @@ type Fig13Result struct {
 	// complex (the paper reports 16/20 vs 6/20).
 	CoComplexUSIM int
 	CoComplexDSIM int
-	// Hub and its top-5 most USIM-similar proteins (Fig. 14).
+	// Hub and its top-5 most USIM-similar proteins (Fig. 14), exact.
 	Hub     int
 	HubTop5 []ProteinPair
+	// HubTop5SRSP is the same single-source query answered by the SR-SP
+	// strategy — the paper's scalable serving path — through the
+	// engine's single-source kernel.
+	HubTop5SRSP []ProteinPair
 }
 
 // Fig13Proteins reproduces Figs. 13 and 14: detecting similar proteins
@@ -71,9 +75,10 @@ func Fig13Proteins(cfg Config) (*Fig13Result, error) {
 		return core.Combine(m, opt.C, opt.Steps)
 	}
 
-	// USIM top-20 via the top-k search module, scoring sources on the
-	// engine's worker pool.
-	usimTop, err := topk.AllPairsParallel(engine, 20)
+	// USIM top-20 via the top-k search module: the engine's
+	// single-source kernels score each source's candidates in one pass,
+	// fanned out on the worker pool.
+	usimTop, err := topk.AllPairsParallel(engine, core.AlgBaseline, 20)
 	if err != nil {
 		return nil, err
 	}
@@ -116,24 +121,38 @@ func Fig13Proteins(cfg Config) (*Fig13Result, error) {
 		}
 	}
 	res.Hub = hub
-	hubTop, err := topk.SingleSource(engine, hub, 5)
+	hubTop, err := topk.SingleSource(engine, core.AlgBaseline, hub, 5)
 	if err != nil {
 		return nil, err
 	}
 	for _, r := range hubTop {
 		res.HubTop5 = append(res.HubTop5, ProteinPair{U: r.U, V: r.V, Similarity: r.Score, SameComplex: ppi.SameComplex(r.U, r.V)})
 	}
+	// The same query under SR-SP: approximate top-k over the
+	// single-source kernel, the shape a serving deployment would run
+	// when the exact Baseline cannot scale.
+	hubTopSRSP, err := topk.SingleSource(engine, core.AlgSRSP, hub, 5)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range hubTopSRSP {
+		res.HubTop5SRSP = append(res.HubTop5SRSP, ProteinPair{U: r.U, V: r.V, Similarity: r.Score, SameComplex: ppi.SameComplex(r.U, r.V)})
+	}
 
 	fmt.Fprintf(cfg.Out, "Fig. 13 — top-20 similar protein pairs, co-complex hits:\n")
 	fmt.Fprintf(cfg.Out, "  USIM %d/20    DSIM %d/20\n", res.CoComplexUSIM, res.CoComplexDSIM)
-	fmt.Fprintf(cfg.Out, "Fig. 14 — top-5 proteins similar to hub %d:\n  ", hub)
-	for _, pr := range res.HubTop5 {
-		marker := ""
-		if pr.SameComplex {
-			marker = "*"
+	printHubTop := func(label string, prs []ProteinPair) {
+		fmt.Fprintf(cfg.Out, "Fig. 14 — top-5 proteins similar to hub %d (%s):\n  ", hub, label)
+		for _, pr := range prs {
+			marker := ""
+			if pr.SameComplex {
+				marker = "*"
+			}
+			fmt.Fprintf(cfg.Out, "(%d%s %.4f) ", pr.V, marker, pr.Similarity)
 		}
-		fmt.Fprintf(cfg.Out, "(%d%s %.4f) ", pr.V, marker, pr.Similarity)
+		fmt.Fprintln(cfg.Out)
 	}
-	fmt.Fprintln(cfg.Out)
+	printHubTop("exact", res.HubTop5)
+	printHubTop("SR-SP", res.HubTop5SRSP)
 	return res, nil
 }

@@ -1,15 +1,20 @@
 // Package topk implements top-k SimRank similarity search on uncertain
 // graphs: the query shapes of the paper's case studies (top-20 similar
 // protein pairs, top-5 proteins similar to BUB1) as first-class
-// operations instead of materialise-everything-and-sort.
+// operations instead of materialise-everything-and-sort, runnable under
+// any of the engine's four computation strategies.
 //
-// Single-source queries prune candidates with the geometric tail bound
-// of the SimRank combination: after the meeting probabilities
-// m(0..k)(u,v) are known, the unseen tail contributes at most
-// (1−c)·Σ_{j>k} c^j + c^n = c^(k+1), so a candidate whose optimistic
-// score falls below the current k-th best is discarded without computing
-// its remaining transition rows. The pruned search returns exactly the
-// same result as the exhaustive one (verified by tests).
+// Exact (Baseline) single-source queries prune candidates with the
+// geometric tail bound of the SimRank combination: after the meeting
+// probabilities m(0..k)(u,v) are known, the unseen tail contributes at
+// most (1−c)·Σ_{j>k} c^j + c^n = c^(k+1), so a candidate whose
+// optimistic score falls below the current k-th best is discarded
+// without computing its remaining transition rows. The pruned search
+// returns exactly the same result as the exhaustive one (verified by
+// tests). The approximate strategies (Sampling, SR-TS, SR-SP) have no
+// usable per-candidate bound, but their engine-side single-source
+// kernels do the source's sampling work once for the whole sweep, so
+// top-k is a direct kernel sweep there.
 package topk
 
 import (
@@ -19,7 +24,6 @@ import (
 	"sort"
 
 	"usimrank/internal/core"
-	"usimrank/internal/parallel"
 )
 
 // Result is one scored vertex or pair.
@@ -28,12 +32,12 @@ type Result struct {
 	Score float64
 }
 
-// better reports whether a ranks above b in the canonical result order:
+// Better reports whether a ranks above b in the canonical result order:
 // score descending, ties broken by (U, V) ascending. Every top-k
-// selection in this package — heap eviction included — uses this one
-// total order, so sequential and parallel sweeps agree even when
-// scores tie at the k boundary.
-func better(a, b Result) bool {
+// selection in this package — heap eviction, final sorting, and the
+// Merge of per-shard winners — uses this one total order, so sequential
+// and parallel sweeps agree even when scores tie at the k boundary.
+func Better(a, b Result) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
@@ -43,15 +47,30 @@ func better(a, b Result) bool {
 	return a.V < b.V
 }
 
+// Merge folds any number of result lists into one canonical top-k: the
+// single helper behind both the sequential sweeps (one list) and the
+// parallel ones (one list per shard). The inputs need no particular
+// order.
+func Merge(k int, lists ...[]Result) []Result {
+	h := resultHeap{}
+	heap.Init(&h)
+	for _, l := range lists {
+		for _, r := range l {
+			offerK(&h, r, k)
+		}
+	}
+	return sortedDesc(h)
+}
+
 // resultHeap is a min-heap under the canonical order (worst of the
 // current best k at the root), holding the current best k.
 type resultHeap []Result
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return better(h[j], h[i]) }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return Better(h[j], h[i]) }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -64,7 +83,7 @@ func (h *resultHeap) Pop() interface{} {
 func offerK(h *resultHeap, r Result, k int) {
 	if len(*h) < k {
 		heap.Push(h, r)
-	} else if better(r, (*h)[0]) {
+	} else if Better(r, (*h)[0]) {
 		heap.Pop(h)
 		heap.Push(h, r)
 	}
@@ -75,15 +94,17 @@ func offerK(h *resultHeap, r Result, k int) {
 // result collection sorts the same way.
 func sortedDesc(h resultHeap) []Result {
 	out := append([]Result(nil), h...)
-	sort.SliceStable(out, func(i, j int) bool { return better(out[i], out[j]) })
+	sort.SliceStable(out, func(i, j int) bool { return Better(out[i], out[j]) })
 	return out
 }
 
-// SingleSource returns the k vertices most similar to u under the exact
-// SimRank measure, excluding u itself. Candidates are pruned with the
-// geometric tail bound, so vertices that provably cannot enter the top-k
-// never finish their exact computation.
-func SingleSource(e *core.Engine, u, k int) ([]Result, error) {
+// SingleSource returns the k vertices most similar to u under the given
+// algorithm, excluding u itself. The exact Baseline prunes candidates
+// with the geometric tail bound, so vertices that provably cannot enter
+// the top-k never finish their exact computation; the approximate
+// algorithms run the engine's one-pass single-source kernel and select
+// the top k from the scored vector.
+func SingleSource(e *core.Engine, alg core.Algorithm, u, k int) ([]Result, error) {
 	g := e.Graph()
 	if u < 0 || u >= g.NumVertices() {
 		return nil, fmt.Errorf("topk: vertex %d out of range [0,%d)", u, g.NumVertices())
@@ -91,6 +112,30 @@ func SingleSource(e *core.Engine, u, k int) ([]Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("topk: k = %d < 1", k)
 	}
+	if alg == core.AlgBaseline {
+		return singleSourceExact(e, u, k)
+	}
+	candidates := make([]int, 0, g.NumVertices()-1)
+	for v := 0; v < g.NumVertices(); v++ {
+		if v != u {
+			candidates = append(candidates, v)
+		}
+	}
+	scores, err := e.SingleSourceAgainst(alg, u, candidates)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(candidates))
+	for i, v := range candidates {
+		results[i] = Result{U: u, V: v, Score: scores[i]}
+	}
+	return Merge(k, results), nil
+}
+
+// singleSourceExact is the tail-bound-pruned search over the exact
+// measure.
+func singleSourceExact(e *core.Engine, u, k int) ([]Result, error) {
+	g := e.Graph()
 	opt := e.Options()
 	n := opt.Steps
 	c := opt.C
@@ -115,15 +160,22 @@ func SingleSource(e *core.Engine, u, k int) ([]Result, error) {
 		}
 		// Progressive evaluation: extend the meeting-probability prefix
 		// one step at a time and abandon the candidate as soon as its
-		// optimistic completion falls below the current k-th best.
+		// optimistic completion falls below the current k-th best. The
+		// walker computes each level of v's rows exactly once, so a
+		// candidate that survives to depth j has paid for j levels, not
+		// j(j+1)/2.
+		mw, err := e.NewMeetingWalker(u, v, n)
+		if err != nil {
+			return nil, err
+		}
 		pruned := false
-		var m []float64
+		m := make([]float64, 0, n+1)
 		for j := 0; j <= n; j++ {
-			mj, err := e.MeetingExact(u, v, j)
+			mj, err := mw.Next()
 			if err != nil {
 				return nil, err
 			}
-			m = mj
+			m = append(m, mj)
 			partial := partialScore(m, c, j, n)
 			if partial+tail[j] < threshold() {
 				pruned = true
@@ -155,42 +207,49 @@ func partialScore(m []float64, c float64, j, n int) float64 {
 }
 
 // AllPairsParallel returns exactly the same result as AllPairs, scoring
-// the sources concurrently on the engine's worker pool (the Parallelism
-// option): every source u owns one task that scores all pairs (u, v>u)
-// into a private top-k heap, and the per-source winners are merged with
-// the deterministic (score desc, U, V) order afterwards. Because the
-// exact measure is deterministic and each task writes only its own
-// slot, the outcome is independent of the worker count.
-func AllPairsParallel(e *core.Engine, k int) ([]Result, error) {
+// the sources concurrently (the Parallelism option): every source u
+// owns one task that runs the single-source kernel against the
+// candidates v > u into a private top-k list, and the per-source
+// winners are folded with Merge under the deterministic (score desc, U,
+// V) order afterwards. Because the kernels are bit-identical to
+// pairwise computation and each task writes only its own slot, the
+// outcome is independent of the worker count.
+func AllPairsParallel(e *core.Engine, alg core.Algorithm, k int) ([]Result, error) {
 	g := e.Graph()
 	if k < 1 {
 		return nil, fmt.Errorf("topk: k = %d < 1", k)
 	}
 	n := g.NumVertices()
-	opt := e.Options()
-	// Prefetch every source's transition rows sequentially, as
-	// SRSPMatrix does: a cold cache would otherwise make the first wave
-	// of workers recompute the same rows up to `workers` times. Skipped
-	// when the cache cannot hold all sources anyway.
-	if opt.RowCacheSize >= n {
-		for v := 0; v < n; v++ {
-			if _, err := e.MeetingExact(v, v, opt.Steps); err != nil {
-				return nil, err
-			}
-		}
+	// Explicit prefetch: warm the shared LRU once up-front (bounded by
+	// its capacity, a no-op for algorithms without exact rows) so the
+	// first wave of workers doesn't recompute the same rows up to
+	// `workers` times.
+	vertices := make([]int, n)
+	for v := range vertices {
+		vertices[v] = v
+	}
+	if err := e.WarmRowsFor(alg, vertices); err != nil {
+		return nil, err
 	}
 	local := make([][]Result, n)
 	errs := make([]error, n)
-	parallel.NewPool(opt.Parallelism).For(n, func(u int) {
+	// Fan out over sources on the engine's own pool: the kernels inside
+	// share its pool-wide helper tokens, so the whole sweep respects the
+	// single Options.Parallelism bound instead of stacking two pools.
+	e.WorkerPool().For(n, func(u int) {
+		candidates := make([]int, 0, n-u-1)
+		for v := u + 1; v < n; v++ {
+			candidates = append(candidates, v)
+		}
+		scores, err := e.SingleSourceAgainst(alg, u, candidates)
+		if err != nil {
+			errs[u] = err
+			return
+		}
 		h := resultHeap{}
 		heap.Init(&h)
-		for v := u + 1; v < n; v++ {
-			s, err := e.Baseline(u, v)
-			if err != nil {
-				errs[u] = err
-				return
-			}
-			offerK(&h, Result{U: u, V: v, Score: s}, k)
+		for i, v := range candidates {
+			offerK(&h, Result{U: u, V: v, Score: scores[i]}, k)
 		}
 		local[u] = h
 	})
@@ -199,22 +258,15 @@ func AllPairsParallel(e *core.Engine, k int) ([]Result, error) {
 			return nil, err
 		}
 	}
-	var all []Result
-	for _, l := range local {
-		all = append(all, l...)
-	}
-	merged := sortedDesc(resultHeap(all))
-	if len(merged) > k {
-		merged = merged[:k]
-	}
-	return merged, nil
+	return Merge(k, local...), nil
 }
 
 // AllPairs returns the k most similar distinct pairs (u < v) under the
-// exact measure. It computes per-source transition rows once (through
-// the engine's row cache) and scores all pairs; intended for the
-// case-study graph sizes.
-func AllPairs(e *core.Engine, k int) ([]Result, error) {
+// given algorithm: the sequential reference implementation of
+// AllPairsParallel, scoring pairs one Compute call at a time (per-source
+// rows still flow through the engine's row cache). Intended for the
+// case-study graph sizes and as the oracle in tests.
+func AllPairs(e *core.Engine, alg core.Algorithm, k int) ([]Result, error) {
 	g := e.Graph()
 	if k < 1 {
 		return nil, fmt.Errorf("topk: k = %d < 1", k)
@@ -223,7 +275,7 @@ func AllPairs(e *core.Engine, k int) ([]Result, error) {
 	heap.Init(&h)
 	for u := 0; u < g.NumVertices(); u++ {
 		for v := u + 1; v < g.NumVertices(); v++ {
-			s, err := e.Baseline(u, v)
+			s, err := e.Compute(alg, u, v)
 			if err != nil {
 				return nil, err
 			}

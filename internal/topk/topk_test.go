@@ -11,6 +11,8 @@ import (
 	"usimrank/internal/ugraph"
 )
 
+var allAlgorithms = []core.Algorithm{core.AlgBaseline, core.AlgSampling, core.AlgTwoPhase, core.AlgSRSP}
+
 func engineFor(t *testing.T, g *ugraph.Graph) *core.Engine {
 	t.Helper()
 	e, err := core.NewEngine(g, core.Options{Seed: 1, RowCacheSize: g.NumVertices() + 1})
@@ -20,8 +22,9 @@ func engineFor(t *testing.T, g *ugraph.Graph) *core.Engine {
 	return e
 }
 
-// bruteSingleSource computes the reference ranking without pruning.
-func bruteSingleSource(t *testing.T, e *core.Engine, u, k int) []Result {
+// bruteSingleSource computes the reference ranking for any algorithm
+// without pruning or kernels, one pairwise Compute at a time.
+func bruteSingleSource(t *testing.T, e *core.Engine, alg core.Algorithm, u, k int) []Result {
 	t.Helper()
 	g := e.Graph()
 	var all []Result
@@ -29,18 +32,13 @@ func bruteSingleSource(t *testing.T, e *core.Engine, u, k int) []Result {
 		if v == u {
 			continue
 		}
-		s, err := e.Baseline(u, v)
+		s, err := e.Compute(alg, u, v)
 		if err != nil {
 			t.Fatal(err)
 		}
 		all = append(all, Result{U: u, V: v, Score: s})
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].V < all[j].V
-	})
+	sort.SliceStable(all, func(i, j int) bool { return Better(all[i], all[j]) })
 	if len(all) > k {
 		all = all[:k]
 	}
@@ -52,11 +50,11 @@ func TestSingleSourceMatchesBruteForceFig1(t *testing.T) {
 	e := engineFor(t, g)
 	for u := 0; u < g.NumVertices(); u++ {
 		for _, k := range []int{1, 2, 4} {
-			got, err := SingleSource(e, u, k)
+			got, err := SingleSource(e, core.AlgBaseline, u, k)
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := bruteSingleSource(t, e, u, k)
+			want := bruteSingleSource(t, e, core.AlgBaseline, u, k)
 			if len(got) != len(want) {
 				t.Fatalf("u=%d k=%d: %d results, want %d", u, k, len(got), len(want))
 			}
@@ -72,11 +70,11 @@ func TestSingleSourceMatchesBruteForceFig1(t *testing.T) {
 func TestSingleSourceMatchesBruteForcePPI(t *testing.T) {
 	ppi := gen.PlantedPPI(gen.DefaultPPIConfig(60), rng.New(3))
 	e := engineFor(t, ppi.Graph)
-	got, err := SingleSource(e, 0, 5)
+	got, err := SingleSource(e, core.AlgBaseline, 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := bruteSingleSource(t, e, 0, 5)
+	want := bruteSingleSource(t, e, core.AlgBaseline, 0, 5)
 	for i := range want {
 		if math.Abs(got[i].Score-want[i].Score) > 1e-12 {
 			t.Fatalf("rank %d: pruned %+v vs brute %+v", i, got[i], want[i])
@@ -84,37 +82,70 @@ func TestSingleSourceMatchesBruteForcePPI(t *testing.T) {
 	}
 }
 
+// TestSingleSourceAllAlgorithms: top-k must work — and agree exactly
+// with the pairwise brute force — under every computation strategy,
+// not just the exact Baseline.
+func TestSingleSourceAllAlgorithms(t *testing.T) {
+	ppi := gen.PlantedPPI(gen.DefaultPPIConfig(40), rng.New(5))
+	for _, alg := range allAlgorithms {
+		for _, workers := range []int{1, 4} {
+			e, err := core.NewEngine(ppi.Graph, core.Options{Seed: 2, N: 256, Parallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SingleSource(e, alg, 7, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteSingleSource(t, e, alg, 7, 5)
+			if len(got) != len(want) {
+				t.Fatalf("%v workers=%d: %d results, want %d", alg, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v workers=%d rank %d: %+v vs %+v", alg, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestSingleSourceDescendingAndExcludesSelf(t *testing.T) {
 	g := ugraph.PaperFig1()
 	e := engineFor(t, g)
-	res, err := SingleSource(e, 2, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, r := range res {
-		if r.V == 2 {
-			t.Fatal("self included")
+	for _, alg := range allAlgorithms {
+		res, err := SingleSource(e, alg, 2, 4)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if i > 0 && res[i].Score > res[i-1].Score+1e-15 {
-			t.Fatal("results not descending")
+		for i, r := range res {
+			if r.V == 2 {
+				t.Fatalf("%v: self included", alg)
+			}
+			if i > 0 && res[i].Score > res[i-1].Score+1e-15 {
+				t.Fatalf("%v: results not descending", alg)
+			}
 		}
 	}
 }
 
 func TestSingleSourceBadArgs(t *testing.T) {
 	e := engineFor(t, ugraph.PaperFig1())
-	if _, err := SingleSource(e, -1, 3); err == nil {
+	if _, err := SingleSource(e, core.AlgBaseline, -1, 3); err == nil {
 		t.Fatal("negative vertex accepted")
 	}
-	if _, err := SingleSource(e, 0, 0); err == nil {
+	if _, err := SingleSource(e, core.AlgBaseline, 0, 0); err == nil {
 		t.Fatal("k=0 accepted")
+	}
+	if _, err := SingleSource(e, core.Algorithm(42), 0, 3); err == nil {
+		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestAllPairsMatchesExhaustive(t *testing.T) {
 	g := ugraph.PaperFig1()
 	e := engineFor(t, g)
-	got, err := AllPairs(e, 3)
+	got, err := AllPairs(e, core.AlgBaseline, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +171,7 @@ func TestAllPairsMatchesExhaustive(t *testing.T) {
 func TestAllPairsKLargerThanPairs(t *testing.T) {
 	g := ugraph.PaperFig1()
 	e := engineFor(t, g)
-	res, err := AllPairs(e, 1000)
+	res, err := AllPairs(e, core.AlgBaseline, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,48 +182,79 @@ func TestAllPairsKLargerThanPairs(t *testing.T) {
 
 func TestAllPairsBadK(t *testing.T) {
 	e := engineFor(t, ugraph.PaperFig1())
-	if _, err := AllPairs(e, 0); err == nil {
+	if _, err := AllPairs(e, core.AlgBaseline, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }
 
-// TestAllPairsParallelMatchesSequential pins the pool-based sweep to
-// AllPairs for several worker counts, including ragged k boundaries.
+// TestAllPairsParallelMatchesSequential pins the kernel-based sweep to
+// the sequential pairwise reference for every algorithm and several
+// worker counts, including ragged k boundaries.
 func TestAllPairsParallelMatchesSequential(t *testing.T) {
 	ppi := gen.PlantedPPI(gen.DefaultPPIConfig(60), rng.New(2))
-	for _, k := range []int{1, 5, 20} {
-		e, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, RowCacheSize: 61, Parallelism: 1})
-		if err != nil {
-			t.Fatal(err)
-		}
-		want, err := AllPairs(e, k)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, workers := range []int{1, 3, 8} {
-			ep, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, RowCacheSize: 61, Parallelism: workers})
+	for _, alg := range allAlgorithms {
+		for _, k := range []int{1, 5, 20} {
+			e, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, N: 256, RowCacheSize: 61, Parallelism: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := AllPairsParallel(ep, k)
+			want, err := AllPairs(e, alg, k)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(got) != len(want) {
-				t.Fatalf("k=%d workers=%d: %d results, want %d", k, workers, len(got), len(want))
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("k=%d workers=%d: result %d = %+v, want %+v", k, workers, i, got[i], want[i])
+			for _, workers := range []int{1, 3, 8} {
+				ep, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, N: 256, RowCacheSize: 61, Parallelism: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := AllPairsParallel(ep, alg, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v k=%d workers=%d: %d results, want %d", alg, k, workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v k=%d workers=%d: result %d = %+v, want %+v", alg, k, workers, i, got[i], want[i])
+					}
 				}
 			}
 		}
 	}
 }
 
+// TestAllPairsParallelSmallCache: a row cache far smaller than the
+// vertex count must still produce exact results — the warm path clamps
+// to capacity and the LRU evicts incrementally during the sweep.
+func TestAllPairsParallelSmallCache(t *testing.T) {
+	ppi := gen.PlantedPPI(gen.DefaultPPIConfig(40), rng.New(4))
+	ref, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, RowCacheSize: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AllPairs(ref, core.AlgBaseline, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, RowCacheSize: 5, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AllPairsParallel(small, core.AlgBaseline, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestAllPairsParallelBadK(t *testing.T) {
 	e := engineFor(t, ugraph.PaperFig1())
-	if _, err := AllPairsParallel(e, 0); err == nil {
+	if _, err := AllPairsParallel(e, core.AlgBaseline, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }
@@ -210,11 +272,11 @@ func TestAllPairsTieAtBoundary(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seq, err := AllPairs(e, 3)
+		seq, err := AllPairs(e, core.AlgBaseline, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := AllPairsParallel(e, 3)
+		par, err := AllPairsParallel(e, core.AlgBaseline, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,6 +295,27 @@ func TestAllPairsTieAtBoundary(t *testing.T) {
 		}
 		if seq[1] != (Result{U: 0, V: 1}) || seq[2] != (Result{U: 0, V: 2}) {
 			t.Fatalf("workers=%d: tied tail %+v, %+v", workers, seq[1], seq[2])
+		}
+	}
+}
+
+// TestMergeCanonical: Merge must agree with a global sort + truncate
+// under the canonical order, whatever the shard decomposition.
+func TestMergeCanonical(t *testing.T) {
+	all := []Result{
+		{U: 0, V: 1, Score: 0.5}, {U: 0, V: 2, Score: 0.9}, {U: 1, V: 2, Score: 0.5},
+		{U: 1, V: 3, Score: 0.1}, {U: 2, V: 3, Score: 0.9}, {U: 0, V: 3, Score: 0.5},
+	}
+	want := append([]Result(nil), all...)
+	sort.SliceStable(want, func(i, j int) bool { return Better(want[i], want[j]) })
+	want = want[:4]
+	got := Merge(4, all[:2], all[2:3], nil, all[3:])
+	if len(got) != 4 {
+		t.Fatalf("merged %d results", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v, want %+v", i, got[i], want[i])
 		}
 	}
 }

@@ -117,35 +117,67 @@ func extendEntries(entries []visitEntry, e, w int32) (out []visitEntry, oldOw []
 // engine's parallelism guarantee and the repository's reproducibility
 // contract both rest on.
 func TransitionRows(g *ugraph.Graph, src int, K int, opt Options) ([]matrix.Vec, error) {
+	w, err := NewRowWalker(g, src, opt)
+	if err != nil {
+		return nil, err
+	}
+	return w.Rows(K)
+}
+
+// RowWalker extends one source's exact transition rows a level at a
+// time, keeping the live walk states between calls. Progressive
+// consumers — the tail-bound-pruned top-k search deepens candidates
+// step by step and abandons most of them early — pay for each level
+// exactly once, instead of recomputing rows 0..j from scratch at every
+// deepening step as repeated TransitionRows calls would. The rows are
+// bit-identical to TransitionRows at every depth (TransitionRows is a
+// RowWalker run to depth K in one call).
+type RowWalker struct {
+	g         *ugraph.Graph
+	cache     *alphaCache
+	maxStates int
+	rows      []matrix.Vec // rows[k] for k = 0..len-1, monotonically extended
+	level     []*walkState // live states at depth len(rows)-1
+}
+
+// NewRowWalker returns a walker positioned at depth 0 (rows[0] is the
+// unit vector at src).
+func NewRowWalker(g *ugraph.Graph, src int, opt Options) (*RowWalker, error) {
 	if src < 0 || src >= g.NumVertices() {
 		return nil, fmt.Errorf("walkpr: source %d out of range [0,%d)", src, g.NumVertices())
 	}
+	return &RowWalker{
+		g:         g,
+		cache:     newAlphaCache(g),
+		maxStates: opt.maxStates(),
+		rows:      []matrix.Vec{matrix.Unit(int32(src))},
+		level:     []*walkState{{end: int32(src), p: 1}},
+	}, nil
+}
+
+// Rows extends the walker to depth K if needed and returns rows 0..K.
+// The returned slice aliases the walker's internal state; callers must
+// not mutate it.
+func (rw *RowWalker) Rows(K int) ([]matrix.Vec, error) {
 	if K < 0 {
 		return nil, fmt.Errorf("walkpr: negative K %d", K)
 	}
-	cache := newAlphaCache(g)
-	maxStates := opt.maxStates()
-
-	rows := make([]matrix.Vec, K+1)
-	rows[0] = matrix.Unit(int32(src))
-
-	level := []*walkState{{end: int32(src), p: 1}}
-	for k := 1; k <= K; k++ {
+	for k := len(rw.rows); k <= K; k++ {
 		var next []*walkState
 		nextIndex := make(map[string]*walkState)
-		for _, st := range level {
+		for _, st := range rw.level {
 			e := st.end
-			for _, w := range g.Out(int(e)) {
+			for _, w := range rw.g.Out(int(e)) {
 				entries, oldOw, oldC, newOw, newC := extendEntries(st.entries, e, w)
-				aOld := cache.alpha(e, oldOw, int(oldC))
-				aNew := cache.alpha(e, newOw, int(newC))
+				aOld := rw.cache.alpha(e, oldOw, int(oldC))
+				aNew := rw.cache.alpha(e, newOw, int(newC))
 				p := st.p * aNew / aOld
 				key := stateKey(w, entries)
 				if ns, ok := nextIndex[key]; ok {
 					ns.p += p
 				} else {
-					if len(nextIndex) >= maxStates {
-						return nil, fmt.Errorf("%w: more than %d states at step %d", ErrStateExplosion, maxStates, k)
+					if len(nextIndex) >= rw.maxStates {
+						return nil, fmt.Errorf("%w: more than %d states at step %d", ErrStateExplosion, rw.maxStates, k)
 					}
 					ns = &walkState{end: w, entries: entries, p: p}
 					nextIndex[key] = ns
@@ -157,10 +189,10 @@ func TransitionRows(g *ugraph.Graph, src int, K int, opt Options) ([]matrix.Vec,
 		for _, st := range next {
 			acc[st.end] += st.p
 		}
-		rows[k] = matrix.FromMap(acc)
-		level = next
+		rw.rows = append(rw.rows, matrix.FromMap(acc))
+		rw.level = next
 	}
-	return rows, nil
+	return rw.rows[:K+1], nil
 }
 
 // ExpectedOneStep returns the exact expected one-step transition matrix

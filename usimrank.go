@@ -18,13 +18,22 @@
 //   - SRSP (SR-SP) — TwoPhase with a bit-vector technique that runs all
 //     N sampling processes simultaneously.
 //
+// The engine serves five query shapes on one shared substrate (LRU row
+// cache, SR-SP filter pools, bounded worker pool): pairwise
+// Engine.Compute, one-pass single-source Engine.SingleSource (u's rows,
+// walks, or propagations computed once and replayed against every
+// candidate), top-k via TopKSimilar/TopKPairs under any algorithm,
+// matrix sweeps via Engine.SRSPMatrix, and Batch, which groups
+// arbitrary pairs by source so shared u-side work is paid once.
+//
 // All sampling strategies execute on a bounded worker pool controlled by
 // Options.Parallelism (default runtime.GOMAXPROCS(0)): Monte Carlo
-// samples are fanned out in fixed-size chunks whose RNG streams are
-// split off the per-query seed in chunk order, and SR-SP filter
+// samples are fanned out in fixed-size chunks whose RNG streams depend
+// only on (seed, vertex, side) in chunk order, and SR-SP filter
 // construction, propagations, and matrix sweeps are decomposed into
 // disjoint per-vertex tasks. Results are therefore bit-identical for
-// every Parallelism value — raising the knob changes only wall time.
+// every Parallelism value and every query shape — raising the knob or
+// switching pairwise loops to kernels changes only wall time.
 //
 // Quick start:
 //
@@ -165,17 +174,21 @@ func ErrorBound(c float64, n int) float64 { return core.ErrorBound(c, n) }
 // TopKResult is one scored vertex (or pair) of a top-k query.
 type TopKResult = topk.Result
 
-// TopKSimilar returns the k vertices most similar to u under the exact
-// measure, pruning candidates with the geometric tail bound (the query
-// of the paper's Fig. 14 case study).
-func TopKSimilar(e *Engine, u, k int) ([]TopKResult, error) {
-	return topk.SingleSource(e, u, k)
+// TopKSimilar returns the k vertices most similar to u under the given
+// algorithm (the query of the paper's Fig. 14 case study). With
+// AlgBaseline, candidates are pruned with the geometric tail bound of
+// the exact measure; the approximate algorithms sweep the engine's
+// one-pass single-source kernel, doing u's sampling work once for the
+// whole query instead of once per candidate.
+func TopKSimilar(e *Engine, alg Algorithm, u, k int) ([]TopKResult, error) {
+	return topk.SingleSource(e, alg, u, k)
 }
 
 // TopKPairs returns the k most similar distinct vertex pairs under the
-// exact measure (the query of the paper's Fig. 13 case study). Sources
-// are scored concurrently on the engine's worker pool; the result is
-// identical to a sequential sweep.
-func TopKPairs(e *Engine, k int) ([]TopKResult, error) {
-	return topk.AllPairsParallel(e, k)
+// given algorithm (the query of the paper's Fig. 13 case study).
+// Sources are scored concurrently through the single-source kernels on
+// the engine's worker pool; the result is identical to a sequential
+// pairwise sweep for every Parallelism value.
+func TopKPairs(e *Engine, alg Algorithm, k int) ([]TopKResult, error) {
+	return topk.AllPairsParallel(e, alg, k)
 }

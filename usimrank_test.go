@@ -123,19 +123,29 @@ func TestFacadeTopK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	similar, err := usimrank.TopKSimilar(e, 0, 2)
+	similar, err := usimrank.TopKSimilar(e, usimrank.AlgBaseline, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(similar) != 2 || similar[0].Score < similar[1].Score {
 		t.Fatalf("TopKSimilar wrong: %+v", similar)
 	}
-	pairs, err := usimrank.TopKPairs(e, 3)
+	pairs, err := usimrank.TopKPairs(e, usimrank.AlgBaseline, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pairs) != 3 {
 		t.Fatalf("TopKPairs returned %d", len(pairs))
+	}
+	// Top-k runs under the approximate strategies too: SR-SP must agree
+	// with its own pairwise scores (checked exhaustively elsewhere) and
+	// return a full list here.
+	srsp, err := usimrank.TopKSimilar(e, usimrank.AlgSRSP, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srsp) != 2 {
+		t.Fatalf("SR-SP TopKSimilar returned %d", len(srsp))
 	}
 	// The top pair must score at least as high as any TopKSimilar hit.
 	if pairs[0].Score < similar[0].Score-1e-12 {
