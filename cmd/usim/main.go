@@ -16,13 +16,18 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"usimrank"
 )
+
+// baselineAlgs are the -alg values outside the shared engine (the
+// deterministic/expected-measure baselines); everything else must
+// parse through usimrank.ParseAlgorithm, the one name list the CLI
+// shares with the serving plane.
+var baselineAlgs = map[string]bool{"det": true, "du": true, "jaccard": true}
 
 func main() {
 	var (
@@ -40,28 +45,63 @@ func main() {
 		topK      = flag.Int("topk", 0, "top-k mode: report the k best candidates (with -source) or vertex pairs (without)")
 	)
 	flag.Parse()
+
+	// Validate every flag up front: bad input exits 2 with a usage
+	// message instead of surfacing as an engine error (or worse, a
+	// panic) deep inside the computation.
 	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "usim: -graph is required")
-		flag.Usage()
-		os.Exit(2)
+		usage("-graph is required")
 	}
-	g, err := loadGraph(*graphPath)
+	engineAlg, algErr := usimrank.ParseAlgorithm(*alg)
+	if algErr != nil && !baselineAlgs[*alg] {
+		usage(fmt.Sprintf("unknown algorithm %q (want baseline, sampling, twophase, srsp, det, du or jaccard)", *alg))
+	}
+	if !(*c > 0 && *c < 1) {
+		usage(fmt.Sprintf("-c %v outside (0,1)", *c))
+	}
+	if *n < 1 {
+		usage(fmt.Sprintf("-n %d < 1", *n))
+	}
+	if *samples < 1 {
+		usage(fmt.Sprintf("-N %d < 1", *samples))
+	}
+	// l = 0 is rejected rather than passed through: the engine treats a
+	// zero L as "unset" and silently defaults it to 1, which would make
+	// the flag lie about the split actually used.
+	if *l < 1 || *l > *n {
+		usage(fmt.Sprintf("-l %d outside [1,%d]", *l, *n))
+	}
+	if *topK < 0 {
+		usage(fmt.Sprintf("-topk %d < 0", *topK))
+	}
+	if (*source >= 0 || *topK > 0) && algErr != nil {
+		usage(fmt.Sprintf("algorithm %q does not support -source/-topk (use baseline, sampling, twophase or srsp)", *alg))
+	}
+	g, err := usimrank.LoadGraphFile(*graphPath)
 	if err != nil {
 		fatal(err)
 	}
+	// Vertex-id validation needs the graph's size, so it runs right
+	// after the load — still before any engine work starts.
+	nv := g.NumVertices()
+	checkVertex := func(name string, v int) {
+		if v < 0 || v >= nv {
+			usage(fmt.Sprintf("%s %d out of range [0,%d)", name, v, nv))
+		}
+	}
+	if *source >= 0 {
+		checkVertex("-source", *source)
+	} else if *topK == 0 {
+		checkVertex("-u", *u)
+		checkVertex("-v", *v)
+	}
+	if *topK > 0 && *source < 0 && nv < 2 {
+		usage(fmt.Sprintf("-topk needs at least 2 vertices, graph has %d", nv))
+	}
 	opt := usimrank.Options{C: *c, Steps: *n, N: *samples, L: *l, Seed: *seed, Parallelism: *workers}
 
-	algorithms := map[string]usimrank.Algorithm{
-		"baseline": usimrank.AlgBaseline,
-		"sampling": usimrank.AlgSampling,
-		"twophase": usimrank.AlgTwoPhase,
-		"srsp":     usimrank.AlgSRSP,
-	}
 	if *source >= 0 || *topK > 0 {
-		a, ok := algorithms[*alg]
-		if !ok {
-			fatal(fmt.Errorf("algorithm %q does not support -source/-topk (use baseline, sampling, twophase or srsp)", *alg))
-		}
+		a := engineAlg
 		e, err := usimrank.New(g, opt)
 		if err != nil {
 			fatal(err)
@@ -98,41 +138,33 @@ func main() {
 		return
 	}
 	var s float64
-	switch *alg {
-	case "baseline", "sampling", "twophase", "srsp":
+	switch {
+	case algErr == nil:
 		e, err := usimrank.New(g, opt)
 		if err != nil {
 			fatal(err)
 		}
-		s, err = e.Compute(algorithms[*alg], *u, *v)
+		s, err = e.Compute(engineAlg, *u, *v)
 		if err != nil {
 			fatal(err)
 		}
-	case "det":
+	case *alg == "det":
 		s = usimrank.DeterministicSimRank(g.Skeleton(), *u, *v, *c, *n)
-	case "du":
+	case *alg == "du":
 		s = usimrank.DuSimRank(g, *u, *v, *c, *n)
-	case "jaccard":
+	case *alg == "jaccard":
 		s = usimrank.ExpectedJaccard(g, *u, *v)
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *alg))
 	}
 	fmt.Printf("s(%d,%d) = %.8f  [%s, n=%d, c=%g]\n", *u, *v, s, *alg, *n, *c)
 	fmt.Printf("truncation bound (Thm 2): %.2g\n", usimrank.ErrorBound(*c, *n))
 }
 
-func loadGraph(path string) (*usimrank.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	magic, err := br.Peek(4)
-	if err == nil && string(magic) == "USGR" {
-		return usimrank.ReadBinary(br)
-	}
-	return usimrank.ReadText(br)
+// usage reports a bad invocation: the message, the flag summary, and
+// exit code 2 (the flag package's own convention).
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "usim:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -1,0 +1,121 @@
+// Command usimd serves SimRank queries on an uncertain graph over an
+// HTTP JSON API from one resident engine, so warm state (the LRU row
+// cache, SR-SP filter pools, per-source kernels) amortises across
+// queries instead of being rebuilt per process.
+//
+//	usimd -graph g.ug -addr :8471
+//
+// Endpoints (see package usimrank/internal/server for the JSON
+// schemas):
+//
+//	POST /v1/score         one pairwise similarity
+//	POST /v1/source        the single-source vector s(u, ·)
+//	POST /v1/topk          top-k similar vertices, or pairs
+//	POST /v1/batch         many pairs, grouped by source
+//	GET  /v1/stats         metrics snapshot
+//	POST /v1/admin/reload  zero-downtime graph hot-swap
+//	GET  /healthz          liveness
+//
+// The server coalesces concurrent identical queries, bounds in-flight
+// work (-max-inflight, 429 beyond it), enforces per-request deadlines
+// (-timeout, 504 past it), and hot-swaps the graph under live traffic.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"usimrank"
+	"usimrank/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "uncertain graph file (text or binary, required)")
+		addr      = flag.String("addr", ":8471", "listen address")
+		c         = flag.Float64("c", 0.6, "decay factor in (0,1)")
+		n         = flag.Int("n", 5, "SimRank iterations")
+		samples   = flag.Int("N", 1000, "sampled walk pairs")
+		l         = flag.Int("l", 1, "two-phase split")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = all cores)")
+		rowCache  = flag.Int("rowcache", 0, "row cache capacity (0 = engine default)")
+		warm      = flag.Bool("warm", false, "build the SR-SP filter pools before serving")
+
+		maxInFlight = flag.Int("max-inflight", 0, "admitted concurrent queries (0 = 4x workers, min 32)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		admitWait   = flag.Duration("admission-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429 (negative: reject immediately)")
+		drain       = flag.Duration("drain-timeout", 15*time.Second, "max wait for old-engine requests after a hot-swap")
+		logEvery    = flag.Duration("log-every", time.Minute, "period of the metrics log line (0 disables)")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "usimd: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// The engine treats a zero L as "unset" (defaulting it to 1), so an
+	// explicit -l 0 would silently serve a different split than asked.
+	if *l < 1 || *l > *n {
+		fmt.Fprintf(os.Stderr, "usimd: -l %d outside [1,%d]\n", *l, *n)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "usimd ", log.LstdFlags)
+	g, err := usimrank.LoadGraphFile(*graphPath)
+	if err != nil {
+		logger.Fatalf("load graph: %v", err)
+	}
+	cfg := server.Config{
+		Engine: usimrank.Options{
+			C: *c, Steps: *n, N: *samples, L: *l, Seed: *seed,
+			Parallelism: *workers, RowCacheSize: *rowCache,
+		},
+		MaxInFlight:   *maxInFlight,
+		QueryTimeout:  *timeout,
+		AdmissionWait: *admitWait,
+		DrainTimeout:  *drain,
+		LogEvery:      *logEvery,
+		Logger:        logger,
+	}
+	srv, err := server.New(g, *graphPath, cfg)
+	if err != nil {
+		logger.Fatalf("build server: %v", err)
+	}
+	if *warm {
+		warmStart := time.Now()
+		srv.WarmFilters()
+		logger.Printf("warmed SR-SP filter pools in %s", time.Since(warmStart).Round(time.Millisecond))
+	}
+	logger.Printf("serving %s (%d vertices, %d arcs) on %s", *graphPath, g.NumVertices(), g.NumArcs(), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		srv.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"usimrank/internal/cache"
 	"usimrank/internal/matrix"
@@ -32,6 +34,30 @@ func (a Algorithm) String() string {
 		return "SR-SP"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists the four strategies in their canonical order — the
+// iteration set for sweeps, CLIs, and serving planes.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP}
+}
+
+// ParseAlgorithm maps a user-facing algorithm name to its Algorithm.
+// It accepts the CLI spellings ("baseline", "sampling", "twophase",
+// "srsp") plus the paper's names ("sr-ts", "sr-sp"), case-insensitively.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return AlgBaseline, nil
+	case "sampling":
+		return AlgSampling, nil
+	case "twophase", "two-phase", "srts", "sr-ts":
+		return AlgTwoPhase, nil
+	case "srsp", "sr-sp":
+		return AlgSRSP, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q (want baseline, sampling, twophase or srsp)", s)
 	}
 }
 
@@ -94,9 +120,23 @@ type PairResult struct {
 // Compute loop regardless of grouping or scheduling. workers < 1
 // selects the engine's Parallelism option.
 func Batch(e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
-	if workers < 1 {
-		workers = e.opt.Parallelism
+	return batchWith(context.Background(), e, alg, pairs, workers)
+}
+
+// batchWith is Batch on an explicit context: the fan-out pool is a
+// WithContext view, so cancellation stops unstarted groups and chunks.
+// BatchCtx (the only cancellable caller) discards the partial output
+// when ctx is done.
+func batchWith(ctx context.Context, e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
+	// workers < 1 shares the engine's own pool, so concurrent batches
+	// (a serving plane's steady state) stay inside one pool-wide
+	// Parallelism bound instead of stacking a fresh pool per call; an
+	// explicit workers count still gets a dedicated pool.
+	pool := e.pool
+	if workers >= 1 {
+		pool = parallel.NewPool(workers)
 	}
+	pool = pool.WithContext(ctx)
 	if alg == AlgSRSP && e.opt.L < e.opt.Steps {
 		e.pools() // build the shared filters once, before the fan-out
 	}
@@ -123,7 +163,6 @@ func Batch(e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
 	// One task per source group. Inner kernels share the same pool: its
 	// helper tokens are pool-wide, so the two fan-out levels never
 	// multiply into workers² goroutines.
-	pool := parallel.NewPool(workers)
 	pool.For(len(sources), func(gi int) {
 		idx := groups[sources[gi]]
 		candidates := make([]int, len(idx))

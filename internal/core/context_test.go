@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCtxWrappersMatchPlainCalls pins the cancellation wrappers to
+// their plain counterparts: with a live context every value is
+// bit-identical, so the serving plane can route everything through the
+// Ctx entry points without perturbing results.
+func TestCtxWrappersMatchPlainCalls(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 400, Seed: 11, Parallelism: 4})
+	ctx := context.Background()
+	for _, alg := range Algorithms() {
+		want, err := e.Compute(alg, 3, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.ComputeCtx(ctx, alg, 3, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: ComputeCtx = %v, Compute = %v", alg, got, want)
+		}
+		wantSS, err := e.SingleSource(alg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSS, err := e.SingleSourceCtx(ctx, alg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range wantSS {
+			if gotSS[v] != wantSS[v] {
+				t.Fatalf("%v: SingleSourceCtx[%d] = %v, SingleSource = %v", alg, v, gotSS[v], wantSS[v])
+			}
+		}
+	}
+	pairs := [][2]int{{0, 1}, {0, 2}, {7, 9}}
+	want := Batch(e, AlgSRSP, pairs, 2)
+	got, err := BatchCtx(ctx, e, AlgSRSP, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BatchCtx[%d] = %+v, Batch = %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCtxWrappersAbortWhenCancelled: a dead context aborts every Ctx
+// entry point with the context's error instead of returning values.
+func TestCtxWrappersAbortWhenCancelled(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 400, Seed: 11, Parallelism: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ComputeCtx(ctx, AlgSampling, 0, 1); err != context.Canceled {
+		t.Fatalf("ComputeCtx error = %v, want context.Canceled", err)
+	}
+	if _, err := e.SingleSourceCtx(ctx, AlgSRSP, 0); err != context.Canceled {
+		t.Fatalf("SingleSourceCtx error = %v, want context.Canceled", err)
+	}
+	if _, err := BatchCtx(ctx, e, AlgSampling, [][2]int{{0, 1}}, 2); err != context.Canceled {
+		t.Fatalf("BatchCtx error = %v, want context.Canceled", err)
+	}
+	if _, err := e.SingleSourceAgainstCtx(ctx, AlgTwoPhase, 0, []int{1, 2}); err != context.Canceled {
+		t.Fatalf("SingleSourceAgainstCtx error = %v, want context.Canceled", err)
+	}
+}
+
+// midwayCtx reports cancelled from its (after+1)-th Err call onwards:
+// a deterministic stand-in for a deadline that fires after a query has
+// passed its entry check but before its pool fan-out runs.
+type midwayCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *midwayCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCtxCancelMidQuerySRSP pins the regression where a context that
+// expired between ComputeCtx's entry check and the SR-SP propagation
+// fan-out left nil counting tables and panicked in MeetingEstimates:
+// the query must instead return the context error, for every
+// algorithm.
+func TestCtxCancelMidQuerySRSP(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 400, Seed: 11, Parallelism: 2})
+	for _, alg := range Algorithms() {
+		ctx := &midwayCtx{Context: context.Background(), after: 1}
+		s, err := e.ComputeCtx(ctx, alg, 0, 1)
+		if err != context.Canceled {
+			t.Fatalf("%v: ComputeCtx under midway cancellation = (%v, %v), want context.Canceled", alg, s, err)
+		}
+	}
+}
+
+// TestCtxCancellationStopsChunkWork verifies cancellation is observed
+// between pool jobs: a context cancelled from inside the first chunk
+// prevents most of the remaining chunks from starting, so server
+// deadlines reclaim sampling capacity instead of leaking it.
+func TestCtxCancellationStopsChunkWork(t *testing.T) {
+	g := testGraph()
+	// Parallelism 1 makes the chunk loop sequential, so the count of
+	// executed chunks after cancellation is deterministic enough to
+	// bound tightly.
+	e := newEngine(t, g, Options{N: 100000, Seed: 11, Parallelism: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := e.ComputeCtx(ctx, AlgSampling, 0, 1)
+		if err != context.Canceled {
+			t.Errorf("ComputeCtx error = %v, want context.Canceled", err)
+		}
+		started.Store(1)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled sampling query did not return within 30s")
+	}
+	if started.Load() != 1 {
+		t.Fatal("query goroutine never finished")
+	}
+}

@@ -537,6 +537,12 @@ func (e *Engine) meetingSpeedupWith(p *parallel.Pool, u, v int) ([]float64, erro
 			tv = speedup.Propagate(fv, v, e.opt.Steps)
 		}
 	})
+	// On a cancelled pool view For may have skipped a propagation,
+	// leaving tu/tv nil; surface the cancellation instead of handing
+	// nil tables to MeetingEstimates.
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
 	return speedup.MeetingEstimates(tu, tv), nil
 }
 

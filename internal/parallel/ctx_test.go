@@ -1,0 +1,56 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForWithCancelledContext: a dead context stops For from claiming
+// any job, on both the inline (1 worker) and the fan-out path.
+func TestForWithCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers).WithContext(ctx)
+		var ran atomic.Int64
+		p.For(100, func(i int) { ran.Add(1) })
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d jobs ran under a cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+// TestForCancelMidRun: cancelling while jobs execute stops the
+// remaining range; For still returns (no deadlock, no leaked helpers).
+func TestForCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(4).WithContext(ctx)
+	var ran atomic.Int64
+	const n = 10000
+	p.For(n, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d jobs ran despite mid-run cancellation", got)
+	}
+}
+
+// TestWithContextSharesTokens: the view shares the base pool's helper
+// tokens, so layering a context does not widen the Parallelism bound.
+func TestWithContextSharesTokens(t *testing.T) {
+	base := NewPool(2)
+	view := base.WithContext(context.Background())
+	if view.Workers() != base.Workers() {
+		t.Fatalf("view workers %d != base %d", view.Workers(), base.Workers())
+	}
+	if view.sem != base.sem {
+		t.Fatal("WithContext view does not share the base pool's token channel")
+	}
+	// A nil context is a no-op view.
+	if base.WithContext(nil) != base {
+		t.Fatal("WithContext(nil) should return the receiver")
+	}
+}

@@ -15,6 +15,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,7 +41,8 @@ func Workers(n int) int {
 // everything inline; an idle pool holds no goroutines.
 type Pool struct {
 	workers int
-	sem     chan struct{} // helper tokens, capacity workers-1
+	sem     chan struct{}   // helper tokens, capacity workers-1
+	ctx     context.Context // optional cancellation, set by WithContext
 }
 
 // NewPool returns a pool bounded at Workers(workers) goroutines.
@@ -62,13 +64,48 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// WithContext returns a view of the pool whose For calls stop claiming
+// new jobs once ctx is cancelled. The view shares the pool's helper
+// tokens (the Parallelism bound stays pool-wide); only the cancellation
+// signal is per-view, so one engine pool can serve many requests with
+// independent deadlines. Jobs already running are not interrupted —
+// cancellation is checked between jobs (for the engine's Monte Carlo
+// paths, between sample chunks) — and after a cancelled For the
+// per-index outputs are incomplete: callers must check ctx.Err() and
+// discard them. A nil ctx returns the pool unchanged.
+func (p *Pool) WithContext(ctx context.Context) *Pool {
+	if p == nil || ctx == nil {
+		return p
+	}
+	view := *p
+	view.ctx = ctx
+	return &view
+}
+
+// cancelled reports whether the pool view's context is cancelled.
+func (p *Pool) cancelled() bool {
+	return p != nil && p.ctx != nil && p.ctx.Err() != nil
+}
+
+// Err returns the cancellation error of a WithContext view (nil for a
+// live view or a plain pool). Callers whose For outputs are only valid
+// when every job ran must check it after For: on a cancelled view,
+// skipped jobs leave their slots unwritten.
+func (p *Pool) Err() error {
+	if p == nil || p.ctx == nil {
+		return nil
+	}
+	return p.ctx.Err()
+}
+
 // For runs fn(i) for every i in [0, n) and returns when all n jobs have
 // finished. The caller's goroutine participates, so For makes progress
 // even when every helper token is held by concurrent For calls on the
 // same pool. fn must confine its writes to per-i locations or otherwise
 // order-independent accumulators; the iteration order is unspecified,
 // so determinism must come from the work decomposition, never from
-// scheduling.
+// scheduling. On a WithContext view, cancellation stops further jobs
+// from starting; For still waits for jobs already in flight.
 func (p *Pool) For(n int, fn func(i int)) {
 	w := p.Workers()
 	if w > n {
@@ -76,6 +113,9 @@ func (p *Pool) For(n int, fn func(i int)) {
 	}
 	if w <= 1 || p == nil || p.sem == nil {
 		for i := 0; i < n; i++ {
+			if p.cancelled() {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -93,7 +133,7 @@ func (p *Pool) For(n int, fn func(i int)) {
 					<-p.sem
 					wg.Done()
 				}()
-				for {
+				for !p.cancelled() {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -105,7 +145,7 @@ func (p *Pool) For(n int, fn func(i int)) {
 			g = w // no free token: stop spawning
 		}
 	}
-	for {
+	for !p.cancelled() {
 		i := int(next.Add(1)) - 1
 		if i >= n {
 			break

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// admission is the bounded in-flight-query semaphore. It sits above
+// the engine's Options.Parallelism bound: Parallelism caps how many
+// worker goroutines one engine spends, admission caps how many queries
+// are allowed to contend for them at all. Beyond the bound, requests
+// wait at most the configured grace and are then rejected (HTTP 429)
+// instead of queuing unboundedly.
+type admission struct {
+	slots chan struct{}
+	wait  time.Duration
+}
+
+func newAdmission(maxInFlight int, wait time.Duration) *admission {
+	return &admission{
+		slots: make(chan struct{}, maxInFlight),
+		wait:  wait,
+	}
+}
+
+// acquire claims a slot, waiting up to the admission grace (bounded by
+// the request context). It returns false when the request must be
+// rejected. The fast path — a free slot — never allocates a timer.
+func (a *admission) acquire(ctx context.Context) bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if a.wait <= 0 {
+		return false
+	}
+	t := time.NewTimer(a.wait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// release frees a slot claimed by acquire.
+func (a *admission) release() { <-a.slots }

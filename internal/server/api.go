@@ -1,0 +1,203 @@
+package server
+
+// JSON request/response schemas of the v1 API. Field-for-field these
+// are the wire format documented in the package comment; keep the two
+// in sync.
+
+// ScoreRequest asks for one pairwise similarity s(u, v).
+type ScoreRequest struct {
+	Alg string `json:"alg"`
+	U   int    `json:"u"`
+	V   int    `json:"v"`
+	// TimeoutMs optionally lowers the server's per-request deadline for
+	// this query. Values ≤ 0 or above the server default are ignored.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// ScoreResponse carries one pairwise similarity.
+type ScoreResponse struct {
+	Alg   string  `json:"alg"`
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Score float64 `json:"score"`
+	// Coalesced reports that this response was shared from a concurrent
+	// identical query rather than computed by a dedicated engine call.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// SourceRequest asks for the single-source vector s(u, ·), optionally
+// restricted to an explicit candidate set.
+type SourceRequest struct {
+	Alg        string `json:"alg"`
+	U          int    `json:"u"`
+	Candidates []int  `json:"candidates,omitempty"`
+	TimeoutMs  int    `json:"timeout_ms,omitempty"`
+}
+
+// SourceResponse carries the scores; Scores[i] is s(U, Candidates[i]),
+// or s(U, i) over all vertices when the request had no candidate set.
+type SourceResponse struct {
+	Alg        string    `json:"alg"`
+	U          int       `json:"u"`
+	Candidates []int     `json:"candidates,omitempty"`
+	Scores     []float64 `json:"scores"`
+	Coalesced  bool      `json:"coalesced,omitempty"`
+}
+
+// TopKRequest asks for the K vertices most similar to *U, or — when U
+// is null/omitted — the K most similar vertex pairs.
+type TopKRequest struct {
+	Alg       string `json:"alg"`
+	U         *int   `json:"u,omitempty"`
+	K         int    `json:"k"`
+	TimeoutMs int    `json:"timeout_ms,omitempty"`
+}
+
+// PairScore is one scored vertex pair.
+type PairScore struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Score float64 `json:"score"`
+}
+
+// TopKResponse carries the ranked results, best first.
+type TopKResponse struct {
+	Alg       string      `json:"alg"`
+	U         *int        `json:"u,omitempty"`
+	K         int         `json:"k"`
+	Results   []PairScore `json:"results"`
+	Coalesced bool        `json:"coalesced,omitempty"`
+}
+
+// BatchRequest asks for many pairwise similarities in one call.
+type BatchRequest struct {
+	Alg       string   `json:"alg"`
+	Pairs     [][2]int `json:"pairs"`
+	TimeoutMs int      `json:"timeout_ms,omitempty"`
+}
+
+// BatchPairResult is one outcome of a batch computation; Error is set
+// (and Score zero) when that pair failed, e.g. a vertex out of range.
+type BatchPairResult struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Score float64 `json:"score"`
+	Error string  `json:"error,omitempty"`
+}
+
+// BatchResponse carries per-pair results in input order.
+type BatchResponse struct {
+	Alg       string            `json:"alg"`
+	Results   []BatchPairResult `json:"results"`
+	Coalesced bool              `json:"coalesced,omitempty"`
+}
+
+// ReloadRequest asks the server to hot-swap to the graph stored at
+// Graph (text or binary codec, auto-detected). Warm additionally
+// builds the new engine's SR-SP filter pools before the swap.
+type ReloadRequest struct {
+	Graph string `json:"graph"`
+	Warm  bool   `json:"warm,omitempty"`
+}
+
+// ReloadResponse reports the completed swap.
+type ReloadResponse struct {
+	// Generation is the new engine's generation number (the boot engine
+	// is generation 1; every successful reload increments it).
+	Generation uint64 `json:"generation"`
+	Vertices   int    `json:"vertices"`
+	Arcs       int    `json:"arcs"`
+	// BuildMs is the wall time spent loading the graph and building
+	// (and optionally warming) the new engine, off the serving path.
+	BuildMs int64 `json:"build_ms"`
+	// Drained reports whether every request pinned to the old engine
+	// finished within the server's drain timeout. The swap itself has
+	// already happened either way; false only means stragglers were
+	// still completing on the old engine when the response was written.
+	Drained bool `json:"drained"`
+}
+
+// ErrorResponse is the uniform error envelope.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a stable machine-readable code and a human
+// message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used in ErrorDetail.Code.
+const (
+	CodeBadRequest       = "bad_request"       // 400
+	CodeNotFound         = "not_found"         // 404
+	CodeOverloaded       = "overloaded"        // 429
+	CodeEngineError      = "engine_error"      // 500
+	CodeUnavailable      = "unavailable"       // 503
+	CodeDeadlineExceeded = "deadline_exceeded" // 504
+)
+
+// StatsResponse is the /v1/stats snapshot.
+type StatsResponse struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Graph         GraphStats            `json:"graph"`
+	Engine        EngineStats           `json:"engine"`
+	Serving       ServingStats          `json:"serving"`
+	Coalescing    CoalescingStats       `json:"coalescing"`
+	Queries       map[string]QueryStats `json:"queries"`
+}
+
+// GraphStats describes the currently resident graph.
+type GraphStats struct {
+	Source     string `json:"source"`
+	Vertices   int    `json:"vertices"`
+	Arcs       int    `json:"arcs"`
+	Generation uint64 `json:"generation"`
+	Reloads    uint64 `json:"reloads"`
+}
+
+// EngineStats surfaces the resident engine's knobs and cache health.
+type EngineStats struct {
+	Parallelism       int    `json:"parallelism"`
+	RowCacheLen       int    `json:"row_cache_len"`
+	RowCacheCap       int    `json:"row_cache_cap"`
+	RowCacheEvictions uint64 `json:"row_cache_evictions"`
+}
+
+// ServingStats covers admission control.
+type ServingStats struct {
+	InFlight          int64  `json:"in_flight"`
+	MaxInFlight       int    `json:"max_in_flight"`
+	AdmissionRejected uint64 `json:"admission_rejected"`
+	DeadlineExceeded  uint64 `json:"deadline_exceeded"`
+}
+
+// CoalescingStats covers the singleflight layer. PerShape maps a query
+// shape ("score", "source", "topk", "batch") to its hit count.
+type CoalescingStats struct {
+	Hits     uint64            `json:"hits"`
+	Misses   uint64            `json:"misses"`
+	HitRate  float64           `json:"hit_rate"`
+	PerShape map[string]uint64 `json:"per_shape"`
+}
+
+// QueryStats is one shape+algorithm cell of the query table, keyed
+// "shape/alg" in StatsResponse.Queries.
+type QueryStats struct {
+	Count        uint64         `json:"count"`
+	Errors       uint64         `json:"errors"`
+	CoalesceHits uint64         `json:"coalesce_hits"`
+	LatencyMs    LatencySummary `json:"latency_ms"`
+}
+
+// LatencySummary is the percentile digest of one latency histogram.
+// Percentiles are upper bucket bounds of a base-2 histogram, so they
+// overestimate by at most 2x; Max is exact.
+type LatencySummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"usimrank"
+)
+
+// BenchmarkServerThroughput measures end-to-end queries/sec per shape
+// through the full serving stack — JSON decode, admission, coalescing,
+// engine kernel, JSON encode — with concurrent clients (RunParallel),
+// the server-side figure the CI perf-trajectory artifact (BENCH_3)
+// tracks across PRs. Client counters vary the requests so the numbers
+// reflect distinct-query throughput, not coalescing on one hot key.
+func BenchmarkServerThroughput(b *testing.B) {
+	g := testGraph()
+	nv := g.NumVertices()
+	s, err := New(g, "bench://rmat6", Config{Engine: usimrank.Options{N: 400, Seed: 7}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.WarmFilters()
+
+	var seq atomic.Int64
+	shapes := []struct {
+		name string
+		call func(i int) (int, error)
+	}{
+		{"score_srsp", func(i int) (int, error) {
+			var resp ScoreResponse
+			return callE(s, "POST", "/v1/score", ScoreRequest{Alg: "srsp", U: i % nv, V: (i * 7) % nv}, &resp)
+		}},
+		{"score_sampling", func(i int) (int, error) {
+			var resp ScoreResponse
+			return callE(s, "POST", "/v1/score", ScoreRequest{Alg: "sampling", U: i % nv, V: (i * 7) % nv}, &resp)
+		}},
+		{"source_srsp", func(i int) (int, error) {
+			var resp SourceResponse
+			return callE(s, "POST", "/v1/source", SourceRequest{Alg: "srsp", U: i % nv}, &resp)
+		}},
+		{"topk_srsp", func(i int) (int, error) {
+			u := i % nv
+			var resp TopKResponse
+			return callE(s, "POST", "/v1/topk", TopKRequest{Alg: "srsp", U: &u, K: 10}, &resp)
+		}},
+		{"batch_twophase", func(i int) (int, error) {
+			u := i % nv
+			pairs := [][2]int{{u, (u + 1) % nv}, {u, (u + 5) % nv}, {u, (u + 9) % nv}}
+			var resp BatchResponse
+			return callE(s, "POST", "/v1/batch", BatchRequest{Alg: "twophase", Pairs: pairs}, &resp)
+		}},
+	}
+	for _, shape := range shapes {
+		b.Run(shape.name, func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					code, err := shape.call(i)
+					if err != nil || code != 200 {
+						b.Errorf("%s: status %d err %v", shape.name, code, err)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+	if hits := s.metrics.coalesceHits.Load(); hits > 0 {
+		b.Logf("coalescing hits during benchmark: %d", hits)
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// flightGroup is the request-coalescing (singleflight) layer:
+// concurrent calls with the same key share one execution of the
+// underlying function. Keys embed the engine generation, so queries
+// never join a flight computing on a different graph.
+//
+// Unlike the classic singleflight, the execution runs in its own
+// goroutine under a context the *server* owns (the flight context),
+// while each caller waits under its *request* context. A caller whose
+// deadline expires abandons the wait with its context error; the
+// flight keeps running and still serves every caller that can wait.
+// This decouples one impatient client from the rest of a coalesced
+// cohort.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// do returns the flight's result for key, collapsing concurrent
+// identical calls into one execution. shared reports whether this
+// caller joined a flight another caller started (a coalescing hit).
+// waitCtx bounds only this caller's wait.
+//
+// lead is invoked synchronously in the caller's frame — only if this
+// caller creates the flight — and returns the closure to execute
+// asynchronously. The synchronous stage is where the leader transfers
+// resources that must outlive its own request (an engine-handle pin, a
+// server-owned context) into the flight, before the caller could
+// possibly release them.
+func (g *flightGroup) do(waitCtx context.Context, key string, lead func() func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-waitCtx.Done():
+			return nil, true, waitCtx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+	fn := lead()
+	go func() {
+		defer func() {
+			// A panic in engine code must become this flight's error,
+			// not kill the daemon: net/http's recovery only covers
+			// handler goroutines, never this server-spawned one.
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("query panicked: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(f.done)
+		}()
+		f.val, f.err = fn()
+	}()
+	select {
+	case <-f.done:
+		return f.val, false, f.err
+	case <-waitCtx.Done():
+		return nil, false, waitCtx.Err()
+	}
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latency histogram: base-2 buckets starting at 50µs. Bucket i covers
+// (50µs·2^(i-1), 50µs·2^i]; the last bucket is open-ended. 28 buckets
+// reach ~1.9 hours, far past any plausible query deadline.
+const (
+	histBuckets = 28
+	histBaseUs  = 50
+)
+
+// histogram is a lock-free fixed-bucket latency histogram.
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+	maxUs  atomic.Uint64
+}
+
+func bucketFor(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	bound := int64(histBaseUs)
+	for i := 0; i < histBuckets-1; i++ {
+		if us <= bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return histBuckets - 1
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	h.counts[bucketFor(us)].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.maxUs.Load()
+		if uint64(us) <= cur || h.maxUs.CompareAndSwap(cur, uint64(us)) {
+			return
+		}
+	}
+}
+
+// quantile returns the upper bound (in ms) of the bucket holding the
+// q-th fraction of observations, 0 when the histogram is empty.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	bound := int64(histBaseUs)
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return float64(bound) / 1000
+		}
+		bound <<= 1
+	}
+	return float64(h.maxUs.Load()) / 1000
+}
+
+func (h *histogram) summary() LatencySummary {
+	return LatencySummary{
+		P50: h.quantile(0.50),
+		P90: h.quantile(0.90),
+		P99: h.quantile(0.99),
+		Max: float64(h.maxUs.Load()) / 1000,
+	}
+}
+
+// queryMetrics is one (shape, algorithm) cell.
+type queryMetrics struct {
+	count        atomic.Uint64
+	errors       atomic.Uint64
+	coalesceHits atomic.Uint64
+	latency      histogram
+}
+
+// metricsRegistry aggregates everything /v1/stats reports that the
+// server itself owns (engine- and graph-level figures are read live at
+// snapshot time). All counters are atomics; the map of cells is
+// guarded by a mutex but accessed once per request.
+type metricsRegistry struct {
+	mu    sync.Mutex
+	cells map[string]*queryMetrics // key "shape/alg"
+
+	inFlight          atomic.Int64
+	admissionRejected atomic.Uint64
+	deadlineExceeded  atomic.Uint64
+
+	coalesceHits   atomic.Uint64
+	coalesceMisses atomic.Uint64
+	shapeMu        sync.Mutex
+	shapeHits      map[string]uint64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		cells:     make(map[string]*queryMetrics),
+		shapeHits: make(map[string]uint64),
+	}
+}
+
+func (m *metricsRegistry) cell(shape, alg string) *queryMetrics {
+	key := shape + "/" + alg
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.cells[key]
+	if !ok {
+		c = &queryMetrics{}
+		m.cells[key] = c
+	}
+	return c
+}
+
+// recordQuery folds one finished query into the registry.
+func (m *metricsRegistry) recordQuery(shape, alg string, d time.Duration, coalesced bool, err error) {
+	c := m.cell(shape, alg)
+	c.count.Add(1)
+	if err != nil {
+		c.errors.Add(1)
+	}
+	if coalesced {
+		c.coalesceHits.Add(1)
+		m.coalesceHits.Add(1)
+		m.shapeMu.Lock()
+		m.shapeHits[shape]++
+		m.shapeMu.Unlock()
+	} else {
+		m.coalesceMisses.Add(1)
+	}
+	c.latency.observe(d)
+}
+
+func (m *metricsRegistry) servingStats(maxInFlight int) ServingStats {
+	return ServingStats{
+		InFlight:          m.inFlight.Load(),
+		MaxInFlight:       maxInFlight,
+		AdmissionRejected: m.admissionRejected.Load(),
+		DeadlineExceeded:  m.deadlineExceeded.Load(),
+	}
+}
+
+func (m *metricsRegistry) coalescingStats() CoalescingStats {
+	hits := m.coalesceHits.Load()
+	misses := m.coalesceMisses.Load()
+	per := make(map[string]uint64)
+	m.shapeMu.Lock()
+	for k, v := range m.shapeHits {
+		per[k] = v
+	}
+	m.shapeMu.Unlock()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return CoalescingStats{Hits: hits, Misses: misses, HitRate: rate, PerShape: per}
+}
+
+func (m *metricsRegistry) queryStats() map[string]QueryStats {
+	m.mu.Lock()
+	snap := make(map[string]*queryMetrics, len(m.cells))
+	for k, c := range m.cells {
+		snap[k] = c
+	}
+	m.mu.Unlock()
+	out := make(map[string]QueryStats, len(snap))
+	for k, c := range snap {
+		out[k] = QueryStats{
+			Count:        c.count.Load(),
+			Errors:       c.errors.Load(),
+			CoalesceHits: c.coalesceHits.Load(),
+			LatencyMs:    c.latency.summary(),
+		}
+	}
+	return out
+}

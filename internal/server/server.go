@@ -1,0 +1,560 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"usimrank"
+)
+
+// Config configures a Server. The zero value selects sane serving
+// defaults; Engine follows the engine's own defaulting rules.
+type Config struct {
+	// Engine configures the resident engine (and every engine built by
+	// a hot-swap: reloads reuse the boot options).
+	Engine usimrank.Options
+	// MaxInFlight bounds concurrently admitted queries across all
+	// shapes. Default: 4× the engine's effective Parallelism, at least
+	// 32.
+	MaxInFlight int
+	// QueryTimeout is the per-request deadline; requests may lower (but
+	// not raise) it via timeout_ms. Default 30s.
+	QueryTimeout time.Duration
+	// AdmissionWait is how long a request may wait for an in-flight
+	// slot before being rejected with 429. Default 100ms; negative
+	// disables waiting (immediate rejection when saturated).
+	AdmissionWait time.Duration
+	// DrainTimeout bounds how long a reload waits for requests pinned
+	// to the replaced engine before reporting drained=false. Default
+	// 15s.
+	DrainTimeout time.Duration
+	// LogEvery, when positive, logs a one-line metrics summary at that
+	// period.
+	LogEvery time.Duration
+	// Logger receives the periodic summaries and reload events.
+	// Default: stderr with an "usimd " prefix.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults(parallelism int) Config {
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 4 * parallelism
+		if c.MaxInFlight < 32 {
+			c.MaxInFlight = 32
+		}
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.AdmissionWait == 0 {
+		c.AdmissionWait = 100 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "usimd ", log.LstdFlags)
+	}
+	return c
+}
+
+// Server serves the five query shapes of one resident engine over
+// HTTP, with request coalescing, admission control, and zero-downtime
+// graph hot-swap. Create with New, mount via Handler (or use it as an
+// http.Handler directly), stop with Close.
+type Server struct {
+	cfg Config
+
+	cur     atomic.Pointer[engineHandle]
+	reloads atomic.Uint64
+	// reloadMu serialises hot-swaps; queries never take it.
+	reloadMu sync.Mutex
+
+	adm     *admission
+	flights *flightGroup
+	metrics *metricsRegistry
+
+	// baseCtx parents every flight's execution context, so Close
+	// cancels in-flight engine work.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// New builds a server around an engine constructed from g with
+// cfg.Engine options. source is a human-readable descriptor of where g
+// came from (a file path for usimd), echoed in /v1/stats.
+func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
+	eng, err := usimrank.New(g, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(eng.Options().Parallelism)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		adm:     newAdmission(cfg.MaxInFlight, cfg.AdmissionWait),
+		flights: newFlightGroup(),
+		metrics: newMetricsRegistry(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		start:   time.Now(),
+	}
+	s.cur.Store(newEngineHandle(eng, g, source, 1))
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/score", s.handleScore)
+	s.mux.HandleFunc("POST /v1/source", s.handleSource)
+	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "unknown route "+r.URL.Path)
+	})
+	if cfg.LogEvery > 0 {
+		go s.logLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the periodic logger and cancels the flight contexts of
+// in-flight engine work. It does not wait for requests to finish —
+// pair it with http.Server.Shutdown, which does.
+func (s *Server) Close() { s.cancel() }
+
+// engine pins the current engine handle. The loop only retries when a
+// hot-swap retired the handle between the load and the pin.
+func (s *Server) engine() *engineHandle {
+	for {
+		h := s.cur.Load()
+		if h.tryAcquire() {
+			return h
+		}
+	}
+}
+
+// effectiveTimeout applies a request's timeout_ms within the server
+// bound.
+func (s *Server) effectiveTimeout(ms int) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 || d > s.cfg.QueryTimeout {
+		return s.cfg.QueryTimeout
+	}
+	return d
+}
+
+// execute runs one admitted, coalesced, deadline-bounded query and
+// writes the error response when it fails. The happy path returns
+// (value, coalesced, true) and leaves the response to the caller.
+//
+// h must be pinned by the caller (and stays the caller's to release):
+// execute re-pins it for the flight's own lifetime, so a hot-swap
+// drain cannot complete while the flight still computes on the engine.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, h *engineHandle, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
+	timeout := s.effectiveTimeout(timeoutMs)
+	// The flight runs under the leader's deadline, so only requests
+	// with the same effective budget may share one: without the suffix
+	// a follower with 30s left would inherit a stranger's 1ms flight
+	// and 504 spuriously.
+	key = fmt.Sprintf("%s|t%d", key, timeout.Milliseconds())
+	waitCtx, cancelWait := context.WithTimeout(r.Context(), timeout)
+	defer cancelWait()
+
+	if !s.adm.acquire(waitCtx) {
+		s.metrics.admissionRejected.Add(1)
+		s.writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			fmt.Sprintf("server saturated: %d queries in flight", s.cfg.MaxInFlight))
+		return nil, false, false
+	}
+	defer s.adm.release()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	start := time.Now()
+	val, coalesced, err := s.flights.do(waitCtx, key, func() func() (any, error) {
+		// Leader path, still in this request's frame: transfer a pin
+		// and a server-owned deadline into the flight so it survives
+		// this request abandoning the wait.
+		h.tryAcquire()
+		fctx, cancelFlight := context.WithTimeout(s.baseCtx, timeout)
+		return func() (any, error) {
+			defer h.release()
+			defer cancelFlight()
+			return fn(fctx)
+		}
+	})
+	s.metrics.recordQuery(shape, alg, time.Since(start), coalesced, err)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return nil, coalesced, false
+	}
+	return val, coalesced, true
+}
+
+// writeQueryError maps an engine/context error to the JSON error
+// envelope.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.deadlineExceeded.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+			"query exceeded its deadline; raise timeout_ms or the server's -timeout")
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"query cancelled (client disconnected or server shutting down)")
+	default:
+		s.writeError(w, http.StatusInternalServerError, CodeEngineError, err.Error())
+	}
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req ScoreRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	alg, err := usimrank.ParseAlgorithm(req.Alg)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	h := s.engine()
+	defer h.release()
+	if !s.checkVertices(w, h, req.U, req.V) {
+		return
+	}
+	key := fmt.Sprintf("score|g%d|%s|%d|%d", h.gen, alg, req.U, req.V)
+	val, coalesced, ok := s.execute(w, r, "score", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+		return h.eng.ComputeCtx(ctx, alg, req.U, req.V)
+	})
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ScoreResponse{
+		Alg: alg.String(), U: req.U, V: req.V,
+		Score: val.(float64), Coalesced: coalesced,
+	})
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	var req SourceRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	alg, err := usimrank.ParseAlgorithm(req.Alg)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	h := s.engine()
+	defer h.release()
+	if !s.checkVertices(w, h, append([]int{req.U}, req.Candidates...)...) {
+		return
+	}
+	// nil candidates (full sweep) and an explicit empty list are
+	// different queries; keep their flight keys distinct.
+	candKey := "all"
+	if req.Candidates != nil {
+		candKey = digestInts(req.Candidates)
+	}
+	key := fmt.Sprintf("source|g%d|%s|%d|%s", h.gen, alg, req.U, candKey)
+	val, coalesced, ok := s.execute(w, r, "source", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+		if req.Candidates == nil {
+			return h.eng.SingleSourceCtx(ctx, alg, req.U)
+		}
+		return h.eng.SingleSourceAgainstCtx(ctx, alg, req.U, req.Candidates)
+	})
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SourceResponse{
+		Alg: alg.String(), U: req.U, Candidates: req.Candidates,
+		Scores: val.([]float64), Coalesced: coalesced,
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	alg, err := usimrank.ParseAlgorithm(req.Alg)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if req.K < 1 {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("k = %d < 1", req.K))
+		return
+	}
+	h := s.engine()
+	defer h.release()
+	var key string
+	if req.U != nil {
+		if !s.checkVertices(w, h, *req.U) {
+			return
+		}
+		key = fmt.Sprintf("topk|g%d|%s|u%d|k%d", h.gen, alg, *req.U, req.K)
+	} else {
+		key = fmt.Sprintf("topk|g%d|%s|pairs|k%d", h.gen, alg, req.K)
+	}
+	val, coalesced, ok := s.execute(w, r, "topk", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+		if req.U != nil {
+			return usimrank.TopKSimilarCtx(ctx, h.eng, alg, *req.U, req.K)
+		}
+		return usimrank.TopKPairsCtx(ctx, h.eng, alg, req.K)
+	})
+	if !ok {
+		return
+	}
+	results := val.([]usimrank.TopKResult)
+	out := make([]PairScore, len(results))
+	for i, res := range results {
+		out[i] = PairScore{U: res.U, V: res.V, Score: res.Score}
+	}
+	s.writeJSON(w, http.StatusOK, TopKResponse{
+		Alg: alg.String(), U: req.U, K: req.K, Results: out, Coalesced: coalesced,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	alg, err := usimrank.ParseAlgorithm(req.Alg)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "empty pairs")
+		return
+	}
+	h := s.engine()
+	defer h.release()
+	// Out-of-range pairs surface as per-pair errors, not request
+	// errors: a batch is a bulk operation and one bad pair should not
+	// void the rest.
+	flat := make([]int, 0, 2*len(req.Pairs))
+	for _, p := range req.Pairs {
+		flat = append(flat, p[0], p[1])
+	}
+	key := fmt.Sprintf("batch|g%d|%s|%s", h.gen, alg, digestInts(flat))
+	val, coalesced, ok := s.execute(w, r, "batch", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+		return usimrank.BatchCtx(ctx, h.eng, alg, req.Pairs, 0)
+	})
+	if !ok {
+		return
+	}
+	results := val.([]usimrank.PairResult)
+	out := make([]BatchPairResult, len(results))
+	for i, res := range results {
+		out[i] = BatchPairResult{U: res.U, V: res.V, Score: res.Value}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+		}
+	}
+	s.writeJSON(w, http.StatusOK, BatchResponse{Alg: alg.String(), Results: out, Coalesced: coalesced})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// WarmFilters pre-builds the resident engine's SR-SP filter pools (the
+// boot-time counterpart of reload's "warm":true).
+func (s *Server) WarmFilters() {
+	h := s.engine()
+	defer h.release()
+	h.eng.WarmFilters()
+}
+
+// Stats assembles the /v1/stats snapshot (also used by the periodic
+// logger).
+func (s *Server) Stats() StatsResponse {
+	h := s.engine()
+	defer h.release()
+	rcLen, rcEvict := h.eng.RowCacheStats()
+	opt := h.eng.Options()
+	return StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Graph: GraphStats{
+			Source:     h.source,
+			Vertices:   h.graph.NumVertices(),
+			Arcs:       h.graph.NumArcs(),
+			Generation: h.gen,
+			Reloads:    s.reloads.Load(),
+		},
+		Engine: EngineStats{
+			Parallelism:       opt.Parallelism,
+			RowCacheLen:       rcLen,
+			RowCacheCap:       opt.RowCacheSize,
+			RowCacheEvictions: rcEvict,
+		},
+		Serving:    s.metrics.servingStats(s.cfg.MaxInFlight),
+		Coalescing: s.metrics.coalescingStats(),
+		Queries:    s.metrics.queryStats(),
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Graph == "" {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, `"graph" is required`)
+		return
+	}
+	resp, err := s.Reload(req.Graph, req.Warm)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// Reload builds a fresh engine from the graph file at path (with the
+// server's boot-time engine options), optionally pre-builds its SR-SP
+// filter pools, atomically swaps it in, and waits (bounded) for
+// requests pinned to the old engine to drain. Serving continues
+// throughout: queries admitted before the swap finish on the old
+// engine, queries admitted after it run on the new one, and no query
+// ever spans both.
+func (s *Server) Reload(path string, warm bool) (*ReloadResponse, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	buildStart := time.Now()
+	g, err := usimrank.LoadGraphFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load graph: %w", err)
+	}
+	eng, err := usimrank.New(g, s.cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("build engine: %w", err)
+	}
+	if warm {
+		eng.WarmFilters()
+	}
+	buildMs := time.Since(buildStart).Milliseconds()
+
+	old := s.cur.Load()
+	next := newEngineHandle(eng, g, path, old.gen+1)
+	s.cur.Store(next)
+	old.release() // drop the server's ownership reference
+	drained := old.awaitDrain(s.cfg.DrainTimeout)
+	s.reloads.Add(1)
+	s.cfg.Logger.Printf("reload: generation %d -> %d (%s, %d vertices, %d arcs, build %dms, drained=%v)",
+		old.gen, next.gen, path, g.NumVertices(), g.NumArcs(), buildMs, drained)
+	return &ReloadResponse{
+		Generation: next.gen,
+		Vertices:   g.NumVertices(),
+		Arcs:       g.NumArcs(),
+		BuildMs:    buildMs,
+		Drained:    drained,
+	}, nil
+}
+
+// digestInts returns a fixed-size FNV-128a digest of an operand list,
+// keeping coalescing keys O(1) in payload size (a 100k-pair batch must
+// not build and compare megabyte key strings under the flight mutex).
+func digestInts(xs []int) string {
+	h := fnv.New128a()
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(x)))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// checkVertices validates vertex ids against the pinned graph, writing
+// a 400 on the first violation.
+func (s *Server) checkVertices(w http.ResponseWriter, h *engineHandle, vs ...int) bool {
+	n := h.graph.NumVertices()
+	for _, v := range vs {
+		if v < 0 || v >= n {
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("vertex %d out of range [0,%d)", v, n))
+			return false
+		}
+	}
+	return true
+}
+
+// maxBodyBytes bounds request bodies (8 MiB ≈ a ~350k-pair batch):
+// admission control is pointless if an unbounded JSON body can balloon
+// memory before the semaphore is ever consulted.
+const maxBodyBytes = 8 << 20
+
+// decodeBody decodes a JSON request body, writing a 400 on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// logLoop periodically logs a one-line serving summary until Close.
+func (s *Server) logLoop() {
+	t := time.NewTicker(s.cfg.LogEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			st := s.Stats()
+			var queries, errs uint64
+			for _, q := range st.Queries {
+				queries += q.Count
+				errs += q.Errors
+			}
+			s.cfg.Logger.Printf(
+				"stats: gen=%d queries=%d errors=%d in_flight=%d coalesce_rate=%.2f rejected=%d deadline=%d row_cache=%d/%d evictions=%d",
+				st.Graph.Generation, queries, errs, st.Serving.InFlight,
+				st.Coalescing.HitRate, st.Serving.AdmissionRejected,
+				st.Serving.DeadlineExceeded, st.Engine.RowCacheLen,
+				st.Engine.RowCacheCap, st.Engine.RowCacheEvictions)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package topk
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"usimrank/internal/core"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+)
+
+// TestMixedConcurrentWorkload hammers ONE shared engine with the three
+// composite query shapes a serving plane mixes freely — SingleSource,
+// top-k, and Batch — from 32 goroutines at once, and asserts every
+// result stays bit-identical to the sequential reference. Under -race
+// (the CI race leg) this guards the row cache, the lazy SR-SP filter
+// build, the pool-wide helper tokens, and the kernels' shared u-side
+// state; the equality checks guard determinism under contention.
+func TestMixedConcurrentWorkload(t *testing.T) {
+	g := gen.WithUniformProbs(gen.RMAT(6, 256, 0.45, 0.22, 0.22, rng.New(3)), 0.2, 0.9, rng.New(4))
+	e, err := core.NewEngine(g, core.Options{N: 300, Seed: 17, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential reference values, computed before any concurrency.
+	algs := []core.Algorithm{core.AlgSampling, core.AlgTwoPhase, core.AlgSRSP}
+	sources := []int{0, 7, 19, 42}
+	wantSource := map[string][]float64{}
+	for _, alg := range algs {
+		for _, u := range sources {
+			v, err := e.SingleSource(alg, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSource[fmt.Sprintf("%v/%d", alg, u)] = v
+		}
+	}
+	wantTopK := map[string][]Result{}
+	for _, alg := range algs {
+		for _, u := range sources {
+			r, err := SingleSource(e, alg, u, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTopK[fmt.Sprintf("%v/%d", alg, u)] = r
+		}
+	}
+	batchPairs := [][2]int{{0, 1}, {0, 9}, {7, 33}, {19, 19}, {42, 3}}
+	wantBatch := map[string][]core.PairResult{}
+	for _, alg := range algs {
+		wantBatch[alg.String()] = core.Batch(e, alg, batchPairs, 0)
+	}
+
+	const goroutines = 32
+	const iters = 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				alg := algs[(gi+it)%len(algs)]
+				u := sources[(gi/3+it)%len(sources)]
+				switch (gi + it) % 3 {
+				case 0:
+					got, err := e.SingleSource(alg, u)
+					if err != nil {
+						fail(err)
+						return
+					}
+					want := wantSource[fmt.Sprintf("%v/%d", alg, u)]
+					for v := range want {
+						if got[v] != want[v] {
+							fail(fmt.Errorf("SingleSource(%v,%d)[%d] = %v, want %v", alg, u, v, got[v], want[v]))
+							return
+						}
+					}
+				case 1:
+					got, err := SingleSource(e, alg, u, 5)
+					if err != nil {
+						fail(err)
+						return
+					}
+					want := wantTopK[fmt.Sprintf("%v/%d", alg, u)]
+					if len(got) != len(want) {
+						fail(fmt.Errorf("TopK(%v,%d) returned %d results, want %d", alg, u, len(got), len(want)))
+						return
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							fail(fmt.Errorf("TopK(%v,%d)[%d] = %+v, want %+v", alg, u, i, got[i], want[i]))
+							return
+						}
+					}
+				case 2:
+					got := core.Batch(e, alg, batchPairs, 0)
+					want := wantBatch[alg.String()]
+					for i := range want {
+						if got[i] != want[i] {
+							fail(fmt.Errorf("Batch(%v)[%d] = %+v, want %+v", alg, i, got[i], want[i]))
+							return
+						}
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ package topk
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -105,6 +106,14 @@ func sortedDesc(h resultHeap) []Result {
 // algorithms run the engine's one-pass single-source kernel and select
 // the top k from the scored vector.
 func SingleSource(e *core.Engine, alg core.Algorithm, u, k int) ([]Result, error) {
+	return SingleSourceCtx(context.Background(), e, alg, u, k)
+}
+
+// SingleSourceCtx is SingleSource with cancellation: the kernel sweep
+// (or, for Baseline, the pruned candidate scan) is abandoned once ctx
+// is done and ctx.Err() is returned. A query that completes in time is
+// bit-identical to the plain call.
+func SingleSourceCtx(ctx context.Context, e *core.Engine, alg core.Algorithm, u, k int) ([]Result, error) {
 	g := e.Graph()
 	if u < 0 || u >= g.NumVertices() {
 		return nil, fmt.Errorf("topk: vertex %d out of range [0,%d)", u, g.NumVertices())
@@ -113,7 +122,7 @@ func SingleSource(e *core.Engine, alg core.Algorithm, u, k int) ([]Result, error
 		return nil, fmt.Errorf("topk: k = %d < 1", k)
 	}
 	if alg == core.AlgBaseline {
-		return singleSourceExact(e, u, k)
+		return singleSourceExact(ctx, e, u, k)
 	}
 	candidates := make([]int, 0, g.NumVertices()-1)
 	for v := 0; v < g.NumVertices(); v++ {
@@ -121,7 +130,7 @@ func SingleSource(e *core.Engine, alg core.Algorithm, u, k int) ([]Result, error
 			candidates = append(candidates, v)
 		}
 	}
-	scores, err := e.SingleSourceAgainst(alg, u, candidates)
+	scores, err := e.SingleSourceAgainstCtx(ctx, alg, u, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -133,8 +142,9 @@ func SingleSource(e *core.Engine, alg core.Algorithm, u, k int) ([]Result, error
 }
 
 // singleSourceExact is the tail-bound-pruned search over the exact
-// measure.
-func singleSourceExact(e *core.Engine, u, k int) ([]Result, error) {
+// measure. Cancellation is checked once per candidate: the
+// walk-probability DP of a single candidate is not interruptible.
+func singleSourceExact(ctx context.Context, e *core.Engine, u, k int) ([]Result, error) {
 	g := e.Graph()
 	opt := e.Options()
 	n := opt.Steps
@@ -157,6 +167,9 @@ func singleSourceExact(e *core.Engine, u, k int) ([]Result, error) {
 	for v := 0; v < g.NumVertices(); v++ {
 		if v == u {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		// Progressive evaluation: extend the meeting-probability prefix
 		// one step at a time and abandon the candidate as soon as its
@@ -215,6 +228,13 @@ func partialScore(m []float64, c float64, j, n int) float64 {
 // pairwise computation and each task writes only its own slot, the
 // outcome is independent of the worker count.
 func AllPairsParallel(e *core.Engine, alg core.Algorithm, k int) ([]Result, error) {
+	return AllPairsParallelCtx(context.Background(), e, alg, k)
+}
+
+// AllPairsParallelCtx is AllPairsParallel with cancellation: unstarted
+// source tasks and unsampled chunks are skipped once ctx is done, and
+// ctx.Err() is returned instead of a partial top-k.
+func AllPairsParallelCtx(ctx context.Context, e *core.Engine, alg core.Algorithm, k int) ([]Result, error) {
 	g := e.Graph()
 	if k < 1 {
 		return nil, fmt.Errorf("topk: k = %d < 1", k)
@@ -236,12 +256,14 @@ func AllPairsParallel(e *core.Engine, alg core.Algorithm, k int) ([]Result, erro
 	// Fan out over sources on the engine's own pool: the kernels inside
 	// share its pool-wide helper tokens, so the whole sweep respects the
 	// single Options.Parallelism bound instead of stacking two pools.
-	e.WorkerPool().For(n, func(u int) {
+	// The ctx view stops unclaimed source tasks after cancellation; the
+	// ctx-aware kernel inside stops unclaimed chunks.
+	e.WorkerPool().WithContext(ctx).For(n, func(u int) {
 		candidates := make([]int, 0, n-u-1)
 		for v := u + 1; v < n; v++ {
 			candidates = append(candidates, v)
 		}
-		scores, err := e.SingleSourceAgainst(alg, u, candidates)
+		scores, err := e.SingleSourceAgainstCtx(ctx, alg, u, candidates)
 		if err != nil {
 			errs[u] = err
 			return
@@ -253,6 +275,9 @@ func AllPairsParallel(e *core.Engine, alg core.Algorithm, k int) ([]Result, erro
 		}
 		local[u] = h
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

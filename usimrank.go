@@ -53,7 +53,10 @@
 package usimrank
 
 import (
+	"bufio"
+	"context"
 	"io"
+	"os"
 
 	"usimrank/internal/core"
 	"usimrank/internal/detsim"
@@ -104,6 +107,15 @@ const (
 	AlgSRSP     = core.AlgSRSP
 )
 
+// Algorithms lists the four strategies in canonical order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// ParseAlgorithm maps a user-facing algorithm name ("baseline",
+// "sampling", "twophase"/"sr-ts", "srsp"/"sr-sp", case-insensitive) to
+// its Algorithm — the one parser shared by the CLI and the serving
+// plane.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
 // PairResult is one outcome of a Batch computation.
 type PairResult = core.PairResult
 
@@ -115,6 +127,15 @@ type PairResult = core.PairResult
 // option.
 func Batch(e *Engine, alg Algorithm, pairs [][2]int, workers int) []PairResult {
 	return core.Batch(e, alg, pairs, workers)
+}
+
+// BatchCtx is Batch with cancellation: once ctx is done, unstarted
+// source groups and sample chunks are skipped and ctx.Err() is
+// returned instead of partial results. (The pairwise and single-source
+// shapes are cancellable through the Engine.ComputeCtx and
+// Engine.SingleSourceCtx methods.)
+func BatchCtx(ctx context.Context, e *Engine, alg Algorithm, pairs [][2]int, workers int) ([]PairResult, error) {
+	return core.BatchCtx(ctx, e, alg, pairs, workers)
 }
 
 // Certain embeds a deterministic graph as an uncertain graph whose arcs
@@ -131,6 +152,23 @@ func WriteText(w io.Writer, g *Graph) error { return ugraph.WriteText(w, g) }
 
 // ReadBinary parses the binary uncertain-graph format.
 func ReadBinary(r io.Reader) (*Graph, error) { return ugraph.ReadBinary(r) }
+
+// LoadGraphFile reads an uncertain graph from disk, auto-detecting the
+// format: files starting with the USGR magic parse as binary,
+// everything else as text. The shared loader of cmd/usim, cmd/usimd,
+// and the serving plane's hot-swap path.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if magic, err := br.Peek(4); err == nil && string(magic) == "USGR" {
+		return ReadBinary(br)
+	}
+	return ReadText(br)
+}
 
 // WriteBinary serialises g in the binary format.
 func WriteBinary(w io.Writer, g *Graph) error { return ugraph.WriteBinary(w, g) }
@@ -184,6 +222,12 @@ func TopKSimilar(e *Engine, alg Algorithm, u, k int) ([]TopKResult, error) {
 	return topk.SingleSource(e, alg, u, k)
 }
 
+// TopKSimilarCtx is TopKSimilar with cancellation (the serving plane's
+// per-request deadlines run through it).
+func TopKSimilarCtx(ctx context.Context, e *Engine, alg Algorithm, u, k int) ([]TopKResult, error) {
+	return topk.SingleSourceCtx(ctx, e, alg, u, k)
+}
+
 // TopKPairs returns the k most similar distinct vertex pairs under the
 // given algorithm (the query of the paper's Fig. 13 case study).
 // Sources are scored concurrently through the single-source kernels on
@@ -191,4 +235,9 @@ func TopKSimilar(e *Engine, alg Algorithm, u, k int) ([]TopKResult, error) {
 // pairwise sweep for every Parallelism value.
 func TopKPairs(e *Engine, alg Algorithm, k int) ([]TopKResult, error) {
 	return topk.AllPairsParallel(e, alg, k)
+}
+
+// TopKPairsCtx is TopKPairs with cancellation.
+func TopKPairsCtx(ctx context.Context, e *Engine, alg Algorithm, k int) ([]TopKResult, error) {
+	return topk.AllPairsParallelCtx(ctx, e, alg, k)
 }
