@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"usimrank/internal/gen"
@@ -28,14 +29,32 @@ func main() {
 		edges    = flag.Int("edges", 0, "rmat: number of arcs (default 4×|V|)")
 		size     = flag.Int("size", 1000, "ppi/coauth: vertex count")
 		k        = flag.Int("k", 2, "coauth: collaborations per author; ppi: noise multiplier")
+		pmin     = flag.Float64("pmin", 0.05, "rmat: lower bound of the uniform arc probabilities, in (0,1]")
+		pmax     = flag.Float64("pmax", 1.0, "rmat: upper bound of the uniform arc probabilities, in (0,1]")
 		name     = flag.String("name", "Net*", "catalog: dataset name")
 		catscale = flag.String("catscale", "tiny", "catalog: tiny | small | paper")
 	)
 	flag.Parse()
+	// Validate every flag up front: bad input exits 2 with a usage
+	// message instead of surfacing as a generator panic (negative sizes,
+	// NaN probabilities) or, worse, a silently degenerate dataset.
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "usim-gen: -out is required")
-		flag.Usage()
-		os.Exit(2)
+		usage("-out is required")
+	}
+	if *scale < 0 || *scale > 30 {
+		usage(fmt.Sprintf("-scale %d outside [0,30]", *scale))
+	}
+	if *edges < 0 {
+		usage(fmt.Sprintf("-edges %d < 0", *edges))
+	}
+	if *size < 1 {
+		usage(fmt.Sprintf("-size %d < 1 (a graph needs vertices)", *size))
+	}
+	if *k < 0 {
+		usage(fmt.Sprintf("-k %d < 0", *k))
+	}
+	if math.IsNaN(*pmin) || math.IsNaN(*pmax) || !(*pmin > 0 && *pmin <= 1) || !(*pmax > 0 && *pmax <= 1) || *pmin > *pmax {
+		usage(fmt.Sprintf("-pmin %v / -pmax %v: want 0 < pmin <= pmax <= 1", *pmin, *pmax))
 	}
 
 	var g *ugraph.Graph
@@ -47,7 +66,7 @@ func main() {
 			m = 4 << uint(*scale)
 		}
 		sk := gen.RMAT(*scale, m, 0.45, 0.20, 0.20, r)
-		g = gen.WithUniformProbs(sk, 0.05, 1.0, r)
+		g = gen.WithUniformProbs(sk, *pmin, *pmax, r)
 	case "ppi":
 		cfg := gen.DefaultPPIConfig(*size)
 		cfg.NoiseEdges = *size * *k
@@ -57,7 +76,7 @@ func main() {
 	case "catalog":
 		sc, err := parseScale(*catscale)
 		if err != nil {
-			fatal(err)
+			usage(err.Error())
 		}
 		d, err := gen.ByName(sc, *name)
 		if err != nil {
@@ -65,7 +84,7 @@ func main() {
 		}
 		g = d.Build(*seed)
 	default:
-		fatal(fmt.Errorf("unknown kind %q", *kind))
+		usage(fmt.Sprintf("unknown kind %q", *kind))
 	}
 
 	f, err := os.Create(*out)
@@ -101,4 +120,12 @@ func parseScale(s string) (gen.Scale, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "usim-gen:", err)
 	os.Exit(1)
+}
+
+// usage reports a bad invocation: the message, the flag summary, and
+// exit code 2 (the flag package's own convention, matching cmd/usim).
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "usim-gen:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

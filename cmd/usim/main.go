@@ -6,6 +6,12 @@
 //	usim -graph g.ug -source 3 -topk 10 -alg srsp    # 10 most similar to 3
 //	usim -graph g.ug -topk 10 -alg baseline          # 10 most similar pairs
 //
+// -update applies a batch of arc mutations through the engine's
+// incremental update plane before the query runs, printing what the
+// targeted invalidation retained:
+//
+//	usim -graph g.ug -u 3 -v 17 -update "reweight:3,17,0.9;delete:4,1;insert:0,9,0.5"
+//
 // Single-source and top-k queries run on the engine's one-pass
 // single-source kernels, so the source's sampling work is done once for
 // the whole query; scores are bit-identical to the pairwise shape.
@@ -19,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"usimrank"
 )
@@ -43,6 +51,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "sampling worker goroutines (0 = all cores); results are identical for every value")
 		source    = flag.Int("source", -1, "single-source mode: compute s(source, ·) instead of one pair")
 		topK      = flag.Int("topk", 0, "top-k mode: report the k best candidates (with -source) or vertex pairs (without)")
+		update    = flag.String("update", "", `arc mutations applied before the query: "op:u,v[,p]" triples separated by ';' (op: insert | delete | reweight)`)
 	)
 	flag.Parse()
 
@@ -77,6 +86,13 @@ func main() {
 	if (*source >= 0 || *topK > 0) && algErr != nil {
 		usage(fmt.Sprintf("algorithm %q does not support -source/-topk (use baseline, sampling, twophase or srsp)", *alg))
 	}
+	// Update syntax is validated before the (possibly slow) graph load;
+	// semantic failures (missing arcs, out-of-range vertices) surface
+	// from the engine's own staging validation below.
+	updates, err := parseUpdates(*update)
+	if err != nil {
+		usage(err.Error())
+	}
 	g, err := usimrank.LoadGraphFile(*graphPath)
 	if err != nil {
 		fatal(err)
@@ -100,12 +116,40 @@ func main() {
 	}
 	opt := usimrank.Options{C: *c, Steps: *n, N: *samples, L: *l, Seed: *seed, Parallelism: *workers}
 
-	if *source >= 0 || *topK > 0 {
-		a := engineAlg
+	// buildEngine constructs the engine and, when -update was given,
+	// routes the mutations through the incremental update plane —
+	// deriving the queried engine exactly as a serving plane would,
+	// and reporting what the targeted invalidation retained.
+	buildEngine := func() *usimrank.Engine {
 		e, err := usimrank.New(g, opt)
 		if err != nil {
 			fatal(err)
 		}
+		if len(updates) == 0 {
+			return e
+		}
+		derived, stats, err := e.ApplyUpdates(updates)
+		if err != nil {
+			fatal(err)
+		}
+		g = derived.Graph()
+		fmt.Printf("applied %d update(s): generation %d, rows evicted %d / retained %d, |E| now %d\n",
+			stats.Applied, stats.Generation, stats.RowsEvicted, stats.RowsRetained, g.NumArcs())
+		return derived
+	}
+	// The deterministic/expected-measure baselines have no engine; give
+	// them the mutated graph directly.
+	if len(updates) > 0 && algErr != nil {
+		mut, err := g.Apply(updates)
+		if err != nil {
+			fatal(err)
+		}
+		g = mut
+	}
+
+	if *source >= 0 || *topK > 0 {
+		a := engineAlg
+		e := buildEngine()
 		switch {
 		case *source >= 0 && *topK > 0:
 			res, err := usimrank.TopKSimilar(e, a, *source, *topK)
@@ -140,10 +184,7 @@ func main() {
 	var s float64
 	switch {
 	case algErr == nil:
-		e, err := usimrank.New(g, opt)
-		if err != nil {
-			fatal(err)
-		}
+		e := buildEngine()
 		s, err = e.Compute(engineAlg, *u, *v)
 		if err != nil {
 			fatal(err)
@@ -157,6 +198,59 @@ func main() {
 	}
 	fmt.Printf("s(%d,%d) = %.8f  [%s, n=%d, c=%g]\n", *u, *v, s, *alg, *n, *c)
 	fmt.Printf("truncation bound (Thm 2): %.2g\n", usimrank.ErrorBound(*c, *n))
+}
+
+// parseUpdates parses the -update spec: "op:u,v[,p]" triples separated
+// by ';', e.g. "reweight:3,17,0.9;delete:4,1". Syntax errors are
+// reported with the failing triple.
+func parseUpdates(spec string) ([]usimrank.ArcUpdate, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var ups []usimrank.ArcUpdate
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		opName, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("-update %q: want op:u,v[,p]", part)
+		}
+		op, err := usimrank.ParseUpdateOp(strings.TrimSpace(opName))
+		if err != nil {
+			return nil, fmt.Errorf("-update %q: %v", part, err)
+		}
+		fields := strings.Split(rest, ",")
+		wantFields := 3
+		if op == usimrank.OpDelete {
+			wantFields = 2
+		}
+		if len(fields) != wantFields {
+			return nil, fmt.Errorf("-update %q: %s takes %d comma-separated values", part, op, wantFields)
+		}
+		u, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("-update %q: bad vertex %q", part, fields[0])
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("-update %q: bad vertex %q", part, fields[1])
+		}
+		up := usimrank.ArcUpdate{Op: op, U: u, V: v}
+		if op != usimrank.OpDelete {
+			p, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-update %q: bad probability %q", part, fields[2])
+			}
+			up.P = p
+		}
+		ups = append(ups, up)
+	}
+	if len(ups) == 0 {
+		return nil, fmt.Errorf("-update %q: no updates", spec)
+	}
+	return ups, nil
 }
 
 // usage reports a bad invocation: the message, the flag summary, and

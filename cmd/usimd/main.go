@@ -14,6 +14,7 @@
 //	POST /v1/batch         many pairs, grouped by source
 //	GET  /v1/stats         metrics snapshot
 //	POST /v1/admin/reload  zero-downtime graph hot-swap
+//	POST /v1/admin/update  incremental arc mutations (insert/delete/reweight)
 //	GET  /healthz          liveness
 //
 // The server coalesces concurrent identical queries, bounds in-flight
@@ -50,11 +51,12 @@ func main() {
 		rowCache  = flag.Int("rowcache", 0, "row cache capacity (0 = engine default)")
 		warm      = flag.Bool("warm", false, "build the SR-SP filter pools before serving")
 
-		maxInFlight = flag.Int("max-inflight", 0, "admitted concurrent queries (0 = 4x workers, min 32)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline")
-		admitWait   = flag.Duration("admission-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429 (negative: reject immediately)")
-		drain       = flag.Duration("drain-timeout", 15*time.Second, "max wait for old-engine requests after a hot-swap")
-		logEvery    = flag.Duration("log-every", time.Minute, "period of the metrics log line (0 disables)")
+		maxInFlight    = flag.Int("max-inflight", 0, "admitted concurrent queries (0 = 4x workers, min 32)")
+		maxUpdateBatch = flag.Int("max-update-batch", 0, "max arc mutations per /v1/admin/update request (0 = 4096, negative disables updates)")
+		timeout        = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		admitWait      = flag.Duration("admission-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429 (negative: reject immediately)")
+		drain          = flag.Duration("drain-timeout", 15*time.Second, "max wait for old-engine requests after a hot-swap")
+		logEvery       = flag.Duration("log-every", time.Minute, "period of the metrics log line (0 disables)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -80,12 +82,13 @@ func main() {
 			C: *c, Steps: *n, N: *samples, L: *l, Seed: *seed,
 			Parallelism: *workers, RowCacheSize: *rowCache,
 		},
-		MaxInFlight:   *maxInFlight,
-		QueryTimeout:  *timeout,
-		AdmissionWait: *admitWait,
-		DrainTimeout:  *drain,
-		LogEvery:      *logEvery,
-		Logger:        logger,
+		MaxInFlight:    *maxInFlight,
+		MaxUpdateBatch: *maxUpdateBatch,
+		QueryTimeout:   *timeout,
+		AdmissionWait:  *admitWait,
+		DrainTimeout:   *drain,
+		LogEvery:       *logEvery,
+		Logger:         logger,
 	}
 	srv, err := server.New(g, *graphPath, cfg)
 	if err != nil {

@@ -1,0 +1,54 @@
+package usimrank_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"usimrank"
+)
+
+// FuzzLoadGraphFile exercises the shared disk loader of cmd/usim,
+// cmd/usimd and the serving plane's hot-swap path: arbitrary file
+// contents — including ones that start with the binary magic but are
+// otherwise garbage, which is exactly what the format sniffing must
+// survive — either error cleanly or produce a graph both codecs can
+// round-trip.
+func FuzzLoadGraphFile(f *testing.F) {
+	f.Add([]byte("ug 3 2\n0 1 0.5\n1 2 0.25\n"))
+	f.Add([]byte("USGR")) // binary magic, truncated body
+	f.Add([]byte(""))
+	f.Add([]byte("USGR\x01\x00\x00\x00\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	b := usimrank.NewBuilder(3)
+	b.AddArc(0, 1, 0.5)
+	var bin bytes.Buffer
+	if err := usimrank.WriteBinary(&bin, b.MustBuild()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "graph")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g, err := usimrank.LoadGraphFile(path)
+		if err != nil {
+			return // clean rejection
+		}
+		var out bytes.Buffer
+		if err := usimrank.WriteText(&out, g); err != nil {
+			t.Fatalf("accepted graph fails text serialisation: %v", err)
+		}
+		if _, err := usimrank.ReadText(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("text round-trip rejected: %v", err)
+		}
+		out.Reset()
+		if err := usimrank.WriteBinary(&out, g); err != nil {
+			t.Fatalf("accepted graph fails binary serialisation: %v", err)
+		}
+		if _, err := usimrank.ReadBinary(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("binary round-trip rejected: %v", err)
+		}
+	})
+}

@@ -128,6 +128,24 @@ func (c *LRU[K, V]) Len() int {
 // Cap returns the cache's capacity.
 func (c *LRU[K, V]) Cap() int { return c.capacity }
 
+// Snapshot returns the cache's entries in recency order, least recently
+// used first. Re-inserting the returned pairs in order into an empty
+// LRU reproduces the receiver's recency state exactly — the primitive
+// the engine's derive-on-update path uses to carry surviving row-cache
+// entries (minus the invalidated ones) into a successor engine. The
+// slices are fresh; the values are shared as stored.
+func (c *LRU[K, V]) Snapshot() (keys []K, vals []V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys = make([]K, 0, len(c.items))
+	vals = make([]V, 0, len(c.items))
+	for e := c.tail; e != nil; e = e.prev {
+		keys = append(keys, e.key)
+		vals = append(vals, e.val)
+	}
+	return keys, vals
+}
+
 // Evictions returns the number of entries evicted so far — the
 // observable difference between bounded eviction and the old
 // wipe-everything reset, and a cheap thrash metric for callers sizing

@@ -115,3 +115,51 @@ func TestConcurrentMixedAccess(t *testing.T) {
 		t.Fatalf("len %d exceeds capacity", c.Len())
 	}
 }
+
+func TestSnapshotRecencyOrder(t *testing.T) {
+	c := New[int, string](4)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	c.Add(3, "c")
+	c.Get(1) // promote 1 to MRU
+	keys, vals := c.Snapshot()
+	wantKeys := []int{2, 3, 1} // LRU first
+	if len(keys) != len(wantKeys) {
+		t.Fatalf("snapshot has %d entries, want %d", len(keys), len(wantKeys))
+	}
+	for i, k := range wantKeys {
+		if keys[i] != k {
+			t.Fatalf("snapshot keys %v, want %v", keys, wantKeys)
+		}
+	}
+	// Replaying a snapshot into an empty cache reproduces the recency
+	// state: inserting one more entry must evict the same victim.
+	replay := New[int, string](4)
+	for i := range keys {
+		replay.Add(keys[i], vals[i])
+	}
+	c.Add(9, "z")
+	replay.Add(9, "z")
+	c.Add(10, "y") // evicts 2 in both
+	replay.Add(10, "y")
+	if _, ok := replay.Get(2); ok {
+		t.Fatal("replayed cache kept the victim the original evicted")
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("original cache kept entry 2")
+	}
+	k2, _ := c.Snapshot()
+	k3, _ := replay.Snapshot()
+	for i := range k2 {
+		if k2[i] != k3[i] {
+			t.Fatalf("diverged after replay: %v vs %v", k2, k3)
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	keys, vals := New[int, int](2).Snapshot()
+	if len(keys) != 0 || len(vals) != 0 {
+		t.Fatalf("empty snapshot returned %v / %v", keys, vals)
+	}
+}

@@ -98,6 +98,7 @@ func (e *Engine) Clone() *Engine {
 		rows:  cache.New[int, []matrix.Vec](e.opt.RowCacheSize),
 		poolU: fu,
 		poolV: fv,
+		gen:   e.gen,
 	}
 }
 

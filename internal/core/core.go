@@ -133,6 +133,10 @@ type Engine struct {
 	filterMu sync.Mutex // guards lazy poolU/poolV construction
 	poolU    *speedup.Filters
 	poolV    *speedup.Filters
+
+	// gen is the graph generation: 1 from NewEngine, predecessor+1 from
+	// ApplyUpdates. See Generation.
+	gen uint64
 }
 
 // NewEngine validates opt and builds an engine for g.
@@ -147,6 +151,7 @@ func NewEngine(g *ugraph.Graph, opt Options) (*Engine, error) {
 		opt:  opt,
 		pool: parallel.NewPool(opt.Parallelism),
 		rows: cache.New[int, []matrix.Vec](opt.RowCacheSize),
+		gen:  1,
 	}, nil
 }
 

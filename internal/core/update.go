@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"usimrank/internal/cache"
+	"usimrank/internal/matrix"
+	"usimrank/internal/speedup"
+	"usimrank/internal/ugraph"
+)
+
+// UpdateStats reports what one ApplyUpdates call did — most usefully,
+// how much warm state survived. RowsEvicted / (RowsEvicted +
+// RowsRetained) is the invalidation fraction the targeted scheme is
+// designed to keep small.
+type UpdateStats struct {
+	// Applied is the number of distinct arcs with a net change relative
+	// to the predecessor's graph; staged sequences that net out (insert
+	// then delete) are not counted.
+	Applied int
+	// TouchedHeads is the number of distinct arc heads among the
+	// updates — the seed set of the invalidation BFS.
+	TouchedHeads int
+	// HorizonDepth is the BFS depth the invalidation ran to: the
+	// deepest cached row prefix minus one, so every cached entry is
+	// either provably unaffected or evicted.
+	HorizonDepth int
+	// RowsEvicted and RowsRetained partition the predecessor's row
+	// cache: evicted entries were within the walk horizon of a touched
+	// arc, retained entries are provably bit-identical on the mutated
+	// graph and carry over warm.
+	RowsEvicted  int
+	RowsRetained int
+	// FiltersPatched reports whether the predecessor had built its
+	// SR-SP filter pools (and so the successor inherited patched pools
+	// instead of rebuilding lazily from scratch).
+	FiltersPatched bool
+	// FilterVerticesRebuilt is the number of per-vertex filter rebuilds
+	// across the patched pools (0 when FiltersPatched is false).
+	FilterVerticesRebuilt int
+	// Generation is the successor engine's generation number.
+	Generation uint64
+}
+
+// Generation returns the engine's graph generation: 1 for an engine
+// built by NewEngine, and the predecessor's generation plus one for an
+// engine derived by ApplyUpdates. Serving planes key caches and
+// coalescing on it so results from different graph versions never mix.
+func (e *Engine) Generation() uint64 { return e.gen }
+
+// ApplyUpdates derives an engine for the mutated graph from the
+// receiver, carrying over every piece of warm state the mutation
+// provably cannot have changed. The receiver is not modified and stays
+// fully usable — in-flight queries keep computing against the old
+// graph, which is what lets a serving plane swap generations under
+// live traffic with no torn state.
+//
+// Compared to NewEngine on the mutated graph (plus a filter warm-up),
+// the derived engine skips almost all of the rebuild:
+//
+//   - the mutated CSR and its reverse are compacted incrementally from
+//     the update overlay (O(|V|+|E|) copy, no re-sort);
+//   - row-cache entries survive unless their source reaches a touched
+//     arc head within the cached walk horizon (a bounded BFS decides);
+//   - built SR-SP filter pools are patched per-vertex: only vertices
+//     whose reversed out-row changed are re-sampled.
+//
+// Every query on the derived engine is bit-identical to the same query
+// on a freshly built engine over the mutated graph with the same
+// options: walk streams depend only on (seed, vertex, side), retained
+// rows are prefix-stable, and patched filters reproduce the
+// from-scratch build exactly. The oracle test suite pins this.
+//
+// An empty update batch is legal and yields a successor with all warm
+// state retained (only the generation changes).
+func (e *Engine) ApplyUpdates(updates []ugraph.ArcUpdate) (*Engine, *UpdateStats, error) {
+	d := ugraph.NewDelta(e.g)
+	if err := d.StageAll(updates); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	newG := d.Compact()
+	newRev := d.Reversed(e.rev).Compact()
+	heads := d.TouchedHeads()
+
+	stats := &UpdateStats{
+		Applied:      d.NetChanges(),
+		TouchedHeads: len(heads),
+		Generation:   e.gen + 1,
+	}
+
+	// Row-cache carry-over. A cached entry holds rows 0..D for its
+	// source on the reversed graph; level k changes only if the source
+	// reaches a touched head within k−1 steps of the original-direction
+	// graph (old or new — the BFS walks their union so deleted paths
+	// still count). Evict iff dist(src) ≤ D−1, i.e. some cached level
+	// is inside the horizon.
+	keys, vals := e.rows.Snapshot() // LRU → MRU order
+	maxDepth := 0
+	for _, rows := range vals {
+		if d := len(rows) - 2; d > maxDepth {
+			maxDepth = d
+		}
+	}
+	var dist []int32
+	if len(heads) > 0 && len(keys) > 0 {
+		dist = ugraph.BoundedDistances(heads, maxDepth, e.g, newG)
+	}
+	newRows := cache.New[int, []matrix.Vec](e.opt.RowCacheSize)
+	for i, src := range keys {
+		if dist != nil && dist[src] >= 0 && int(dist[src]) <= len(vals[i])-2 {
+			stats.RowsEvicted++
+			continue
+		}
+		newRows.Add(src, vals[i])
+		stats.RowsRetained++
+	}
+
+	// Filter-pool carry-over: patch only if the predecessor built them;
+	// otherwise the successor builds lazily on first SR-SP query, same
+	// as a fresh engine. Touched vertices on the reversed graph are
+	// exactly the heads: rev out-row of y holds the reversed (·, y)
+	// arcs.
+	e.filterMu.Lock()
+	poolU, poolV := e.poolU, e.poolV
+	e.filterMu.Unlock()
+	var newPoolU, newPoolV *speedup.Filters
+	if poolU != nil {
+		newPoolU = speedup.PatchFilters(poolU, newRev, heads, e.pool)
+		stats.FiltersPatched = true
+		stats.FilterVerticesRebuilt = len(heads)
+		if poolV == poolU {
+			newPoolV = newPoolU
+		} else {
+			newPoolV = speedup.PatchFilters(poolV, newRev, heads, e.pool)
+			stats.FilterVerticesRebuilt += len(heads)
+		}
+	}
+
+	stats.HorizonDepth = maxDepth
+	return &Engine{
+		g:     newG,
+		rev:   newRev,
+		opt:   e.opt,
+		pool:  e.pool, // shared: old + new engines stay inside one Parallelism bound while the old drains
+		rows:  newRows,
+		poolU: newPoolU,
+		poolV: newPoolV,
+		gen:   e.gen + 1,
+	}, stats, nil
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"testing"
+
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+// randUGraph draws a digraph with independent arc probability p.
+func randUGraph(r *rng.RNG, n int, p float64) *ugraph.Graph {
+	b := ugraph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if r.Bool(p) {
+				b.AddArc(u, v, 0.05+0.95*r.Float64())
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// randomBatch stages a mixed batch of valid updates against g.
+func randomBatch(r *rng.RNG, g *ugraph.Graph, count int) []ugraph.ArcUpdate {
+	d := ugraph.NewDelta(g)
+	var ups []ugraph.ArcUpdate
+	for len(ups) < count {
+		u, v := r.Intn(g.NumVertices()), r.Intn(g.NumVertices())
+		var up ugraph.ArcUpdate
+		if d.Prob(u, v) > 0 {
+			if r.Bool(0.5) {
+				up = ugraph.ArcUpdate{Op: ugraph.OpDelete, U: u, V: v}
+			} else {
+				up = ugraph.ArcUpdate{Op: ugraph.OpReweight, U: u, V: v, P: 0.05 + 0.95*r.Float64()}
+			}
+		} else {
+			up = ugraph.ArcUpdate{Op: ugraph.OpInsert, U: u, V: v, P: 0.05 + 0.95*r.Float64()}
+		}
+		if err := d.Stage(up); err != nil {
+			continue
+		}
+		ups = append(ups, up)
+	}
+	return ups
+}
+
+// TestApplyUpdatesBitIdenticalToRebuild is the core invariant of the
+// dynamic update plane: a derived engine answers every query with the
+// same bits as a from-scratch engine over the mutated graph. (The
+// oracle package extends this across all five query shapes; this is
+// the fast in-package version covering the cache-retention and
+// filter-patch paths directly.)
+func TestApplyUpdatesBitIdenticalToRebuild(t *testing.T) {
+	r := rng.New(314)
+	for trial := 0; trial < 12; trial++ {
+		g := randUGraph(r, 12+r.Intn(12), 0.18)
+		opt := Options{Steps: 4, N: 120, L: 1, Seed: 9, Parallelism: 2, RowCacheSize: 64}
+		e, err := NewEngine(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm every kind of derived state on the predecessor: exact
+		// rows at baseline depth, two-phase depth, and the SR-SP filter
+		// pools — so carry-over (not just recompute) is what's tested.
+		for v := 0; v < g.NumVertices(); v += 2 {
+			if _, err := e.Baseline(v, (v+3)%g.NumVertices()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.SRSP(v, (v+1)%g.NumVertices()); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		ups := randomBatch(r, g, 1+r.Intn(4))
+		derived, stats, err := e.ApplyUpdates(ups)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stats.Generation != 2 || derived.Generation() != 2 {
+			t.Fatalf("generation %d / %d, want 2", stats.Generation, derived.Generation())
+		}
+		if !stats.FiltersPatched {
+			t.Fatal("warm filters were not patched")
+		}
+		rebuilt, err := NewEngine(derived.Graph(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range Algorithms() {
+			for q := 0; q < 6; q++ {
+				u, v := r.Intn(g.NumVertices()), r.Intn(g.NumVertices())
+				got, err := derived.Compute(alg, u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := rebuilt.Compute(alg, u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("trial %d %s s(%d,%d): derived %v, rebuilt %v (stats %+v)",
+						trial, alg, u, v, got, want, stats)
+				}
+			}
+			gotSS, err := derived.SingleSource(alg, trial%g.NumVertices())
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSS, err := rebuilt.SingleSource(alg, trial%g.NumVertices())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantSS {
+				if gotSS[i] != wantSS[i] {
+					t.Fatalf("trial %d %s single-source[%d]: %v vs %v", trial, alg, i, gotSS[i], wantSS[i])
+				}
+			}
+		}
+		gotM, err := derived.SRSPMatrix([]int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantM, err := rebuilt.SRSPMatrix([]int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantM {
+			for j := range wantM[i] {
+				if gotM[i][j] != wantM[i][j] {
+					t.Fatalf("trial %d SRSPMatrix[%d][%d]: %v vs %v", trial, i, j, gotM[i][j], wantM[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyUpdatesTargetedInvalidation pins the eviction set on a graph
+// where reachability is obvious: on the path 0 → 1 → … → 9, mutating
+// arc (8, 9) can only change the reversed-walk rows of vertices
+// reachable from head 9 — and 9 has no out-arcs, so exactly the entry
+// for source 9 is evicted, no matter how many rows are warm.
+func TestApplyUpdatesTargetedInvalidation(t *testing.T) {
+	const n = 10
+	b := ugraph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddArc(v, v+1, 0.9)
+	}
+	g := b.MustBuild()
+	e, err := NewEngine(g, Options{Steps: 3, N: 50, L: 3, Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if err := e.WarmRowsFor(AlgBaseline, all); err != nil {
+		t.Fatal(err)
+	}
+	derived, stats, err := e.ApplyUpdates([]ugraph.ArcUpdate{{Op: ugraph.OpReweight, U: 8, V: 9, P: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsEvicted != 1 || stats.RowsRetained != n-1 {
+		t.Fatalf("evicted %d retained %d, want 1 / %d (stats %+v)", stats.RowsEvicted, stats.RowsRetained, n-1, stats)
+	}
+	// Mutating (0, 1) instead puts heads at 1; every vertex 1..9 is
+	// within 2 forward hops? No — only 1, 2, 3 are within Steps−1 = 2
+	// hops of head 1, so exactly those three warm entries die.
+	_, stats2, err := e.ApplyUpdates([]ugraph.ArcUpdate{{Op: ugraph.OpReweight, U: 0, V: 1, P: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.RowsEvicted != 3 {
+		t.Fatalf("head-1 mutation evicted %d rows, want 3 (stats %+v)", stats2.RowsEvicted, stats2)
+	}
+	// And the derived engine still answers exactly like a rebuild.
+	rebuilt, err := NewEngine(derived.Graph(), e.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		got, err := derived.Baseline(u, (u+1)%n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rebuilt.Baseline(u, (u+1)%n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("baseline s(%d,%d): derived %v, rebuilt %v", u, (u+1)%n, got, want)
+		}
+	}
+}
+
+func TestApplyUpdatesValidationAndChaining(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e, err := NewEngine(g, Options{Seed: 1, N: 40, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid batch: error, predecessor untouched.
+	if _, _, err := e.ApplyUpdates([]ugraph.ArcUpdate{{Op: ugraph.OpDelete, U: 0, V: 0}}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if e.Generation() != 1 {
+		t.Fatalf("failed update changed generation to %d", e.Generation())
+	}
+	// Empty batch: legal, everything retained.
+	if _, err := e.Baseline(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d1, stats, err := e.ApplyUpdates(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsEvicted != 0 || stats.RowsRetained == 0 {
+		t.Fatalf("empty batch: %+v", stats)
+	}
+	// Chained updates keep incrementing the generation.
+	d2, _, err := d1.ApplyUpdates([]ugraph.ArcUpdate{{Op: ugraph.OpInsert, U: 0, V: 0, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, _, err := d2.ApplyUpdates([]ugraph.ArcUpdate{{Op: ugraph.OpDelete, U: 0, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Generation() != 4 {
+		t.Fatalf("generation %d after three derivations, want 4", d3.Generation())
+	}
+	if d3.Graph().NumArcs() != g.NumArcs() {
+		t.Fatalf("insert+delete changed arc count: %d vs %d", d3.Graph().NumArcs(), g.NumArcs())
+	}
+}
+
+// TestUpdateInvalidationBounded10k is the acceptance bound of the
+// update plane: on the 10k-vertex bench graph with a serving-shaped
+// warm cache (two-phase depth l = 1), a single-arc update invalidates
+// well under 20% of cached rows.
+func TestUpdateInvalidationBounded10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-vertex graph build in -short mode")
+	}
+	g := gen.CoAuthorship(10_000, 2, rng.New(5))
+	e, err := NewEngine(g, Options{Seed: 1, N: 100, L: 1, RowCacheSize: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, g.NumVertices())
+	for i := range all {
+		all[i] = i
+	}
+	if err := e.WarmRowsFor(AlgTwoPhase, all); err != nil {
+		t.Fatal(err)
+	}
+	u := -1
+	var v int
+	for w := 0; w < g.NumVertices(); w++ {
+		if len(g.Out(w)) > 0 {
+			u, v = w, int(g.Out(w)[0])
+			break
+		}
+	}
+	if u < 0 {
+		t.Fatal("bench graph has no arcs")
+	}
+	_, stats, err := e.ApplyUpdates([]ugraph.ArcUpdate{{Op: ugraph.OpReweight, U: u, V: v, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := stats.RowsEvicted + stats.RowsRetained
+	if total < 9000 {
+		t.Fatalf("cache was not warm: only %d entries", total)
+	}
+	if frac := float64(stats.RowsEvicted) / float64(total); frac >= 0.20 {
+		t.Fatalf("single-arc update invalidated %.1f%% of cached rows (stats %+v)", 100*frac, stats)
+	}
+}
+
+// TestMeetingSpeedupWrapper pins the exported MeetingSpeedup wrapper to
+// the estimates the SRSP path consumes.
+func TestMeetingSpeedupWrapper(t *testing.T) {
+	g := ugraph.PaperFig1()
+	e, err := NewEngine(g, Options{Seed: 1, N: 64, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.MeetingSpeedup(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != e.Options().Steps+1 {
+		t.Fatalf("got %d levels, want %d", len(m), e.Options().Steps+1)
+	}
+	if m[0] != 0 {
+		t.Fatalf("m(0)(0,1) = %v for distinct sources, want 0", m[0])
+	}
+	if _, err := e.MeetingSpeedup(-1, 0); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}

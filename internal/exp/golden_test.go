@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"usimrank/internal/gen"
+)
+
+// updateGolden rewrites the pinned outputs instead of comparing:
+//
+//	go test ./internal/exp -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files under testdata/golden")
+
+var durationType = reflect.TypeOf(time.Duration(0))
+
+// scrub normalises a result value for golden comparison, in place where
+// possible: every time.Duration is zeroed (wall times are the one
+// nondeterministic ingredient of the runners), and every float64 is
+// rounded to 9 significant digits so a last-ulp libm difference across
+// architectures cannot flake the pin while any real regression still
+// trips it.
+func scrub(v reflect.Value) reflect.Value {
+	if !v.IsValid() {
+		return v
+	}
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return v
+		}
+		scrub(v.Elem())
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if !f.CanSet() {
+				continue
+			}
+			f.Set(scrub(f))
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			v.Index(i).Set(scrub(v.Index(i)))
+		}
+	case reflect.Map:
+		for _, k := range v.MapKeys() {
+			elem := reflect.New(v.Type().Elem()).Elem()
+			elem.Set(v.MapIndex(k))
+			v.SetMapIndex(k, scrub(elem))
+		}
+	case reflect.Int64:
+		if v.Type() == durationType {
+			return reflect.Zero(v.Type())
+		}
+	case reflect.Float64, reflect.Float32:
+		f, _ := strconv.ParseFloat(strconv.FormatFloat(v.Float(), 'g', 9, 64), 64)
+		r := reflect.New(v.Type()).Elem()
+		r.SetFloat(f)
+		return r
+	}
+	return v
+}
+
+// goldenRunners maps a golden-file stem to its runner. Each runs at the
+// Tiny scale with seed 1 and single-threaded engines — the engines are
+// deterministic for every Parallelism, this just keeps the pin cheap.
+var goldenRunners = []struct {
+	name string
+	run  func(Config) (any, error)
+	// normalize clears fields *derived from* wall times (the generic
+	// scrub only reaches time.Duration values themselves).
+	normalize func(any)
+}{
+	{name: "table1", run: func(c Config) (any, error) { return Table1WalkPr(c) }},
+	{name: "table2", run: func(c Config) (any, error) { return Table2Datasets(c) }},
+	{name: "fig7_table3", run: func(c Config) (any, error) { return Fig7Table3Bias(c) }},
+	{name: "fig8", run: func(c Config) (any, error) { return Fig8Convergence(c) }},
+	{name: "fig9", run: func(c Config) (any, error) { return Fig9Efficiency(c) }},
+	{name: "fig10", run: func(c Config) (any, error) { return Fig10Accuracy(c) }},
+	{name: "fig11", run: func(c Config) (any, error) { return Fig11NSweep(c) }},
+	{name: "fig12", run: func(c Config) (any, error) { return Fig12Scalability(c) }, normalize: func(res any) {
+		// The R² linearity scores are fits of measured per-query times;
+		// TestFig12Scalability checks them, the golden file pins only
+		// the deterministic sweep shape.
+		r := res.(*Fig12Result)
+		r.TSR2, r.SPR2 = 0, 0
+	}},
+	{name: "fig13", run: func(c Config) (any, error) { return Fig13Proteins(c) }},
+	{name: "fig15", run: func(c Config) (any, error) { return Fig15ERTime(c) }},
+	{name: "table5", run: func(c Config) (any, error) { return Table5ERQuality(c) }},
+}
+
+// TestGolden pins every figure/table runner's result struct (timings
+// scrubbed, floats rounded) to a golden JSON file, so an experiment
+// regression — a changed score, a reordered top-k list, a different
+// dataset shape — fails tier-1 `go test ./...` instead of waiting for
+// someone to re-run the evaluation by hand. Regenerate deliberately
+// with -update-golden after an intended change, and review the diff
+// like code.
+func TestGolden(t *testing.T) {
+	for _, gr := range goldenRunners {
+		t.Run(gr.name, func(t *testing.T) {
+			res, err := gr.run(Config{Scale: gen.Tiny, Seed: 1, Out: io.Discard, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gr.normalize != nil {
+				gr.normalize(res)
+			}
+			scrub(reflect.ValueOf(res))
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", gr.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s output diverged from golden file.\nIf the change is intended, regenerate with:\n  go test ./internal/exp -run TestGolden -update-golden\ngot:\n%s", gr.name, diffHint(want, got))
+			}
+		})
+	}
+}
+
+// diffHint returns the first few lines around the first divergence —
+// enough to see what moved without dumping two whole files.
+func diffHint(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			lo := i - 2
+			if lo < 0 {
+				lo = 0
+			}
+			var buf bytes.Buffer
+			for j := lo; j <= i && j < len(gl); j++ {
+				buf.WriteString("  got:  ")
+				buf.Write(gl[j])
+				buf.WriteByte('\n')
+			}
+			buf.WriteString("  want: ")
+			buf.Write(wl[i])
+			buf.WriteByte('\n')
+			buf.WriteString("  (line " + strconv.Itoa(i+1) + ")")
+			return buf.String()
+		}
+	}
+	return "files differ in length"
+}

@@ -1,0 +1,58 @@
+package graph
+
+import "testing"
+
+// FuzzBuilder drives the deterministic-graph Builder through an op
+// stream decoded from the fuzz input. Endpoints are reduced into range
+// (out-of-range panics are the documented AddArc contract); Build must
+// never panic — duplicate arcs, including the ones AddEdge
+// manufactures, must surface as errors — and every accepted graph must
+// satisfy the CSR invariants in both adjacency directions.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 0x82, 3})
+	f.Add([]byte{1, 0, 0, 0, 0}) // duplicate self-loop
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]) % 16
+		b := NewBuilder(n)
+		for i := 1; i+1 < len(data); i += 2 {
+			if n == 0 {
+				break
+			}
+			u, v := int(data[i]&0x7f)%n, int(data[i+1])%n
+			if data[i]&0x80 != 0 {
+				b.AddEdge(u, v)
+			} else {
+				b.AddArc(u, v)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return // duplicates rejected cleanly
+		}
+		// Out- and in-adjacency must describe the same arc set.
+		outArcs, inArcs := 0, 0
+		for v := 0; v < g.NumVertices(); v++ {
+			out := g.Out(v)
+			outArcs += len(out)
+			inArcs += len(g.In(v))
+			for i, w := range out {
+				if w < 0 || int(w) >= g.NumVertices() {
+					t.Fatalf("vertex %d: target %d out of range", v, w)
+				}
+				if i > 0 && out[i-1] >= w {
+					t.Fatalf("vertex %d: out row not strictly sorted", v)
+				}
+				if !g.HasArc(int(v), int(w)) {
+					t.Fatalf("arc (%d,%d) in row but HasArc is false", v, w)
+				}
+			}
+		}
+		if outArcs != g.NumArcs() || inArcs != g.NumArcs() {
+			t.Fatalf("adjacency sizes out=%d in=%d, want %d", outArcs, inArcs, g.NumArcs())
+		}
+	})
+}

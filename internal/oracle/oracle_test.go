@@ -1,0 +1,212 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/core"
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+// randSmallGraph draws a general digraph (cycles and self-loops
+// allowed) with 4–7 vertices and at most MaxArcs probabilistic arcs.
+func randSmallGraph(r *rng.RNG) *ugraph.Graph {
+	for {
+		n := 4 + r.Intn(4)
+		b := ugraph.NewBuilder(n)
+		target := 6 + r.Intn(MaxArcs-5) // 6..12 arcs
+		seen := map[[2]int]bool{}
+		for b.NumArcs() < target && len(seen) < n*n {
+			u, v := r.Intn(n), r.Intn(n)
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			b.AddArc(u, v, 0.1+0.85*r.Float64())
+		}
+		if b.NumArcs() > 0 {
+			return b.MustBuild()
+		}
+	}
+}
+
+// randSmallDAG draws a DAG (arcs only from lower to higher vertex) with
+// at most MaxArcs arcs. On a DAG no walk can revisit a vertex, so the
+// SR-SP filter-vector estimator has exactly the Sampling algorithm's
+// distribution (see the fidelity note in package speedup) and all
+// three sampled strategies are unbiased for the oracle's measure.
+func randSmallDAG(r *rng.RNG) *ugraph.Graph {
+	for {
+		n := 5 + r.Intn(3)
+		b := ugraph.NewBuilder(n)
+		seen := map[[2]int]bool{}
+		target := 6 + r.Intn(MaxArcs-5)
+		for b.NumArcs() < target && len(seen) < n*(n-1)/2 {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			b.AddArc(u, v, 0.1+0.85*r.Float64())
+		}
+		if b.NumArcs() > 0 {
+			return b.MustBuild()
+		}
+	}
+}
+
+// TestBaselineMatchesOracle: the engine's exact algorithm and the
+// enumeration oracle compute the same measure through entirely
+// different machinery (state-merged sparse DP vs dense per-world
+// recurrence), so agreement to roundoff on general graphs — cycles,
+// self-loops, dead ends — is the strongest correctness statement the
+// suite makes about the exact path.
+func TestBaselineMatchesOracle(t *testing.T) {
+	r := rng.New(2718)
+	const steps = 5
+	for trial := 0; trial < 10; trial++ {
+		g := randSmallGraph(r)
+		e, err := core.NewEngine(g, core.Options{Steps: steps, N: 10, Seed: 3, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := e.Options()
+		for q := 0; q < 4; q++ {
+			u, v := r.Intn(g.NumVertices()), r.Intn(g.NumVertices())
+			want, err := SimRank(g, u, v, opt.C, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Baseline(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: Baseline s(%d,%d) = %.15g, oracle %.15g (diff %g)",
+					trial, u, v, got, want, got-want)
+			}
+		}
+		// Per-level meeting probabilities too, not just the combined
+		// score — a cancellation in Combine must not mask a level bug.
+		u, v := r.Intn(g.NumVertices()), r.Intn(g.NumVertices())
+		wantM, err := MeetingProbabilities(g, u, v, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotM, err := e.MeetingExact(u, v, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range wantM {
+			if math.Abs(gotM[k]-wantM[k]) > 1e-12 {
+				t.Fatalf("trial %d: m(%d)(%d,%d) = %.15g, oracle %.15g", trial, k, u, v, gotM[k], wantM[k])
+			}
+		}
+	}
+}
+
+// TestSampledAlgorithmsConvergeToOracle: each approximate strategy must
+// land within a Hoeffding-style tolerance of the enumerated ground
+// truth. Each m̂(k) is the mean of N {0,1} indicators, so
+// Pr(|m̂(k) − m(k)| > ε) ≤ 2·exp(−2Nε²); with N = 4000 and ε = 0.06
+// that is ≈ 6·10⁻¹³ per level, and the Eq. 12 weights sum to exactly 1,
+// so |ŝ − s| ≤ max_k |m̂(k) − m(k)| ≤ ε with failure probability below
+// 10⁻⁹ across the whole sweep (10 graphs × 3 pairs × 3 algorithms × 6
+// levels) — and the fixed seed makes the run deterministic anyway.
+//
+// The graphs are DAGs so that SR-SP's fixed-per-process arc choices
+// coincide in distribution with the Sampling algorithm's re-rolled
+// choices (no walk can revisit a vertex); the exact path is covered on
+// loopy graphs by TestBaselineMatchesOracle.
+func TestSampledAlgorithmsConvergeToOracle(t *testing.T) {
+	r := rng.New(1618)
+	const (
+		steps = 5
+		N     = 4000
+		eps   = 0.06
+	)
+	algs := []core.Algorithm{core.AlgSampling, core.AlgTwoPhase, core.AlgSRSP}
+	for trial := 0; trial < 10; trial++ {
+		g := randSmallDAG(r)
+		e, err := core.NewEngine(g, core.Options{Steps: steps, N: N, L: 1, Seed: uint64(100 + trial), Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := e.Options()
+		for q := 0; q < 3; q++ {
+			u, v := r.Intn(g.NumVertices()), r.Intn(g.NumVertices())
+			want, err := SimRank(g, u, v, opt.C, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, alg := range algs {
+				got, err := e.Compute(alg, u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-want) > eps {
+					t.Fatalf("trial %d %v: s(%d,%d) = %v, oracle %v (|diff| %.4f > ε=%.2f)",
+						trial, alg, u, v, got, want, math.Abs(got-want), eps)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleRefusesLargeGraphs pins the enumeration bound.
+func TestOracleRefusesLargeGraphs(t *testing.T) {
+	b := ugraph.NewBuilder(MaxArcs + 2)
+	for i := 0; i < MaxArcs+1; i++ {
+		b.AddArc(i, i+1, 0.5)
+	}
+	g := b.MustBuild()
+	if _, err := WalkRows(g, 0, 2); err == nil {
+		t.Fatal("oracle enumerated past MaxArcs")
+	}
+	if _, err := SimRank(g, 0, 1, 0.6, 2); err == nil {
+		t.Fatal("SimRank enumerated past MaxArcs")
+	}
+}
+
+// TestWalkRowsAreSubstochastic sanity-checks the enumerated rows: level
+// masses are probabilities, and level 0 is the unit vector.
+func TestWalkRowsAreSubstochastic(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 5; trial++ {
+		g := randSmallGraph(r)
+		src := r.Intn(g.NumVertices())
+		rows, err := WalkRows(g, src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Level 0 is the unit vector at src, up to the roundoff of
+		// summing 2^m world probabilities.
+		if math.Abs(rows[0][src]-1) > 1e-9 {
+			t.Fatalf("row 0 not unit: %v", rows[0])
+		}
+		for w, p := range rows[0] {
+			if w != src && p != 0 {
+				t.Fatalf("row 0 has mass %v at %d != src %d", p, w, src)
+			}
+		}
+		for k, row := range rows {
+			sum := 0.0
+			for _, p := range row {
+				if p < -1e-15 || p > 1+1e-12 {
+					t.Fatalf("level %d has probability %v", k, p)
+				}
+				sum += p
+			}
+			if sum > 1+1e-9 {
+				t.Fatalf("level %d mass %v > 1", k, sum)
+			}
+		}
+	}
+}

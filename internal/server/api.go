@@ -117,6 +117,57 @@ type ReloadResponse struct {
 	Drained bool `json:"drained"`
 }
 
+// ArcUpdateRequest is one arc mutation of an update batch. Op is
+// "insert", "delete" or "reweight" (short forms "ins"/"del"/"rw" also
+// parse); P is required for insert and reweight and ignored for
+// delete.
+type ArcUpdateRequest struct {
+	Op string  `json:"op"`
+	U  int     `json:"u"`
+	V  int     `json:"v"`
+	P  float64 `json:"p,omitempty"`
+}
+
+// UpdateRequest asks the server to apply a batch of arc mutations
+// incrementally: the engine for the mutated graph is derived from the
+// resident one (warm rows and filter pools carried over, targeted
+// invalidation only), then atomically swapped in under the same
+// refcounted-handle scheme as a reload. In-flight queries finish on
+// their pinned generation.
+type UpdateRequest struct {
+	Updates []ArcUpdateRequest `json:"updates"`
+}
+
+// UpdateResponse reports the completed incremental swap.
+type UpdateResponse struct {
+	// Generation is the serving plane's graph generation (the one
+	// /v1/stats reports and coalescing keys carry): boot engine is 1,
+	// +1 per successful reload or update. It can differ from the
+	// engine-internal Engine.Generation lineage once reloads are mixed
+	// in, since a reload starts a fresh engine lineage.
+	Generation uint64 `json:"generation"`
+	// Applied is the number of distinct arcs with a net change; staged
+	// sequences that net out (insert then delete) are not counted.
+	Applied  int `json:"applied"`
+	Vertices int `json:"vertices"`
+	Arcs     int `json:"arcs"`
+	// RowsEvicted / RowsRetained partition the predecessor's warm row
+	// cache; only sources within the walk horizon of a touched arc are
+	// evicted.
+	RowsEvicted  int `json:"rows_evicted"`
+	RowsRetained int `json:"rows_retained"`
+	// FiltersPatched reports whether warm SR-SP filter pools were
+	// carried over (patched per touched vertex) rather than left to a
+	// lazy from-scratch rebuild.
+	FiltersPatched bool `json:"filters_patched"`
+	// ApplyMs is the wall time of the incremental derivation, off the
+	// serving path (compare ReloadResponse.BuildMs).
+	ApplyMs int64 `json:"apply_ms"`
+	// Drained reports whether every request pinned to the old engine
+	// finished within the server's drain timeout.
+	Drained bool `json:"drained"`
+}
+
 // ErrorResponse is the uniform error envelope.
 type ErrorResponse struct {
 	Error ErrorDetail `json:"error"`
@@ -156,6 +207,10 @@ type GraphStats struct {
 	Arcs       int    `json:"arcs"`
 	Generation uint64 `json:"generation"`
 	Reloads    uint64 `json:"reloads"`
+	// Updates counts successful incremental update batches; ArcsUpdated
+	// counts the arcs they changed in total.
+	Updates     uint64 `json:"updates"`
+	ArcsUpdated uint64 `json:"arcs_updated"`
 }
 
 // EngineStats surfaces the resident engine's knobs and cache health.

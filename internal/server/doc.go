@@ -30,6 +30,16 @@
 //     engine for its whole lifetime (reference-counted handles), so no
 //     request ever observes a torn state between two graphs.
 //
+//   - Incremental updates. POST /v1/admin/update mutates individual
+//     arcs (insert/delete/reweight) without a rebuild: a successor
+//     engine is derived from the resident one — row-cache entries
+//     outside the walk horizon of every touched arc and per-vertex
+//     SR-SP filter state carried over warm — and swapped in under the
+//     same handle scheme as a reload. Results after an update are
+//     bit-identical to a from-scratch rebuild of the mutated graph;
+//     only the cost differs (orders of magnitude, see the ApplyUpdates
+//     benchmarks).
+//
 // # Endpoints
 //
 // All query endpoints accept POST with a JSON body and return JSON.
@@ -83,6 +93,20 @@
 // the offline phase. "drained" reports whether every request pinned to
 // the old engine finished within Config.DrainTimeout (the swap itself
 // has already happened either way).
+//
+// POST /v1/admin/update — incremental arc mutations.
+//
+//	request:  {"updates":[{"op":"insert","u":1,"v":2,"p":0.5},
+//	                      {"op":"reweight","u":0,"v":3,"p":0.9},
+//	                      {"op":"delete","u":4,"v":1}]}
+//	response: {"generation":3,"applied":3,"vertices":16384,"arcs":65537,
+//	           "rows_evicted":12,"rows_retained":4084,
+//	           "filters_patched":true,"apply_ms":4,"drained":true}
+//
+// Batches are transactional: the first invalid mutation (inserting an
+// existing arc, deleting a missing one, a probability outside (0,1])
+// rejects the whole batch with 400 and the resident engine is
+// untouched. Batch size is bounded by Config.MaxUpdateBatch.
 //
 // GET /healthz — liveness: 200 "ok" once the server can serve.
 package server

@@ -39,6 +39,10 @@ type Config struct {
 	// to the replaced engine before reporting drained=false. Default
 	// 15s.
 	DrainTimeout time.Duration
+	// MaxUpdateBatch bounds the number of arc mutations one
+	// /v1/admin/update request may carry. Default 4096; negative
+	// disables the endpoint (every request is rejected with 400).
+	MaxUpdateBatch int
 	// LogEvery, when positive, logs a one-line metrics summary at that
 	// period.
 	LogEvery time.Duration
@@ -63,6 +67,9 @@ func (c Config) withDefaults(parallelism int) Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 15 * time.Second
 	}
+	if c.MaxUpdateBatch == 0 {
+		c.MaxUpdateBatch = 4096
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "usimd ", log.LstdFlags)
 	}
@@ -76,8 +83,10 @@ func (c Config) withDefaults(parallelism int) Config {
 type Server struct {
 	cfg Config
 
-	cur     atomic.Pointer[engineHandle]
-	reloads atomic.Uint64
+	cur         atomic.Pointer[engineHandle]
+	reloads     atomic.Uint64
+	updates     atomic.Uint64
+	arcsUpdated atomic.Uint64
 	// reloadMu serialises hot-swaps; queries never take it.
 	reloadMu sync.Mutex
 
@@ -121,6 +130,7 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/admin/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -402,11 +412,13 @@ func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Graph: GraphStats{
-			Source:     h.source,
-			Vertices:   h.graph.NumVertices(),
-			Arcs:       h.graph.NumArcs(),
-			Generation: h.gen,
-			Reloads:    s.reloads.Load(),
+			Source:      h.source,
+			Vertices:    h.graph.NumVertices(),
+			Arcs:        h.graph.NumArcs(),
+			Generation:  h.gen,
+			Reloads:     s.reloads.Load(),
+			Updates:     s.updates.Load(),
+			ArcsUpdated: s.arcsUpdated.Load(),
 		},
 		Engine: EngineStats{
 			Parallelism:       opt.Parallelism,
@@ -476,6 +488,92 @@ func (s *Server) Reload(path string, warm bool) (*ReloadResponse, error) {
 		Arcs:       g.NumArcs(),
 		BuildMs:    buildMs,
 		Drained:    drained,
+	}, nil
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if s.cfg.MaxUpdateBatch < 0 {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"incremental updates are disabled on this server (-max-update-batch < 0); use /v1/admin/reload")
+		return
+	}
+	if len(req.Updates) == 0 {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, `"updates" is required and must be non-empty`)
+		return
+	}
+	if len(req.Updates) > s.cfg.MaxUpdateBatch {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("batch of %d updates exceeds -max-update-batch %d (split it, or reload)",
+				len(req.Updates), s.cfg.MaxUpdateBatch))
+		return
+	}
+	ups := make([]usimrank.ArcUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		op, err := usimrank.ParseUpdateOp(u.Op)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("updates[%d]: %v", i, err))
+			return
+		}
+		ups[i] = usimrank.ArcUpdate{Op: op, U: u.U, V: u.V, P: u.P}
+	}
+	resp, err := s.ApplyUpdates(ups)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ApplyUpdates applies a batch of arc mutations incrementally: a
+// successor engine is derived from the resident one — mutated CSR
+// compacted from the update overlay, row-cache entries outside the walk
+// horizon of every touched arc carried over warm, built SR-SP filter
+// pools patched per touched vertex — and swapped in exactly like a
+// reload: new handle published first, old engine drained by its pinned
+// requests. Queries admitted before the swap finish on the old
+// generation, queries admitted after it run on the new one, and the
+// coalescing keys' generation component keeps the two from ever
+// sharing a flight.
+//
+// Contrast with Reload: a reload rebuilds everything from a file
+// (cold caches, full filter build); an update touches only state the
+// mutation can have changed, which is why a single-arc change is
+// orders of magnitude cheaper.
+func (s *Server) ApplyUpdates(ups []usimrank.ArcUpdate) (*UpdateResponse, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	applyStart := time.Now()
+	old := s.cur.Load()
+	derived, stats, err := old.eng.ApplyUpdates(ups)
+	if err != nil {
+		return nil, err
+	}
+	applyMs := time.Since(applyStart).Milliseconds()
+
+	g := derived.Graph()
+	next := newEngineHandle(derived, g, old.source, old.gen+1)
+	s.cur.Store(next)
+	old.release() // drop the server's ownership reference
+	drained := old.awaitDrain(s.cfg.DrainTimeout)
+	s.updates.Add(1)
+	s.arcsUpdated.Add(uint64(stats.Applied))
+	s.cfg.Logger.Printf("update: generation %d -> %d (%d arcs changed, rows evicted %d / retained %d, filters patched %v, apply %dms, drained=%v)",
+		old.gen, next.gen, stats.Applied, stats.RowsEvicted, stats.RowsRetained, stats.FiltersPatched, applyMs, drained)
+	return &UpdateResponse{
+		Generation:     next.gen,
+		Applied:        stats.Applied,
+		Vertices:       g.NumVertices(),
+		Arcs:           g.NumArcs(),
+		RowsEvicted:    stats.RowsEvicted,
+		RowsRetained:   stats.RowsRetained,
+		FiltersPatched: stats.FiltersPatched,
+		ApplyMs:        applyMs,
+		Drained:        drained,
 	}, nil
 }
 

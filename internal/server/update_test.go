@@ -1,0 +1,292 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"usimrank"
+)
+
+// firstArc returns some potential arc (u, v, p) of g.
+func firstArc(t *testing.T, g *usimrank.Graph) (int, int, float64) {
+	t.Helper()
+	for u := 0; u < g.NumVertices(); u++ {
+		if out := g.Out(u); len(out) > 0 {
+			return u, int(out[0]), g.OutProbs(u)[0]
+		}
+	}
+	t.Fatal("graph has no arcs")
+	return 0, 0, 0
+}
+
+// TestUpdateEndpointAppliesIncrementally mutates one arc through the
+// endpoint and pins the post-update responses to a from-scratch engine
+// over the mutated graph, for every algorithm — the serving-plane face
+// of the ApplyUpdates bit-identity invariant.
+func TestUpdateEndpointAppliesIncrementally(t *testing.T) {
+	g := testGraph()
+	s := newTestServer(t, Config{Engine: testOptions()})
+	u, v, _ := firstArc(t, g)
+
+	// Warm the resident engine so the update actually exercises
+	// carry-over, not just recompute.
+	var warm ScoreResponse
+	call(t, s, "POST", "/v1/score", ScoreRequest{Alg: "srsp", U: u, V: v}, &warm)
+	call(t, s, "POST", "/v1/score", ScoreRequest{Alg: "baseline", U: u, V: v}, &warm)
+
+	ups := []ArcUpdateRequest{{Op: "reweight", U: u, V: v, P: 0.42}}
+	var resp UpdateResponse
+	if code := call(t, s, "POST", "/v1/admin/update", UpdateRequest{Updates: ups}, &resp); code != 200 {
+		t.Fatalf("/v1/admin/update status %d", code)
+	}
+	if resp.Generation != 2 || resp.Applied != 1 || !resp.Drained {
+		t.Fatalf("update response %+v", resp)
+	}
+	if !resp.FiltersPatched {
+		t.Fatalf("warm SR-SP filters were not patched: %+v", resp)
+	}
+
+	mut, err := g.Apply([]usimrank.ArcUpdate{{Op: usimrank.OpReweight, U: u, V: v, P: 0.42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := usimrank.New(mut, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"baseline", "sampling", "twophase", "srsp"} {
+		a, err := usimrank.ParseAlgorithm(alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Compute(a, u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ScoreResponse
+		if code := call(t, s, "POST", "/v1/score", ScoreRequest{Alg: alg, U: u, V: v}, &got); code != 200 {
+			t.Fatalf("post-update %s score status %d", alg, code)
+		}
+		if got.Score != want {
+			t.Fatalf("post-update %s score %v, want rebuilt %v", alg, got.Score, want)
+		}
+	}
+
+	var stats StatsResponse
+	call(t, s, "GET", "/v1/stats", nil, &stats)
+	if stats.Graph.Generation != 2 || stats.Graph.Updates != 1 || stats.Graph.ArcsUpdated != 1 {
+		t.Fatalf("post-update stats graph %+v", stats.Graph)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	s := newTestServer(t, Config{Engine: testOptions(), MaxUpdateBatch: 2})
+	g := testGraph()
+	u, v, _ := firstArc(t, g)
+
+	cases := []struct {
+		name string
+		req  UpdateRequest
+	}{
+		{"empty batch", UpdateRequest{}},
+		{"unknown op", UpdateRequest{Updates: []ArcUpdateRequest{{Op: "upsert", U: 0, V: 1, P: 0.5}}}},
+		{"insert existing", UpdateRequest{Updates: []ArcUpdateRequest{{Op: "insert", U: u, V: v, P: 0.5}}}},
+		{"bad probability", UpdateRequest{Updates: []ArcUpdateRequest{{Op: "reweight", U: u, V: v, P: 1.5}}}},
+		{"oversized batch", UpdateRequest{Updates: []ArcUpdateRequest{
+			{Op: "reweight", U: u, V: v, P: 0.5},
+			{Op: "reweight", U: u, V: v, P: 0.6},
+			{Op: "reweight", U: u, V: v, P: 0.7},
+		}}},
+	}
+	for _, c := range cases {
+		var errResp ErrorResponse
+		if code := call(t, s, "POST", "/v1/admin/update", c.req, &errResp); code != 400 {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+		}
+		if errResp.Error.Code != CodeBadRequest {
+			t.Errorf("%s: error code %q", c.name, errResp.Error.Code)
+		}
+	}
+	// Rejected batches must leave the resident engine untouched.
+	var stats StatsResponse
+	call(t, s, "GET", "/v1/stats", nil, &stats)
+	if stats.Graph.Generation != 1 || stats.Graph.Updates != 0 {
+		t.Fatalf("rejected updates mutated the server: %+v", stats.Graph)
+	}
+	// Malformed JSON body.
+	req := httptest.NewRequest("POST", "/v1/admin/update", strings.NewReader("{nope"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("bad JSON body: status %d, want 400", rec.Code)
+	}
+}
+
+func TestUpdatesDisabled(t *testing.T) {
+	s := newTestServer(t, Config{Engine: testOptions(), MaxUpdateBatch: -1})
+	g := testGraph()
+	u, v, _ := firstArc(t, g)
+	var errResp ErrorResponse
+	if code := call(t, s, "POST", "/v1/admin/update",
+		UpdateRequest{Updates: []ArcUpdateRequest{{Op: "reweight", U: u, V: v, P: 0.5}}}, &errResp); code != 400 {
+		t.Fatalf("disabled updates: status %d, want 400", code)
+	}
+	if errResp.Error.Code != CodeBadRequest {
+		t.Fatalf("disabled updates: error %+v", errResp.Error)
+	}
+}
+
+// TestMixedLoadWithUpdates is the dynamic-update acceptance load test:
+// 32 concurrent clients issue mixed query shapes while arc updates land
+// mid-flight. The update batches are net no-ops on the graph (an insert
+// immediately undone by a delete), so the graph content is identical in
+// every generation — yet each batch runs the full swap machinery
+// (generation bump, handle swap, targeted invalidation, filter patch).
+// Every response must therefore be bit-identical to the sequential
+// reference engine: any divergence means a request observed a torn or
+// stale-merged state. Runs under -race in CI.
+func TestMixedLoadWithUpdates(t *testing.T) {
+	g := testGraph()
+	opt := testOptions()
+	s, err := New(g, "test://rmat6", Config{Engine: opt, MaxInFlight: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ref, err := usimrank.New(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorePairs := [][2]int{{0, 1}, {3, 17}, {40, 2}, {5, 5}}
+	wantScore := make(map[[2]int]float64)
+	for _, p := range scorePairs {
+		w, err := ref.SRSP(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantScore[p] = w
+	}
+	wantSource, err := ref.SingleSource(usimrank.AlgSampling, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTopK, err := usimrank.TopKSimilar(ref, usimrank.AlgSRSP, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A vertex pair with no arc in either direction, for the no-op
+	// insert+delete batches.
+	freeU, freeV := -1, -1
+	for u := 0; u < g.NumVertices() && freeU < 0; u++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if u != v && !g.HasArc(u, v) {
+				freeU, freeV = u, v
+				break
+			}
+		}
+	}
+	if freeU < 0 {
+		t.Fatal("graph is complete; no free arc slot")
+	}
+
+	const clients = 32
+	const iters = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for it := 0; it < iters; it++ {
+				switch (c + it) % 3 {
+				case 0:
+					p := scorePairs[(c+it)%len(scorePairs)]
+					var resp ScoreResponse
+					if code, err := callE(s, "POST", "/v1/score", ScoreRequest{Alg: "srsp", U: p[0], V: p[1]}, &resp); err != nil || code != 200 {
+						errCh <- fmt.Errorf("score status %d: %v", code, err)
+						return
+					}
+					if resp.Score != wantScore[p] {
+						errCh <- fmt.Errorf("score(%v) = %v, want %v", p, resp.Score, wantScore[p])
+						return
+					}
+				case 1:
+					var resp SourceResponse
+					if code, err := callE(s, "POST", "/v1/source", SourceRequest{Alg: "sampling", U: 7}, &resp); err != nil || code != 200 {
+						errCh <- fmt.Errorf("source status %d: %v", code, err)
+						return
+					}
+					for v := range wantSource {
+						if resp.Scores[v] != wantSource[v] {
+							errCh <- fmt.Errorf("source[%d] = %v, want %v", v, resp.Scores[v], wantSource[v])
+							return
+						}
+					}
+				case 2:
+					u := 3
+					var resp TopKResponse
+					if code, err := callE(s, "POST", "/v1/topk", TopKRequest{Alg: "srsp", U: &u, K: 5}, &resp); err != nil || code != 200 {
+						errCh <- fmt.Errorf("topk status %d: %v", code, err)
+						return
+					}
+					for i, r := range wantTopK {
+						got := resp.Results[i]
+						if got.U != r.U || got.V != r.V || got.Score != r.Score {
+							errCh <- fmt.Errorf("topk[%d] = %+v, want %+v", i, got, r)
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+
+	close(start)
+	const batches = 3
+	for i := 0; i < batches; i++ {
+		var resp UpdateResponse
+		req := UpdateRequest{Updates: []ArcUpdateRequest{
+			{Op: "insert", U: freeU, V: freeV, P: 0.5},
+			{Op: "delete", U: freeU, V: freeV},
+		}}
+		if code := call(t, s, "POST", "/v1/admin/update", req, &resp); code != 200 {
+			t.Fatalf("update %d under load: status %d", i, code)
+		}
+		if resp.Arcs != g.NumArcs() {
+			t.Fatalf("net no-op batch changed arc count: %d vs %d", resp.Arcs, g.NumArcs())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	var stats StatsResponse
+	call(t, s, "GET", "/v1/stats", nil, &stats)
+	if stats.Graph.Generation != 1+batches || stats.Graph.Updates != batches {
+		t.Fatalf("post-load stats graph %+v", stats.Graph)
+	}
+}
+
+// TestHandlerAndWarmFilters covers the mount-and-warm path usimd boots
+// through: Handler serves the same mux, WarmFilters pre-builds pools.
+func TestHandlerAndWarmFilters(t *testing.T) {
+	s := newTestServer(t, Config{Engine: testOptions()})
+	s.WarmFilters()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz via Handler: %d %q", rec.Code, rec.Body.String())
+	}
+}

@@ -33,6 +33,10 @@ type Filters struct {
 	N   int
 	g   *ugraph.Graph
 	arc []*bitvec.Vector // indexed by arc ID; nil when no bit is set
+	// seeds[w] is the RNG seed vertex w's filters were built from. It is
+	// retained so PatchFilters can rebuild a mutated vertex's filters
+	// bit-identically to a from-scratch build of the mutated graph.
+	seeds []uint64
 }
 
 // BuildFilters constructs filter vectors for all arcs of g offline: for
@@ -58,32 +62,80 @@ func BuildFiltersPool(g *ugraph.Graph, N int, r *rng.RNG, pool *parallel.Pool) *
 	for w := range seeds {
 		seeds[w] = r.Uint64()
 	}
-	f := &Filters{N: N, g: g, arc: make([]*bitvec.Vector, g.NumArcs())}
+	f := &Filters{N: N, g: g, arc: make([]*bitvec.Vector, g.NumArcs()), seeds: seeds}
 	pool.For(nv, func(w int) {
-		lo, hi := g.ArcRange(w)
-		if lo == hi {
-			return
-		}
-		rw := rng.New(seeds[w])
-		probs := g.OutProbs(w)
-		for i := 0; i < N; i++ {
-			pick := int32(-1)
-			count := 0
-			for id := lo; id < hi; id++ {
-				if rw.Bool(probs[id-lo]) {
-					count++
-					if count == 1 || rw.Intn(count) == 0 {
-						pick = id
-					}
+		f.buildVertex(w)
+	})
+	return f
+}
+
+// buildVertex (re)builds the filter vectors of the arcs leaving w from
+// w's retained seed. It writes only w's own arc range, so concurrent
+// calls for distinct vertices are safe, and the result depends only on
+// (seed, w's arc row) — never on scheduling or on other vertices.
+func (f *Filters) buildVertex(w int) {
+	g := f.g
+	lo, hi := g.ArcRange(w)
+	if lo == hi {
+		return
+	}
+	rw := rng.New(f.seeds[w])
+	probs := g.OutProbs(w)
+	for i := 0; i < f.N; i++ {
+		pick := int32(-1)
+		count := 0
+		for id := lo; id < hi; id++ {
+			if rw.Bool(probs[id-lo]) {
+				count++
+				if count == 1 || rw.Intn(count) == 0 {
+					pick = id
 				}
 			}
-			if pick >= 0 {
-				if f.arc[pick] == nil {
-					f.arc[pick] = bitvec.New(N)
-				}
-				f.arc[pick].Set(i)
-			}
 		}
+		if pick >= 0 {
+			if f.arc[pick] == nil {
+				f.arc[pick] = bitvec.New(f.N)
+			}
+			f.arc[pick].Set(i)
+		}
+	}
+}
+
+// PatchFilters derives the filter pool of a mutated graph from the pool
+// of its predecessor. newG must have the same vertex count as old's
+// graph; touched lists the vertices whose out-arc row differs between
+// the two (extra vertices are allowed — rebuilding an unchanged row is
+// wasted work, never wrong). Untouched rows share their (immutable)
+// filter vectors with the old pool under the new arc IDs; touched rows
+// are rebuilt from their retained per-vertex seeds, fanned out over
+// pool (nil runs inline).
+//
+// The result is bit-identical to BuildFiltersPool on newG with the same
+// root RNG: the per-vertex seed sequence depends only on the vertex
+// count, and each vertex's filters depend only on (seed, arc row).
+func PatchFilters(old *Filters, newG *ugraph.Graph, touched []int32, pool *parallel.Pool) *Filters {
+	if newG.NumVertices() != old.g.NumVertices() {
+		panic(fmt.Sprintf("speedup: patch across vertex counts %d -> %d", old.g.NumVertices(), newG.NumVertices()))
+	}
+	f := &Filters{N: old.N, g: newG, arc: make([]*bitvec.Vector, newG.NumArcs()), seeds: old.seeds}
+	isTouched := make(map[int32]bool, len(touched))
+	for _, w := range touched {
+		isTouched[w] = true
+	}
+	for w := 0; w < newG.NumVertices(); w++ {
+		if isTouched[int32(w)] {
+			continue
+		}
+		oldLo, oldHi := old.g.ArcRange(w)
+		newLo, newHi := newG.ArcRange(w)
+		if newHi-newLo != oldHi-oldLo {
+			panic(fmt.Sprintf("speedup: vertex %d row changed (%d -> %d arcs) but not marked touched",
+				w, oldHi-oldLo, newHi-newLo))
+		}
+		copy(f.arc[newLo:newHi], old.arc[oldLo:oldHi])
+	}
+	pool.For(len(touched), func(i int) {
+		f.buildVertex(int(touched[i]))
 	})
 	return f
 }

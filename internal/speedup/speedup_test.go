@@ -243,3 +243,86 @@ func BenchmarkBuildFiltersFig1(b *testing.B) {
 		BuildFilters(g, 1000, r)
 	}
 }
+
+// TestPatchFiltersMatchesFreshBuild pins the derive-on-update identity:
+// patching a pool across a mutation is bit-identical to building a
+// fresh pool over the mutated graph from the same root RNG.
+func TestPatchFiltersMatchesFreshBuild(t *testing.T) {
+	r := rng.New(909)
+	const N = 96
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(10)
+		b := ugraph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if r.Bool(0.3) {
+					b.AddArc(u, v, 0.05+0.95*r.Float64())
+				}
+			}
+		}
+		g := b.MustBuild()
+		old := BuildFilters(g, N, rng.New(42))
+
+		// Random mutation batch; touched = tails of the mutated arcs
+		// (the vertices whose out-row changes).
+		d := ugraph.NewDelta(g)
+		touchedSet := map[int32]bool{}
+		for i := 0; i < 1+r.Intn(4); i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			var up ugraph.ArcUpdate
+			if d.Prob(u, v) > 0 {
+				if r.Bool(0.5) {
+					up = ugraph.ArcUpdate{Op: ugraph.OpDelete, U: u, V: v}
+				} else {
+					up = ugraph.ArcUpdate{Op: ugraph.OpReweight, U: u, V: v, P: 0.05 + 0.95*r.Float64()}
+				}
+			} else {
+				up = ugraph.ArcUpdate{Op: ugraph.OpInsert, U: u, V: v, P: 0.05 + 0.95*r.Float64()}
+			}
+			if err := d.Stage(up); err != nil {
+				t.Fatal(err)
+			}
+			touchedSet[int32(u)] = true
+		}
+		newG := d.Compact()
+		var touched []int32
+		for w := range touchedSet {
+			touched = append(touched, w)
+		}
+
+		patched := PatchFilters(old, newG, touched, nil)
+		fresh := BuildFilters(newG, N, rng.New(42))
+		if patched.N != fresh.N || len(patched.arc) != len(fresh.arc) {
+			t.Fatalf("shape mismatch: N %d/%d arcs %d/%d", patched.N, fresh.N, len(patched.arc), len(fresh.arc))
+		}
+		for id := range fresh.arc {
+			pv, fv := patched.arc[id], fresh.arc[id]
+			switch {
+			case pv == nil && fv == nil:
+			case pv == nil || fv == nil:
+				t.Fatalf("trial %d arc %d: nil mismatch (patched %v, fresh %v)", trial, id, pv != nil, fv != nil)
+			default:
+				for i := 0; i < N; i++ {
+					if pv.Get(i) != fv.Get(i) {
+						t.Fatalf("trial %d arc %d bit %d differs", trial, id, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPatchFiltersPanicsOnUnmarkedRowChange(t *testing.T) {
+	g := ugraph.PaperFig1()
+	old := BuildFilters(g, 8, rng.New(1))
+	newG, err := g.Apply([]ugraph.ArcUpdate{{Op: ugraph.OpInsert, U: 0, V: 0, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unmarked row-length change")
+		}
+	}()
+	PatchFilters(old, newG, nil, nil) // vertex 0 grew a row arc but is not marked
+}

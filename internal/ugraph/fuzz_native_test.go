@@ -1,0 +1,141 @@
+package ugraph
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// validateGraph asserts the structural invariants every accepted graph
+// must satisfy: in-range targets, probabilities in (0,1], rows sorted
+// and duplicate-free, contiguous CSR ranges.
+func validateGraph(t *testing.T, g *Graph) {
+	t.Helper()
+	var prevHi int32
+	for u := 0; u < g.NumVertices(); u++ {
+		lo, hi := g.ArcRange(u)
+		if lo != prevHi {
+			t.Fatalf("vertex %d: CSR range [%d,%d) not contiguous with %d", u, lo, hi, prevHi)
+		}
+		prevHi = hi
+		probs := g.OutProbs(u)
+		out := g.Out(u)
+		for i, v := range out {
+			if v < 0 || int(v) >= g.NumVertices() {
+				t.Fatalf("vertex %d: target %d out of range", u, v)
+			}
+			if !(probs[i] > 0 && probs[i] <= 1) || math.IsNaN(probs[i]) {
+				t.Fatalf("vertex %d: probability %v outside (0,1]", u, probs[i])
+			}
+			if i > 0 && out[i-1] >= v {
+				t.Fatalf("vertex %d: row not strictly sorted (%d >= %d)", u, out[i-1], v)
+			}
+		}
+	}
+	if int(prevHi) != g.NumArcs() {
+		t.Fatalf("CSR covers %d of %d arcs", prevHi, g.NumArcs())
+	}
+}
+
+// FuzzReadText: malformed text input must error, never panic, and
+// anything accepted must be a structurally valid graph that round-trips
+// through the codec unchanged.
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("ug 3 2\n0 1 0.5\n1 2 0.25\n"))
+	f.Add([]byte("ug 0 0\n"))
+	f.Add([]byte("# comment\nug 2 1\n\n0 0 1\n"))
+	f.Add([]byte("ug 2 1\n0 1 1e-3\n"))
+	f.Add([]byte("ug 2 3\n0 1 0.5\n"))     // header lies about the count
+	f.Add([]byte("ug 2 1\n0 1 NaN\n"))     // NaN probability
+	f.Add([]byte("ug 2 1\n0 1 -0.5\n"))    // negative probability
+	f.Add([]byte("ug -1 0\n"))             // negative vertex count
+	f.Add([]byte("ug 2 1\n0 9 0.5\n"))     // target out of range
+	f.Add([]byte("ug 2 2\n0 1 .5\n0 1 1")) // duplicate arc
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return // clean rejection
+		}
+		validateGraph(t, g)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("accepted graph fails to serialise: %v", err)
+		}
+		g2, err := ReadText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("round-trip changed shape: %d/%d -> %d/%d",
+				g.NumVertices(), g.NumArcs(), g2.NumVertices(), g2.NumArcs())
+		}
+	})
+}
+
+// FuzzReadBinary: the binary codec under arbitrary bytes — same
+// contract as FuzzReadText.
+func FuzzReadBinary(f *testing.F) {
+	// Valid seeds produced by WriteBinary.
+	for _, g := range []*Graph{PaperFig1(), NewBuilder(0).MustBuild(), NewBuilder(3).MustBuild()} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("USGR"))                     // truncated header
+	f.Add([]byte("USGRxxxxxxxxxxxxxxxxxxxx")) // garbage header
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		validateGraph(t, g)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("accepted graph fails to serialise: %v", err)
+		}
+		if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+	})
+}
+
+// FuzzBuilder drives the Builder through an op stream decoded from the
+// fuzz input. Out-of-range endpoints and non-probabilities are the
+// Builder's documented panic contract and are filtered out here; what
+// must never panic is Build itself — duplicate arcs (including the ones
+// AddEdge manufactures for self-inverse pairs) must surface as errors.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 50, 1, 2, 99})
+	f.Add([]byte{1, 0, 0, 1, 0, 0, 1}) // duplicate self-loop
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]) % 16
+		b := NewBuilder(n)
+		for i := 1; i+2 < len(data); i += 3 {
+			if n == 0 {
+				break
+			}
+			u, v := int(data[i])%n, int(data[i+1])%n
+			p := (float64(data[i+2]%100) + 1) / 100 // (0,1]
+			if data[i+2]&0x80 != 0 {
+				b.AddEdge(u, v, p)
+			} else {
+				b.AddArc(u, v, p)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return // duplicates rejected cleanly
+		}
+		validateGraph(t, g)
+		if g.Reverse().NumArcs() != g.NumArcs() {
+			t.Fatal("reverse changed arc count")
+		}
+	})
+}

@@ -143,6 +143,31 @@ func BatchCtx(ctx context.Context, e *Engine, alg Algorithm, pairs [][2]int, wor
 // deterministic SimRank).
 func Certain(d *DeterministicGraph) *Graph { return ugraph.Certain(d) }
 
+// ArcUpdate is one staged arc mutation for the dynamic update plane:
+// insert, delete, or reweight one probabilistic arc. Apply a batch with
+// Engine.ApplyUpdates, which derives a new-generation engine carrying
+// over all warm state the mutation provably cannot have changed.
+type ArcUpdate = ugraph.ArcUpdate
+
+// UpdateOp selects the kind of one ArcUpdate.
+type UpdateOp = ugraph.UpdateOp
+
+// The three arc mutations.
+const (
+	OpInsert   = ugraph.OpInsert
+	OpDelete   = ugraph.OpDelete
+	OpReweight = ugraph.OpReweight
+)
+
+// ParseUpdateOp maps a user-facing op name ("insert", "delete",
+// "reweight", plus short forms "ins"/"del"/"rw") to its UpdateOp — the
+// one parser shared by the CLI and the serving plane.
+func ParseUpdateOp(s string) (UpdateOp, error) { return ugraph.ParseUpdateOp(s) }
+
+// UpdateStats reports what one Engine.ApplyUpdates call retained and
+// invalidated.
+type UpdateStats = core.UpdateStats
+
 // ReadText parses the textual uncertain-graph format
 // ("ug <n> <m>" header, then "<u> <v> <p>" lines).
 func ReadText(r io.Reader) (*Graph, error) { return ugraph.ReadText(r) }
