@@ -1,12 +1,23 @@
 // Command usimd serves SimRank queries on an uncertain graph over an
-// HTTP JSON API from one resident engine, so warm state (the LRU row
-// cache, SR-SP filter pools, per-source kernels) amortises across
-// queries instead of being rebuilt per process.
+// HTTP JSON API — either from one resident engine (node mode), or as a
+// cluster coordinator scatter-gathering a fleet of such nodes
+// (coordinator mode).
+//
+// Node mode holds the whole graph so warm state (the LRU row cache,
+// SR-SP filter pools, per-source kernels) amortises across queries:
 //
 //	usimd -graph g.ug -addr :8471
 //
-// Endpoints (see package usimrank/internal/server for the JSON
-// schemas):
+// Coordinator mode holds no graph: it routes each query to the shard
+// owning its source vertex (stable hash), scatter-gathers fan-out
+// shapes, and merges deterministically — the cluster's answers are
+// bit-identical to a single node serving the same graph:
+//
+//	usimd -cluster shard0=http://a:8471,shard1=http://b:8471 \
+//	      -replicas shard0=http://a2:8471 -addr :8470
+//
+// Endpoints (see packages usimrank/internal/server and
+// usimrank/internal/cluster for the JSON schemas):
 //
 //	POST /v1/score         one pairwise similarity
 //	POST /v1/source        the single-source vector s(u, ·)
@@ -17,9 +28,13 @@
 //	POST /v1/admin/update  incremental arc mutations (insert/delete/reweight)
 //	GET  /healthz          liveness
 //
-// The server coalesces concurrent identical queries, bounds in-flight
-// work (-max-inflight, 429 beyond it), enforces per-request deadlines
-// (-timeout, 504 past it), and hot-swaps the graph under live traffic.
+// Both modes coalesce concurrent identical queries, bound in-flight
+// work (-max-inflight, 429 beyond it), and enforce per-request
+// deadlines (-timeout, 504 past it). The coordinator additionally
+// hedges slow shards to replicas (-hedge-delay), bounds each
+// downstream attempt (-shard-timeout), and fans admin mutations out
+// transactionally (all shards at the same generation, or a structured
+// generation-skew error).
 package main
 
 import (
@@ -35,12 +50,13 @@ import (
 	"time"
 
 	"usimrank"
+	"usimrank/internal/cluster"
 	"usimrank/internal/server"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "uncertain graph file (text or binary, required)")
+		graphPath = flag.String("graph", "", "uncertain graph file (node mode; text or binary)")
 		addr      = flag.String("addr", ":8471", "listen address")
 		c         = flag.Float64("c", 0.6, "decay factor in (0,1)")
 		n         = flag.Int("n", 5, "SimRank iterations")
@@ -51,7 +67,12 @@ func main() {
 		rowCache  = flag.Int("rowcache", 0, "row cache capacity (0 = engine default)")
 		warm      = flag.Bool("warm", false, "build the SR-SP filter pools before serving")
 
-		maxInFlight    = flag.Int("max-inflight", 0, "admitted concurrent queries (0 = 4x workers, min 32)")
+		clusterFlag = flag.String("cluster", "", "coordinator mode: comma-separated shard<i>=<base-url> primaries")
+		replicas    = flag.String("replicas", "", "coordinator mode: shard<i>=<base-url> replica endpoints (repeatable keys)")
+		shardTO     = flag.Duration("shard-timeout", 25*time.Second, "coordinator: per-shard endpoint attempt deadline")
+		hedgeDelay  = flag.Duration("hedge-delay", 500*time.Millisecond, "coordinator: silence before hedging to a replica")
+
+		maxInFlight    = flag.Int("max-inflight", 0, "admitted concurrent queries (0 = 4x workers, min 32; coordinator default 256)")
 		maxUpdateBatch = flag.Int("max-update-batch", 0, "max arc mutations per /v1/admin/update request (0 = 4096, negative disables updates)")
 		timeout        = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		admitWait      = flag.Duration("admission-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429 (negative: reject immediately)")
@@ -59,11 +80,48 @@ func main() {
 		logEvery       = flag.Duration("log-every", time.Minute, "period of the metrics log line (0 disables)")
 	)
 	flag.Parse()
-	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "usimd: -graph is required")
+	if (*graphPath == "") == (*clusterFlag == "") {
+		fmt.Fprintln(os.Stderr, "usimd: exactly one of -graph (node mode) or -cluster (coordinator mode) is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	// A flag the active mode ignores means the operator configured
+	// behaviour they are not getting (a -seed that never applies, a
+	// -replicas that never fails over); refuse instead of serving a
+	// silent misconfiguration.
+	rejectForeignFlags(*clusterFlag != "")
+
+	if *clusterFlag != "" {
+		logger := log.New(os.Stderr, "usimd-coord ", log.LstdFlags)
+		shards, err := cluster.ParseTopology(*clusterFlag, *replicas)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "usimd: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		co, err := cluster.New(cluster.Config{
+			Shards:        shards,
+			ShardTimeout:  *shardTO,
+			HedgeDelay:    *hedgeDelay,
+			QueryTimeout:  *timeout,
+			MaxInFlight:   *maxInFlight,
+			AdmissionWait: *admitWait,
+			LogEvery:      *logEvery,
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Fatalf("build coordinator: %v", err)
+		}
+		endpoints := 0
+		for _, eps := range shards {
+			endpoints += len(eps)
+		}
+		logger.Printf("coordinating %d shards (%d endpoints) at generation %d on %s",
+			len(shards), endpoints, co.Generation(), *addr)
+		serve(*addr, co.Handler(), co.Close, logger)
+		return
+	}
+
 	// The engine treats a zero L as "unset" (defaulting it to 1), so an
 	// explicit -l 0 would silently serve a different split than asked.
 	if *l < 1 || *l > *n {
@@ -100,8 +158,42 @@ func main() {
 		logger.Printf("warmed SR-SP filter pools in %s", time.Since(warmStart).Round(time.Millisecond))
 	}
 	logger.Printf("serving %s (%d vertices, %d arcs) on %s", *graphPath, g.NumVertices(), g.NumArcs(), *addr)
+	serve(*addr, srv.Handler(), srv.Close, logger)
+}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+// rejectForeignFlags exits 2 when a flag belonging to the inactive
+// mode was explicitly set. Node-mode engine options (-seed, -c, …)
+// belong on the shard nodes, not the coordinator; coordinator fan-out
+// knobs (-replicas, …) mean nothing to a single node.
+func rejectForeignFlags(coordinator bool) {
+	nodeOnly := map[string]bool{
+		"c": true, "n": true, "N": true, "l": true, "seed": true,
+		"workers": true, "rowcache": true, "warm": true,
+		"max-update-batch": true, "drain-timeout": true,
+	}
+	coordOnly := map[string]bool{
+		"replicas": true, "shard-timeout": true, "hedge-delay": true,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		var msg string
+		switch {
+		case coordinator && nodeOnly[f.Name]:
+			msg = fmt.Sprintf("usimd: -%s is a node-mode flag; in coordinator mode set engine options on the shard nodes", f.Name)
+		case !coordinator && coordOnly[f.Name]:
+			msg = fmt.Sprintf("usimd: -%s is a coordinator-mode flag and does nothing on a node; start a coordinator with -cluster to use it", f.Name)
+		default:
+			return
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		flag.Usage()
+		os.Exit(2)
+	})
+}
+
+// serve runs the HTTP listener with graceful SIGINT/SIGTERM drain —
+// shared by both modes.
+func serve(addr string, handler http.Handler, closeFn func(), logger *log.Logger) {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
@@ -115,7 +207,7 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			logger.Printf("shutdown: %v", err)
 		}
-		srv.Close()
+		closeFn()
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			logger.Fatalf("serve: %v", err)

@@ -9,6 +9,19 @@
 // With -reload it also exercises the zero-downtime hot-swap while a
 // burst of identical concurrent queries is in flight, then shows the
 // coalescing counters from /v1/stats.
+//
+// The same client works unchanged against a cluster coordinator — the
+// wire format is identical by design, and the answers are
+// bit-identical to a single node's:
+//
+//	usimd -graph g.ug -addr :8471 &   # shard 0
+//	usimd -graph g.ug -addr :8472 &   # shard 1
+//	usimd -cluster shard0=http://localhost:8471,shard1=http://localhost:8472 -addr :8470 &
+//	go run ./examples/servingclient -addr http://localhost:8470 -reload g.ug
+//
+// Against a coordinator, -reload demonstrates the transactional admin
+// fan-out: every shard acknowledges the same new generation or the
+// coordinator reports a generation-skew error.
 package main
 
 import (
@@ -51,6 +64,17 @@ func main() {
 	}
 	post(*addr+"/v1/topk", map[string]any{"alg": *alg, "u": 0, "k": 5}, &topk)
 	fmt.Printf("top-5 of 0      = %v\n", topk.Results)
+
+	// Top-k pairs over the whole graph — against a coordinator this
+	// scatter-gathers every shard's partial top-k and k-way merges.
+	var pairs struct {
+		Results []struct {
+			U, V  int
+			Score float64
+		} `json:"results"`
+	}
+	post(*addr+"/v1/topk", map[string]any{"alg": *alg, "k": 5}, &pairs)
+	fmt.Printf("top-5 pairs     = %v\n", pairs.Results)
 
 	// A batch, grouped by source server-side.
 	var batch struct {

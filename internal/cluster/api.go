@@ -1,0 +1,66 @@
+package cluster
+
+import "usimrank/internal/server"
+
+// Coordinator-specific wire types. The five query shapes reuse the
+// single-node schemas from usimrank/internal/server verbatim — that
+// reuse is what makes byte-identical scatter-gather possible — so only
+// the admin and stats responses, which aggregate over shards, have
+// cluster-level shapes of their own.
+
+// EndpointAck is one endpoint's acknowledgement of an admin fan-out.
+type EndpointAck struct {
+	Shard int    `json:"shard"`
+	URL   string `json:"url"`
+	// Role is "primary" or "replica". Replicas receive admin mutations
+	// too: they serve the same shard's traffic and must stay at the
+	// same generation.
+	Role       string `json:"role"`
+	Generation uint64 `json:"generation"`
+	Drained    bool   `json:"drained"`
+}
+
+// AdminResponse reports a completed transactional admin fan-out: every
+// endpoint of every shard acknowledged the mutation at the same new
+// generation.
+type AdminResponse struct {
+	Generation uint64        `json:"generation"`
+	Vertices   int           `json:"vertices"`
+	Arcs       int           `json:"arcs"`
+	Drained    bool          `json:"drained"`
+	Endpoints  []EndpointAck `json:"endpoints"`
+}
+
+// ShardHealth is one endpoint's live probe result inside the stats
+// snapshot.
+type ShardHealth struct {
+	Shard      int    `json:"shard"`
+	URL        string `json:"url"`
+	Role       string `json:"role"`
+	Reachable  bool   `json:"reachable"`
+	Generation uint64 `json:"generation,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// ClusterInfo describes the coordinator's view of the cluster.
+type ClusterInfo struct {
+	Shards     int    `json:"shards"`
+	Endpoints  int    `json:"endpoints"`
+	Generation uint64 `json:"generation"`
+	Vertices   int    `json:"vertices"`
+	Arcs       int    `json:"arcs"`
+	AdminOps   uint64 `json:"admin_ops"`
+}
+
+// StatsResponse is the coordinator's /v1/stats snapshot: its own
+// serving-plane metrics (admission, coalescing, per-shape and
+// per-shard latency histograms) plus a live health probe of every
+// endpoint.
+type StatsResponse struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Cluster       ClusterInfo                  `json:"cluster"`
+	Shards        []ShardHealth                `json:"shards"`
+	Serving       server.ServingStats          `json:"serving"`
+	Coalescing    server.CoalescingStats       `json:"coalescing"`
+	Queries       map[string]server.QueryStats `json:"queries"`
+}

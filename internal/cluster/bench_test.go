@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkClusterThroughput measures coordinator scatter-gather
+// queries/sec end to end — coordinator JSON decode, shard routing,
+// real HTTP to in-process shard nodes, merge, JSON encode — at 1, 2,
+// and 4 shards, for a pass-through shape (source, routed to one
+// shard) and the full fan-out shape (pairs top-k, scattered to every
+// shard and k-way merged). This is the cluster figure the CI perf
+// artifact (BENCH_5) tracks across PRs.
+func BenchmarkClusterThroughput(b *testing.B) {
+	g := testGraph()
+	nv := g.NumVertices()
+	for _, shardCount := range []int{1, 2, 4} {
+		co := bootCluster(b, g, shardCount)
+		var seq atomic.Int64
+		b.Run(fmt.Sprintf("source/shards=%d", shardCount), func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					body := fmt.Sprintf(`{"alg":"srsp","u":%d}`, i%nv)
+					status, resp := post(b, co, "/v1/source", body)
+					if status != 200 {
+						b.Errorf("status %d: %s", status, resp)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+		b.Run(fmt.Sprintf("topk_pairs/shards=%d", shardCount), func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					// Distinct k values defeat coalescing so the numbers
+					// reflect scatter-gather work, not one hot flight.
+					body := fmt.Sprintf(`{"alg":"srsp","k":%d}`, 5+i%8)
+					status, resp := post(b, co, "/v1/topk", body)
+					if status != 200 {
+						b.Errorf("status %d: %s", status, resp)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}

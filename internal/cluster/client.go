@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"usimrank/internal/server"
+)
+
+// Client is the coordinator's fan-out HTTP client: one logical request
+// per shard, executed against the shard's endpoint list (primary
+// first, then replicas) with a per-shard deadline and hedged retry.
+//
+// Hedging: the primary is asked first; if it has not answered within
+// HedgeDelay — or fails outright — the next replica is asked too, and
+// the first definitive answer wins. A definitive answer is any HTTP
+// response below 500 — a shard's 400 is a real answer (bad vertex id,
+// bad algorithm) that must be relayed, never retried elsewhere — plus
+// 504, the shard ruling that the query exceeded its own deadline (see
+// definitive). Transport errors and other 5xx are failover-eligible.
+// Because
+// every endpoint of a shard serves the same graph at the same
+// generation deterministically, a hedged winner is byte-identical to
+// the loser it outran.
+type Client struct {
+	endpoints    [][]string // endpoints[shard][0] = primary, rest replicas
+	http         *http.Client
+	shardTimeout time.Duration
+	hedgeDelay   time.Duration
+}
+
+// NewClient builds a fan-out client over the per-shard endpoint lists.
+func NewClient(endpoints [][]string, httpClient *http.Client, shardTimeout, hedgeDelay time.Duration) *Client {
+	return &Client{
+		endpoints:    endpoints,
+		http:         httpClient,
+		shardTimeout: shardTimeout,
+		hedgeDelay:   hedgeDelay,
+	}
+}
+
+// ShardResponse is one downstream HTTP answer.
+type ShardResponse struct {
+	Status int
+	Body   []byte
+	URL    string // the endpoint that produced the winning answer
+	// Generation is the node's graph generation from the
+	// server.GenerationHeader response header; 0 when absent (admin
+	// and stats responses, non-usimd endpoints).
+	Generation uint64
+}
+
+// AttemptError records one failed endpoint attempt.
+type AttemptError struct {
+	URL string
+	Err error
+}
+
+// ShardError reports that a shard produced no definitive answer: every
+// endpoint (primary and replicas) failed or timed out. It satisfies
+// errors.Is(err, context.DeadlineExceeded) when every attempt died on
+// the per-shard deadline, which is how the coordinator distinguishes a
+// slow shard (504) from a dead one (502).
+type ShardError struct {
+	Shard    int
+	Attempts []AttemptError
+}
+
+func (e *ShardError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard%d unavailable after %d attempt(s)", e.Shard, len(e.Attempts))
+	for _, a := range e.Attempts {
+		fmt.Fprintf(&b, "; %s: %v", a.URL, a.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the attempt errors so errors.Is sees through to
+// context.DeadlineExceeded et al.
+func (e *ShardError) Unwrap() []error {
+	errs := make([]error, len(e.Attempts))
+	for i, a := range e.Attempts {
+		errs[i] = a.Err
+	}
+	return errs
+}
+
+// AllDeadline reports whether every attempt failed on the per-shard
+// deadline — the signature of a slow-but-alive shard.
+func (e *ShardError) AllDeadline() bool {
+	for _, a := range e.Attempts {
+		if !errors.Is(a.Err, context.DeadlineExceeded) {
+			return false
+		}
+	}
+	return len(e.Attempts) > 0
+}
+
+// definitive reports whether a downstream status is a real answer to
+// relay rather than a node failure to hedge around. Everything below
+// 500 is an answer (a 400 is the shard ruling on the request), and so
+// is a 504: the shard declaring the query exceeded its own deadline.
+// The engines are deterministic, so a replica asked the same question
+// would burn the same budget and time out the same way — failing over
+// just doubles the wasted compute and then misreports a healthy-but-
+// budget-bound shard as unavailable.
+func definitive(status int) bool {
+	return status < 500 || status == http.StatusGatewayTimeout
+}
+
+// attemptResult is one endpoint's outcome inside Do.
+type attemptResult struct {
+	resp *ShardResponse
+	err  error
+	url  string
+}
+
+// Do runs one logical request against shard, hedging across its
+// endpoints, and returns the first definitive answer. body is sent
+// verbatim (the coordinator relays client bytes). ctx bounds the whole
+// logical request; each endpoint attempt additionally runs under the
+// per-shard timeout.
+//
+// minGen, when non-zero, is the oldest graph generation the caller
+// will accept: a definitive response stamped with an older generation
+// means the endpoint missed admin mutations (a replica that was down
+// through an update), and relaying its answer would silently break
+// the bit-identical guarantee — it is treated as a node failure and
+// the next endpoint is tried. Responses stamped AHEAD of minGen are
+// accepted: mid-mutation a node may legitimately answer from the
+// successor graph, exactly as a single node does after its swap.
+func (c *Client) Do(ctx context.Context, shard int, method, path string, body []byte, minGen uint64) (*ShardResponse, error) {
+	urls := c.endpoints[shard]
+	results := make(chan attemptResult, len(urls))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // releases the losing attempts' transports
+
+	started := 0
+	start := func() {
+		url := urls[started]
+		started++
+		go func() {
+			resp, err := c.doEndpoint(ctx, url, method, path, body)
+			results <- attemptResult{resp: resp, err: err, url: url}
+		}()
+	}
+	start()
+
+	hedge := time.NewTimer(c.hedgeDelay)
+	defer hedge.Stop()
+
+	var attempts []AttemptError
+	pending := 1
+	for {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil && definitive(r.resp.Status) {
+				if minGen == 0 || r.resp.Generation == 0 || r.resp.Generation >= minGen {
+					return r.resp, nil
+				}
+				r.err = fmt.Errorf("stale graph: endpoint at generation %d, cluster at %d (node missed admin mutations)",
+					r.resp.Generation, minGen)
+			}
+			err := r.err
+			if err == nil {
+				err = fmt.Errorf("status %d: %s", r.resp.Status, firstLine(r.resp.Body))
+			}
+			attempts = append(attempts, AttemptError{URL: r.url, Err: err})
+			if started < len(urls) {
+				// A failed attempt promotes the next endpoint
+				// immediately; no point waiting out the hedge timer.
+				start()
+				pending++
+				hedge.Reset(c.hedgeDelay)
+			} else if pending == 0 {
+				return nil, &ShardError{Shard: shard, Attempts: attempts}
+			}
+		case <-hedge.C:
+			if started < len(urls) {
+				start()
+				pending++
+				// Re-arm so a shard with several replicas keeps hedging
+				// down the list while earlier attempts stay silent,
+				// instead of waiting out a full per-shard timeout.
+				hedge.Reset(c.hedgeDelay)
+			}
+		case <-ctx.Done():
+			// The caller's own deadline (or a sibling shard's failure
+			// cancelling the scatter) ends the hedging race.
+			attempts = append(attempts, AttemptError{URL: urls[0], Err: ctx.Err()})
+			return nil, &ShardError{Shard: shard, Attempts: attempts}
+		}
+	}
+}
+
+// DoEndpoint runs one request against one explicit endpoint, with the
+// per-shard timeout but no hedging — the admin fan-out path, where
+// every endpoint (primaries and replicas alike) must individually
+// apply the mutation.
+func (c *Client) DoEndpoint(ctx context.Context, url, method, path string, body []byte) (*ShardResponse, error) {
+	return c.doEndpoint(ctx, url, method, path, body)
+}
+
+func (c *Client) doEndpoint(ctx context.Context, url, method, path string, body []byte) (*ShardResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.shardTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Surface the deadline as the canonical sentinel: net/http wraps
+		// it in a *url.Error, which errors.Is sees through, but the
+		// message is noisy; keep the error chain intact regardless.
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// Read one byte past the cap so an over-limit body FAILS the
+	// attempt instead of being silently truncated and relayed as a 200
+	// with JSON cut off mid-array.
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxRelayBytes {
+		return nil, fmt.Errorf("downstream body from %s exceeds the %d-byte relay cap", url, maxRelayBytes)
+	}
+	out := &ShardResponse{Status: resp.StatusCode, Body: b, URL: url}
+	if g := resp.Header.Get(server.GenerationHeader); g != "" {
+		if gen, perr := strconv.ParseUint(g, 10, 64); perr == nil {
+			out.Generation = gen
+		}
+	}
+	return out, nil
+}
+
+// maxRelayBytes bounds a relayed downstream body (source vectors over
+// huge graphs are the largest legitimate responses).
+const maxRelayBytes = 64 << 20
+
+// firstLine trims a (possibly JSON) body to one log-friendly line.
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + "..."
+	}
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

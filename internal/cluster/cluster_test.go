@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"usimrank"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+	"usimrank/internal/server"
+)
+
+// testGraph matches the serving-plane test graph: small enough for
+// -race, large enough that sampling splits into several chunks and the
+// shard partition is non-trivial.
+func testGraph() *usimrank.Graph {
+	return gen.WithUniformProbs(gen.RMAT(6, 256, 0.45, 0.22, 0.22, rng.New(3)), 0.2, 0.9, rng.New(4))
+}
+
+func testOptions() usimrank.Options {
+	return usimrank.Options{N: 400, Seed: 7, Parallelism: 4}
+}
+
+// newShardNode boots one ordinary usimd node over httptest. Every node
+// of a test cluster shares the same graph, options, and seed — the
+// deployment contract.
+func newShardNode(t testing.TB, g *usimrank.Graph) *httptest.Server {
+	t.Helper()
+	s, err := server.New(g, "test://shard", server.Config{Engine: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newCoordinator boots a coordinator over the given endpoint lists
+// with fast test timeouts.
+func newCoordinator(t testing.TB, shards [][]string, mutate func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		Shards:         shards,
+		ShardTimeout:   30 * time.Second,
+		HedgeDelay:     50 * time.Millisecond,
+		AdminProbeWait: 20 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+// bootCluster boots n single-endpoint shards plus a coordinator.
+func bootCluster(t testing.TB, g *usimrank.Graph, n int) *Coordinator {
+	t.Helper()
+	shards := make([][]string, n)
+	for i := range shards {
+		shards[i] = []string{newShardNode(t, g).URL}
+	}
+	return newCoordinator(t, shards, nil)
+}
+
+// post drives a handler in-process and returns status and raw body
+// bytes — the equivalence suite compares these byte for byte.
+func post(t testing.TB, h http.Handler, path string, body string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestShardMapTotalStableBalanced(t *testing.T) {
+	m, err := NewShardMap(4, []int{1, 0, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for v := -1000; v < 10000; v++ {
+		s := m.Of(v)
+		if s < 0 || s >= 4 {
+			t.Fatalf("Of(%d) = %d out of range", v, s)
+		}
+		if s != m.Of(v) {
+			t.Fatalf("Of(%d) unstable", v)
+		}
+		if v >= 0 {
+			counts[s]++
+		}
+	}
+	for s, c := range counts {
+		if c < 2000 || c > 3000 {
+			t.Fatalf("shard %d owns %d of 10000 vertices — hash badly skewed: %v", s, c, counts)
+		}
+	}
+	if got := m.Endpoints(0); got != 2 {
+		t.Fatalf("Endpoints(0) = %d, want 2", got)
+	}
+	if got := m.Endpoints(1); got != 1 {
+		t.Fatalf("Endpoints(1) = %d, want 1", got)
+	}
+	// The assignment is part of the frozen contract: pin a few values
+	// so an accidental hash change cannot slip through review.
+	m8, _ := NewShardMap(8, nil)
+	pinned := map[int]int{0: 7, 1: 1, 2: 6, 1000: 0, -5: 2}
+	for v, want := range pinned {
+		if got := m8.Of(v); got != want {
+			t.Fatalf("Of(%d) = %d, want pinned %d — the shard-map hash changed, which reshards every cluster", v, got, want)
+		}
+	}
+}
+
+func TestShardMapPartition(t *testing.T) {
+	m, _ := NewShardMap(3, nil)
+	parts := m.Partition(500)
+	seen := make(map[int]bool)
+	for s, part := range parts {
+		last := -1
+		for _, v := range part {
+			if v <= last {
+				t.Fatalf("shard %d partition not ascending: %v", s, part)
+			}
+			last = v
+			if seen[v] {
+				t.Fatalf("vertex %d assigned twice", v)
+			}
+			seen[v] = true
+			if m.Of(v) != s {
+				t.Fatalf("vertex %d in shard %d's part but Of = %d", v, s, m.Of(v))
+			}
+		}
+	}
+	if len(seen) != 500 {
+		t.Fatalf("partition covers %d of 500 vertices", len(seen))
+	}
+}
+
+func TestShardMapBadArgs(t *testing.T) {
+	if _, err := NewShardMap(0, nil); err == nil {
+		t.Fatal("want error for 0 shards")
+	}
+	if _, err := NewShardMap(2, []int{1, 2, 3}); err == nil {
+		t.Fatal("want error for replica list longer than shard count")
+	}
+	if _, err := NewShardMap(2, []int{-1}); err == nil {
+		t.Fatal("want error for negative replica count")
+	}
+}
+
+func TestMergeTopKCanonical(t *testing.T) {
+	// Adversarial partials: unsorted, duplicated, longer than k, with
+	// score ties that must break on (U, V).
+	a := []server.PairScore{{U: 5, V: 6, Score: 0.5}, {U: 1, V: 2, Score: 0.9}, {U: 3, V: 4, Score: 0.5}}
+	b := []server.PairScore{{U: 1, V: 2, Score: 0.9}, {U: 0, V: 9, Score: 0.5}, {U: 7, V: 8, Score: 0.1}}
+	got := mergeTopK(4, [][]server.PairScore{a, b, nil, {}})
+	want := []server.PairScore{
+		{U: 1, V: 2, Score: 0.9}, {U: 1, V: 2, Score: 0.9},
+		{U: 0, V: 9, Score: 0.5}, {U: 3, V: 4, Score: 0.5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mergeTopK = %+v, want %+v", got, want)
+	}
+	if out := mergeTopK(3, nil); out == nil || len(out) != 0 {
+		t.Fatalf("empty merge must be an empty non-nil slice, got %#v", out)
+	}
+}
+
+func TestPlanBatchRegroupsAndReassembles(t *testing.T) {
+	m, _ := NewShardMap(4, nil)
+	r := rand.New(rand.NewSource(11))
+	pairs := make([][2]int, 200)
+	for i := range pairs {
+		pairs[i] = [2]int{r.Intn(1000), r.Intn(1000)}
+	}
+	plan := planBatch(m, pairs)
+	total := 0
+	for i, s := range plan.shards {
+		if i > 0 && plan.shards[i-1] >= s {
+			t.Fatalf("shards not ascending: %v", plan.shards)
+		}
+		if len(plan.pairs[s]) != len(plan.indices[s]) {
+			t.Fatalf("shard %d: %d pairs, %d indices", s, len(plan.pairs[s]), len(plan.indices[s]))
+		}
+		for j, p := range plan.pairs[s] {
+			if m.Of(p[0]) != s {
+				t.Fatalf("pair %v grouped to shard %d, Of = %d", p, s, m.Of(p[0]))
+			}
+			if pairs[plan.indices[s][j]] != p {
+				t.Fatalf("index map broken: plan says pairs[%d] = %v, input has %v", plan.indices[s][j], p, pairs[plan.indices[s][j]])
+			}
+		}
+		total += len(plan.pairs[s])
+	}
+	if total != len(pairs) {
+		t.Fatalf("plan covers %d of %d pairs", total, len(pairs))
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	got, err := ParseTopology(
+		"shard1=http://b:1, shard0=http://a:1",
+		"shard0=http://a2:1,shard0=http://a3:1/,shard1=http://b2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"http://a:1", "http://a2:1", "http://a3:1"},
+		{"http://b:1", "http://b2:1"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseTopology = %v, want %v", got, want)
+	}
+	for _, bad := range []struct{ cluster, replicas string }{
+		{"", ""},
+		{"shard0=http://a:1,shard2=http://c:1", ""},  // hole at shard1
+		{"shard0=http://a:1,shard0=http://aa:1", ""}, // duplicate primary
+		{"shard0=http://a:1", "shard3=http://x:1"},   // replica for missing shard
+		{"shard0=http://a:1", "shardX=http://x:1"},   // bad index
+		{"shard0=http://a:1", "http://x:1"},          // missing key
+		{"shard0=not-a-url", ""},                     // relative URL
+		{"shard-1=http://a:1", ""},                   // negative index
+	} {
+		if _, err := ParseTopology(bad.cluster, bad.replicas); err == nil {
+			t.Fatalf("ParseTopology(%q, %q): want error", bad.cluster, bad.replicas)
+		}
+	}
+}
+
+// TestClientHedgesToReplica: a slow primary must be outrun by the
+// replica after HedgeDelay, well before the per-shard deadline.
+func TestClientHedgesToReplica(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprint(w, `{"who":"primary"}`)
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"who":"replica"}`)
+	}))
+	defer fast.Close()
+
+	c := NewClient([][]string{{slow.URL, fast.URL}}, http.DefaultClient, 10*time.Second, 20*time.Millisecond)
+	start := time.Now()
+	resp, err := c.Do(t.Context(), 0, "POST", "/x", []byte("{}"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedged request took %v — the hedge never fired", elapsed)
+	}
+	if !bytes.Contains(resp.Body, []byte("replica")) {
+		t.Fatalf("expected the replica's answer, got %s", resp.Body)
+	}
+}
+
+// TestClientRelaysDefinitive400: a 4xx is an answer, not a failure —
+// it must never fail over to a replica.
+func TestClientRelaysDefinitive400(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"bad_request"}}`, http.StatusBadRequest)
+	}))
+	defer bad.Close()
+	replicaHit := false
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		replicaHit = true
+		fmt.Fprint(w, "{}")
+	}))
+	defer replica.Close()
+
+	c := NewClient([][]string{{bad.URL, replica.URL}}, http.DefaultClient, time.Second, time.Hour)
+	resp, err := c.Do(t.Context(), 0, "POST", "/x", []byte("{}"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.Status)
+	}
+	if replicaHit {
+		t.Fatal("definitive 400 must not fail over to the replica")
+	}
+}
+
+// TestClientFailsOverOn5xx: a 500 is failover-eligible.
+func TestClientFailsOverOn5xx(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ok.Close()
+
+	c := NewClient([][]string{{broken.URL, ok.URL}}, http.DefaultClient, time.Second, time.Hour)
+	resp, err := c.Do(t.Context(), 0, "POST", "/x", []byte("{}"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || !bytes.Contains(resp.Body, []byte("ok")) {
+		t.Fatalf("failover answer = %d %s", resp.Status, resp.Body)
+	}
+}
+
+// TestClientExhaustionNamesShard: all endpoints dead → *ShardError
+// carrying the shard index and every attempt.
+func TestClientExhaustionNamesShard(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+	c := NewClient([][]string{{"http://e0"}, {dead.URL}}, http.DefaultClient, 200*time.Millisecond, 10*time.Millisecond)
+	_, err := c.Do(t.Context(), 1, "POST", "/x", []byte("{}"), 0)
+	se, ok := err.(*ShardError)
+	if !ok {
+		t.Fatalf("err = %T %v, want *ShardError", err, err)
+	}
+	if se.Shard != 1 || len(se.Attempts) != 1 {
+		t.Fatalf("ShardError = %+v", se)
+	}
+	if se.AllDeadline() {
+		t.Fatal("connection refused must not read as a deadline expiry")
+	}
+}
+
+// jsonCanonical strips the coalescing flag (legitimately
+// scheduling-dependent under concurrency) and re-encodes with sorted
+// keys, for comparisons under concurrent load. Safe from any
+// goroutine (no testing.T calls).
+func jsonCanonical(body []byte) (string, error) {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return "", fmt.Errorf("bad JSON %q: %w", body, err)
+	}
+	delete(m, "coalesced")
+	out, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// TestClientRelays504WithoutFailover: a shard's own deadline verdict
+// is a definitive answer — the engines are deterministic, so a replica
+// would burn the same budget and time out the same way. The 504 must
+// be relayed, never converted into a failover (and then a 502).
+func TestClientRelays504WithoutFailover(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"deadline_exceeded"}}`, http.StatusGatewayTimeout)
+	}))
+	defer slow.Close()
+	replicaHit := false
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		replicaHit = true
+		fmt.Fprint(w, "{}")
+	}))
+	defer replica.Close()
+
+	c := NewClient([][]string{{slow.URL, replica.URL}}, http.DefaultClient, time.Second, time.Hour)
+	resp, err := c.Do(t.Context(), 0, "POST", "/x", []byte("{}"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want relayed 504", resp.Status)
+	}
+	if replicaHit {
+		t.Fatal("downstream 504 must not fail over to the replica")
+	}
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"usimrank/internal/server"
+)
+
+var allAlgs = []string{"baseline", "sampling", "twophase", "srsp"}
+
+// queryShapes is the full query surface of the v1 API: the five query
+// shapes (score, single-source full sweep and candidate-restricted,
+// top-k of a vertex, top-k pairs, batch), parameterised by algorithm.
+func queryShapes(alg string) []struct{ name, path, body string } {
+	return []struct{ name, path, body string }{
+		{"score", "/v1/score", fmt.Sprintf(`{"alg":%q,"u":3,"v":17}`, alg)},
+		{"source_full", "/v1/source", fmt.Sprintf(`{"alg":%q,"u":5}`, alg)},
+		{"source_cand", "/v1/source", fmt.Sprintf(`{"alg":%q,"u":2,"candidates":[1,4,9,33]}`, alg)},
+		{"topk_u", "/v1/topk", fmt.Sprintf(`{"alg":%q,"u":3,"k":5}`, alg)},
+		{"topk_pairs", "/v1/topk", fmt.Sprintf(`{"alg":%q,"k":7}`, alg)},
+		{"batch", "/v1/batch", fmt.Sprintf(`{"alg":%q,"pairs":[[0,1],[5,9],[3,4],[17,2],[0,1]]}`, alg)},
+	}
+}
+
+// TestClusterBitIdenticalToSingleNode is the spine of the cluster
+// plane: for 1, 2, and 4 shards, every query shape under all four
+// algorithms must return response bytes identical to a single resident
+// engine. Walk streams are seeded by (seed, vertex, side), so neither
+// the shard count nor the scatter-gather path may perturb a single
+// bit.
+func TestClusterBitIdenticalToSingleNode(t *testing.T) {
+	g := testGraph()
+	single, err := server.New(g, "test://single", server.Config{Engine: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	type ref struct {
+		status int
+		body   []byte
+	}
+	refs := make(map[string]ref)
+	for _, alg := range allAlgs {
+		for _, q := range queryShapes(alg) {
+			status, body := post(t, single, q.path, q.body)
+			if status != 200 {
+				t.Fatalf("single-node %s/%s: status %d: %s", alg, q.name, status, body)
+			}
+			refs[alg+"/"+q.name] = ref{status, append([]byte(nil), body...)}
+		}
+	}
+
+	for _, shardCount := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shardCount), func(t *testing.T) {
+			co := bootCluster(t, g, shardCount)
+			for _, alg := range allAlgs {
+				for _, q := range queryShapes(alg) {
+					status, body := post(t, co, q.path, q.body)
+					want := refs[alg+"/"+q.name]
+					if status != want.status {
+						t.Fatalf("%s/%s: coordinator status %d, single node %d: %s", alg, q.name, status, want.status, body)
+					}
+					if !bytes.Equal(body, want.body) {
+						t.Fatalf("%s/%s: coordinator bytes diverge from single node\ncoordinator: %s\nsingle node: %s",
+							alg, q.name, body, want.body)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterConcurrentClientsRace hammers a 2-shard cluster with 32
+// concurrent clients cycling through every shape and algorithm, under
+// -race in CI. Each response must match the single-node reference
+// modulo the coalescing flag (coalescing hits are real and
+// scheduling-dependent under concurrent identical queries; every other
+// byte is pinned).
+func TestClusterConcurrentClientsRace(t *testing.T) {
+	g := testGraph()
+	single, err := server.New(g, "test://single", server.Config{Engine: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	refs := make(map[string]string)
+	var shapes []struct{ name, path, body string }
+	for _, alg := range allAlgs {
+		for _, q := range queryShapes(alg) {
+			status, body := post(t, single, q.path, q.body)
+			if status != 200 {
+				t.Fatalf("single-node %s/%s: status %d", alg, q.name, status)
+			}
+			canon, err := jsonCanonical(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[alg+"/"+q.name] = canon
+			shapes = append(shapes, struct{ name, path, body string }{alg + "/" + q.name, q.path, q.body})
+		}
+	}
+
+	co := bootCluster(t, g, 2)
+	const clients = 32
+	const perClient = 6
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := shapes[(c+i*7)%len(shapes)]
+				status, body := post(t, co, q.path, q.body)
+				if status != 200 {
+					errCh <- fmt.Errorf("client %d %s: status %d: %s", c, q.name, status, body)
+					return
+				}
+				got, err := jsonCanonical(body)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d %s: %w", c, q.name, err)
+					return
+				}
+				if got != refs[q.name] {
+					errCh <- fmt.Errorf("client %d %s: response diverged\ngot:  %s\nwant: %s", c, q.name, got, refs[q.name])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := co.Stats(); st.Coalescing.Hits == 0 {
+		t.Log("note: no coordinator coalescing hits under the hammer (legal, but unusual)")
+	}
+}
+
+// TestChunkedSourcesStayBitIdentical shrinks the per-request source
+// chunk far below the vertex count, so one pairs top-k fans out as
+// many sub-requests per shard, and pins that the chunked merge is
+// still byte-identical to the single node — the property that lets
+// the coordinator bound its request bodies on arbitrarily large
+// graphs.
+func TestChunkedSourcesStayBitIdentical(t *testing.T) {
+	old := maxSourcesPerChunk
+	maxSourcesPerChunk = 7
+	defer func() { maxSourcesPerChunk = old }()
+
+	g := testGraph()
+	single, err := server.New(g, "test://single", server.Config{Engine: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	co := bootCluster(t, g, 2)
+
+	for _, alg := range []string{"sampling", "srsp"} {
+		body := fmt.Sprintf(`{"alg":%q,"k":9}`, alg)
+		wantStatus, want := post(t, single, "/v1/topk", body)
+		gotStatus, got := post(t, co, "/v1/topk", body)
+		if gotStatus != wantStatus || !bytes.Equal(got, want) {
+			t.Fatalf("%s chunked pairs diverged:\ncoordinator (%d): %s\nsingle (%d): %s", alg, gotStatus, got, wantStatus, want)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"usimrank"
+	"usimrank/internal/server"
+)
+
+// faultHandler wraps a shard node with injectable faults: dead drops
+// every connection mid-response (the client sees a transport error,
+// exactly like a crashed process), delayNs stalls before delegating
+// (a slow shard), respecting request cancellation.
+type faultHandler struct {
+	inner   http.Handler
+	dead    atomic.Bool
+	delayNs atomic.Int64
+	stop    chan struct{} // closed at test cleanup so stalled handlers unwind
+}
+
+func (f *faultHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if d := time.Duration(f.delayNs.Load()); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		case <-f.stop:
+			return
+		}
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// newFaultyShard boots a shard node behind a fault injector.
+func newFaultyShard(t testing.TB, g *usimrank.Graph) (*httptest.Server, *faultHandler) {
+	t.Helper()
+	s, err := server.New(g, "test://shard", server.Config{Engine: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	fh := &faultHandler{inner: s.Handler(), stop: make(chan struct{})}
+	ts := httptest.NewServer(fh)
+	// LIFO: unblock stalled handlers (close stop) before ts.Close waits
+	// on them.
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(fh.stop) })
+	return ts, fh
+}
+
+// ownedBy returns a vertex of [0, n) owned by the given shard under a
+// `shards`-way map.
+func ownedBy(t testing.TB, shards, shard, n int) int {
+	t.Helper()
+	m, err := NewShardMap(shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if m.Of(v) == shard {
+			return v
+		}
+	}
+	t.Fatalf("no vertex of [0,%d) owned by shard %d", n, shard)
+	return -1
+}
+
+// TestFailoverToReplicaMidLoad kills a shard's primary while 16
+// clients are mid-flight; every query owned by that shard must keep
+// succeeding — hedged over to the replica — with bytes identical to
+// the reference answer.
+func TestFailoverToReplicaMidLoad(t *testing.T) {
+	g := testGraph()
+	u := ownedBy(t, 2, 1, g.NumVertices())
+	body := fmt.Sprintf(`{"alg":"sampling","u":%d}`, u)
+
+	primary, primaryFault := newFaultyShard(t, g)
+	replica := newShardNode(t, g)
+	co := newCoordinator(t, [][]string{
+		{newShardNode(t, g).URL},
+		{primary.URL, replica.URL},
+	}, func(cfg *Config) {
+		cfg.HedgeDelay = 10 * time.Millisecond
+		cfg.ShardTimeout = 10 * time.Second
+	})
+
+	wantStatus, wantBody := post(t, co, "/v1/source", body)
+	if wantStatus != 200 {
+		t.Fatalf("warm-up status %d: %s", wantStatus, wantBody)
+	}
+	wantCanon, err := jsonCanonical(wantBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	killed := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-killed // every request below runs against a dead primary
+			status, got := post(t, co, "/v1/source", body)
+			if status != 200 {
+				errCh <- fmt.Errorf("status %d after primary death: %s", status, got)
+				return
+			}
+			canon, err := jsonCanonical(got)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if canon != wantCanon {
+				errCh <- fmt.Errorf("failover answer diverged\ngot:  %s\nwant: %s", canon, wantCanon)
+			}
+		}()
+	}
+	primaryFault.dead.Store(true)
+	primary.CloseClientConnections()
+	close(killed)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadShardWithoutReplicaIs502: with no replica to hedge to, the
+// coordinator must fail fast with a structured 502 naming the dead
+// shard — not hang, and never return a silently partial merge.
+func TestDeadShardWithoutReplicaIs502(t *testing.T) {
+	g := testGraph()
+	primary, fault := newFaultyShard(t, g)
+	co := newCoordinator(t, [][]string{
+		{newShardNode(t, g).URL},
+		{primary.URL},
+	}, func(cfg *Config) {
+		cfg.ShardTimeout = 500 * time.Millisecond
+	})
+	fault.dead.Store(true)
+	primary.CloseClientConnections()
+
+	u := ownedBy(t, 2, 1, g.NumVertices())
+	checkDead := func(path, body string) {
+		t.Helper()
+		start := time.Now()
+		status, respBody := post(t, co, path, body)
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("%s took %v — a dead shard must fail fast", path, elapsed)
+		}
+		if status != http.StatusBadGateway {
+			t.Fatalf("%s status = %d, want 502: %s", path, status, respBody)
+		}
+		var e server.ErrorResponse
+		if err := json.Unmarshal(respBody, &e); err != nil {
+			t.Fatalf("%s: bad error body %s: %v", path, respBody, err)
+		}
+		if e.Error.Code != server.CodeShardUnavailable {
+			t.Fatalf("%s error code = %q, want %q", path, e.Error.Code, server.CodeShardUnavailable)
+		}
+		if e.Error.Shard != "shard1" {
+			t.Fatalf("%s error names %q, want shard1: %s", path, e.Error.Shard, respBody)
+		}
+	}
+	// Pass-through shape owned by the dead shard.
+	checkDead("/v1/score", fmt.Sprintf(`{"alg":"srsp","u":%d,"v":0}`, u))
+	// Fan-out shape: the dead shard voids the whole merge — a partial
+	// top-k would silently drop that shard's winners.
+	checkDead("/v1/topk", `{"alg":"srsp","k":5}`)
+	// The healthy shard keeps serving its own sources.
+	healthy := ownedBy(t, 2, 0, g.NumVertices())
+	if status, b := post(t, co, "/v1/score", fmt.Sprintf(`{"alg":"srsp","u":%d,"v":1}`, healthy)); status != 200 {
+		t.Fatalf("healthy shard status %d: %s", status, b)
+	}
+}
+
+// TestSlowShardPerShardDeadline: a stalled shard must be cut off by
+// the per-shard deadline (504, naming the shard) long before the
+// request-level budget, proving the per-shard timeout actually fires.
+func TestSlowShardPerShardDeadline(t *testing.T) {
+	g := testGraph()
+	primary, fault := newFaultyShard(t, g)
+	co := newCoordinator(t, [][]string{
+		{newShardNode(t, g).URL},
+		{primary.URL},
+	}, func(cfg *Config) {
+		cfg.ShardTimeout = 200 * time.Millisecond
+		cfg.QueryTimeout = 60 * time.Second // the request budget is NOT what fires
+	})
+	fault.delayNs.Store(int64(30 * time.Second))
+
+	u := ownedBy(t, 2, 1, g.NumVertices())
+	start := time.Now()
+	status, body := post(t, co, "/v1/score", fmt.Sprintf(`{"alg":"srsp","u":%d,"v":0}`, u))
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("slow shard held the request %v — per-shard deadline never fired", elapsed)
+	}
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", status, body)
+	}
+	var e server.ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != server.CodeDeadlineExceeded || e.Error.Shard != "shard1" {
+		t.Fatalf("error = %+v, want deadline_exceeded naming shard1", e.Error)
+	}
+}
+
+// TestSlowPrimaryHedgesWithinBudget: a slow-but-alive primary with a
+// healthy replica must not cost the client the per-shard deadline —
+// the hedge fires at HedgeDelay and the replica's answer is relayed.
+func TestSlowPrimaryHedgesWithinBudget(t *testing.T) {
+	g := testGraph()
+	primary, fault := newFaultyShard(t, g)
+	co := newCoordinator(t, [][]string{
+		{primary.URL, newShardNode(t, g).URL},
+	}, func(cfg *Config) {
+		cfg.HedgeDelay = 25 * time.Millisecond
+		cfg.ShardTimeout = 60 * time.Second
+	})
+	fault.delayNs.Store(int64(30 * time.Second))
+
+	start := time.Now()
+	status, body := post(t, co, "/v1/score", `{"alg":"srsp","u":3,"v":17}`)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hedged query took %v", elapsed)
+	}
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var resp server.ScoreResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Score <= 0 {
+		t.Fatalf("suspicious hedged score %v", resp.Score)
+	}
+}
+
+// directUpdate applies one reweight straight to a node, bypassing the
+// coordinator.
+func directUpdate(t testing.TB, url string, u, v int32, p float64) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/admin/update", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"updates":[{"op":"reweight","u":%d,"v":%d,"p":%g}]}`, u, v, p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("direct update status %d", resp.StatusCode)
+	}
+}
+
+// TestClientRejectsStaleGeneration: a definitive answer stamped with
+// an older graph generation than the caller demands is a node
+// failure, not an answer — the client must skip it and take the
+// up-to-date endpoint's response.
+func TestClientRejectsStaleGeneration(t *testing.T) {
+	g := testGraph()
+	au, av, _ := g.ArcEndpoints(0)
+	stale := newShardNode(t, g)   // stays at generation 1, old graph
+	current := newShardNode(t, g) // moved to generation 2
+	directUpdate(t, current.URL, au, av, 0.111)
+
+	c := NewClient([][]string{{stale.URL, current.URL}}, http.DefaultClient, 5*time.Second, time.Millisecond)
+	resp, err := c.Do(t.Context(), 0, "POST", "/v1/score", []byte(`{"alg":"srsp","u":3,"v":17}`), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 2 || resp.URL != current.URL {
+		t.Fatalf("answer came from %s at generation %d, want the generation-2 endpoint", resp.URL, resp.Generation)
+	}
+
+	// With only the stale endpoint, the shard is correctly unavailable.
+	cs := NewClient([][]string{{stale.URL}}, http.DefaultClient, 5*time.Second, time.Millisecond)
+	_, err = cs.Do(t.Context(), 0, "POST", "/v1/score", []byte(`{"alg":"srsp","u":3,"v":17}`), 2)
+	se, ok := err.(*ShardError)
+	if !ok || !strings.Contains(se.Error(), "stale graph") {
+		t.Fatalf("err = %v, want a ShardError naming the stale graph", err)
+	}
+}
+
+// TestStaleReplicaCannotServeAfterReturning is the end-to-end version
+// of the scenario the generation header exists for: a replica down
+// through an admin mutation returns holding the old graph; when the
+// primary later dies, failover must REFUSE the stale replica (502)
+// rather than silently relay old-graph bytes.
+func TestStaleReplicaCannotServeAfterReturning(t *testing.T) {
+	g := testGraph()
+	au, av, _ := g.ArcEndpoints(0)
+	primary, primaryFault := newFaultyShard(t, g)
+	replica, replicaFault := newFaultyShard(t, g)
+
+	// The replica misses an update while down; the primary moves to
+	// generation 2.
+	replicaFault.dead.Store(true)
+	directUpdate(t, primary.URL, au, av, 0.222)
+
+	// Coordinator boots degraded: replica unreachable, primary at 2.
+	co := newCoordinator(t, [][]string{{primary.URL, replica.URL}}, func(cfg *Config) {
+		cfg.ShardTimeout = 2 * time.Second
+		cfg.HedgeDelay = 10 * time.Millisecond
+	})
+	if co.Generation() != 2 {
+		t.Fatalf("boot generation = %d, want the primary's 2", co.Generation())
+	}
+
+	// The replica comes back — still at generation 1 — and the primary
+	// dies.
+	replicaFault.dead.Store(false)
+	primaryFault.dead.Store(true)
+	primary.CloseClientConnections()
+
+	status, body := post(t, co, "/v1/score", `{"alg":"srsp","u":3,"v":17}`)
+	if status != http.StatusBadGateway {
+		t.Fatalf("stale-replica failover returned %d (%s), want a refusing 502", status, body)
+	}
+	if !strings.Contains(string(body), "stale graph") {
+		t.Fatalf("error must name the stale graph: %s", body)
+	}
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"usimrank/internal/server"
+)
+
+// FuzzShardMap fuzzes the shard-map contract: for arbitrary vertex
+// ids, shard counts, and replica counts, the assignment must be total
+// (every vertex maps into [0, shards)), stable (two independently
+// built identical maps agree), and must respect the declared replica
+// count (Endpoints = 1 + replicas, for every shard).
+func FuzzShardMap(f *testing.F) {
+	f.Add(int64(0), 1, 0)
+	f.Add(int64(-1), 4, 2)
+	f.Add(int64(math.MaxInt64), 7, 1)
+	f.Add(int64(math.MinInt64), 1000, 0)
+	f.Add(int64(123456789), 3, 5)
+	f.Fuzz(func(t *testing.T, vertex int64, shards, replicas int) {
+		if shards < 1 || shards > 1<<20 {
+			if shards < 1 {
+				if _, err := NewShardMap(shards, nil); err == nil {
+					t.Fatalf("NewShardMap(%d) accepted a non-positive shard count", shards)
+				}
+			}
+			return
+		}
+		replicas &= 0xff // keep the per-shard slice bounded
+		reps := make([]int, shards)
+		for i := range reps {
+			reps[i] = replicas
+		}
+		m, err := NewShardMap(shards, reps)
+		if err != nil {
+			t.Fatalf("NewShardMap(%d, %d replicas): %v", shards, replicas, err)
+		}
+		v := int(vertex)
+		s := m.Of(v)
+		if s < 0 || s >= shards {
+			t.Fatalf("Of(%d) = %d outside [0,%d) — assignment not total", v, s, shards)
+		}
+		m2, err := NewShardMap(shards, reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.Of(v) != s {
+			t.Fatalf("Of(%d) unstable across identical maps: %d vs %d", v, s, m2.Of(v))
+		}
+		if got := m.Endpoints(s); got != 1+replicas {
+			t.Fatalf("Endpoints(%d) = %d, want %d — replica count not respected", s, got, 1+replicas)
+		}
+		// A small partition stays total and consistent with Of.
+		n := 64
+		parts := m.Partition(n)
+		total := 0
+		for ps, part := range parts {
+			for _, pv := range part {
+				if m.Of(pv) != ps {
+					t.Fatalf("Partition put %d in shard %d, Of says %d", pv, ps, m.Of(pv))
+				}
+				total++
+			}
+		}
+		if total != n {
+			t.Fatalf("Partition(%d) covered %d vertices", n, total)
+		}
+	})
+}
+
+// decodePartials deterministically carves a fuzz byte string into
+// adversarial per-shard partial top-k lists: arbitrary lengths,
+// arbitrary order, duplicate pairs, tied/infinite scores. NaN scores
+// are normalised to 0 — NaN admits no total order, and the merge
+// contract (like the engine, which never emits NaN) is defined over
+// ordered floats.
+func decodePartials(data []byte) [][]server.PairScore {
+	var lists [][]server.PairScore
+	var cur []server.PairScore
+	for len(data) >= 17 {
+		u := int(int32(binary.LittleEndian.Uint32(data[0:4])))
+		v := int(int32(binary.LittleEndian.Uint32(data[4:8])))
+		score := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+		if math.IsNaN(score) {
+			score = 0
+		}
+		cur = append(cur, server.PairScore{U: u, V: v, Score: score})
+		if data[16]&1 == 1 { // list break
+			lists = append(lists, cur)
+			cur = nil
+		}
+		data = data[17:]
+	}
+	if cur != nil {
+		lists = append(lists, cur)
+	}
+	return lists
+}
+
+// FuzzClusterMerge fuzzes the coordinator's top-k merge: on arbitrary
+// adversarial partial results it must never panic, must honour k, must
+// emit the canonical order (topk.Better descending), must not invent
+// results, and must be independent of the order the shards answered
+// in.
+func FuzzClusterMerge(f *testing.F) {
+	f.Add(1, []byte{})
+	f.Add(3, []byte{1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 240, 63, 1})
+	seed := make([]byte, 17*5)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(10, seed)
+	f.Fuzz(func(t *testing.T, k int, data []byte) {
+		k = 1 + abs(k)%64 // the serving plane validates k >= 1 before merging
+		lists := decodePartials(data)
+		got := mergeTopK(k, lists)
+		if got == nil {
+			t.Fatal("merge returned nil — must be an empty slice for JSON []")
+		}
+		if len(got) > k {
+			t.Fatalf("merge returned %d results for k=%d", len(got), k)
+		}
+		inputs := make(map[server.PairScore]int)
+		total := 0
+		for _, l := range lists {
+			for _, p := range l {
+				inputs[p]++
+				total++
+			}
+		}
+		if want := min(k, total); len(got) != want {
+			t.Fatalf("merge returned %d results, want min(k=%d, inputs=%d) = %d", len(got), k, total, want)
+		}
+		for i, p := range got {
+			if inputs[p] == 0 {
+				t.Fatalf("merge invented result %+v", p)
+			}
+			inputs[p]--
+			if i > 0 {
+				a, b := got[i-1], got[i]
+				if b.Score > a.Score || (b.Score == a.Score && (b.U < a.U || (b.U == a.U && b.V < a.V))) {
+					t.Fatalf("merge order violated at %d: %+v before %+v", i, a, b)
+				}
+			}
+		}
+		// Shard answer order must not matter.
+		reversed := make([][]server.PairScore, len(lists))
+		for i, l := range lists {
+			reversed[len(lists)-1-i] = l
+		}
+		again := mergeTopK(k, reversed)
+		if len(again) != len(got) {
+			t.Fatalf("merge depends on shard order: %d vs %d results", len(again), len(got))
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("merge depends on shard order at %d: %+v vs %+v", i, got[i], again[i])
+			}
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == math.MinInt {
+			return 0
+		}
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"usimrank/internal/server"
+	"usimrank/internal/topk"
+)
+
+// Deterministic merge logic, one rule per query shape (doc.go spells
+// out the contract):
+//
+//   - score / source / top-k-of-u: single-shard pass-through — the
+//     owning shard's bytes are relayed verbatim, so there is nothing
+//     to merge and nothing that could diverge.
+//   - pairs top-k: k-way merge of the shards' partial top-k lists
+//     under the canonical topk.Better order (score desc, then U, then
+//     V) via topk.Merge.
+//   - batch: regroup-by-shard on the way out, reassemble into input
+//     order on the way back.
+
+// mergeTopK folds the per-shard partial top-k lists into the canonical
+// global top-k. Inputs need no particular order or length; adversarial
+// partials (duplicates, unsorted, over-long) still merge into a list
+// that is sorted under topk.Better and at most k long, because the
+// merge re-ranks every element under the one total order.
+func mergeTopK(k int, lists [][]server.PairScore) []server.PairScore {
+	converted := make([][]topk.Result, len(lists))
+	for i, l := range lists {
+		rs := make([]topk.Result, len(l))
+		for j, p := range l {
+			rs[j] = topk.Result{U: p.U, V: p.V, Score: p.Score}
+		}
+		converted[i] = rs
+	}
+	merged := topk.Merge(k, converted...)
+	// make (never nil) so an empty merge encodes as [] exactly like the
+	// single-node handler's conversion.
+	out := make([]server.PairScore, len(merged))
+	for i, r := range merged {
+		out[i] = server.PairScore{U: r.U, V: r.V, Score: r.Score}
+	}
+	return out
+}
+
+// batchPlan is the scatter plan of one batch request: the involved
+// shards in ascending order, each shard's sub-batch, and the original
+// index of every sub-batch element so responses reassemble into input
+// order.
+type batchPlan struct {
+	shards  []int
+	pairs   map[int][][2]int
+	indices map[int][]int
+}
+
+// planBatch regroups pairs by the shard owning each pair's source
+// (pair[0]).
+func planBatch(m *ShardMap, pairs [][2]int) batchPlan {
+	p := batchPlan{pairs: make(map[int][][2]int), indices: make(map[int][]int)}
+	for i, pair := range pairs {
+		s := m.Of(pair[0])
+		if _, seen := p.pairs[s]; !seen {
+			p.shards = append(p.shards, s)
+		}
+		p.pairs[s] = append(p.pairs[s], pair)
+		p.indices[s] = append(p.indices[s], i)
+	}
+	// Shards were appended in first-occurrence order; normalise to
+	// ascending so the scatter order (and any error tie-break) is a
+	// pure function of the request.
+	for i := 1; i < len(p.shards); i++ {
+		for j := i; j > 0 && p.shards[j] < p.shards[j-1]; j-- {
+			p.shards[j], p.shards[j-1] = p.shards[j-1], p.shards[j]
+		}
+	}
+	return p
+}

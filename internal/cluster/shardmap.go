@@ -1,0 +1,78 @@
+package cluster
+
+import "fmt"
+
+// ShardMap deterministically assigns every source vertex to one of a
+// fixed number of shards and records how many serving endpoints
+// (primary + replicas) each shard has.
+//
+// The assignment contract (see doc.go) is frozen: Of is a pure
+// function of (vertex, shard count) — a splitmix64-style avalanche of
+// the vertex id reduced mod the shard count — so any coordinator, any
+// test, and any future process agrees on which shard owns which
+// source without coordination. The hash is total (defined for every
+// int, including negatives) and stable across processes, platforms,
+// and releases.
+type ShardMap struct {
+	shards   int
+	replicas []int // replicas[i] = replica endpoint count of shard i
+}
+
+// NewShardMap builds a map for `shards` shards. replicas[i] is the
+// number of replica endpoints of shard i beyond its primary; nil means
+// no shard has replicas; a short slice is zero-extended.
+func NewShardMap(shards int, replicas []int) (*ShardMap, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d < 1", shards)
+	}
+	if len(replicas) > shards {
+		return nil, fmt.Errorf("cluster: replica list covers %d shards, map has %d", len(replicas), shards)
+	}
+	r := make([]int, shards)
+	for i, n := range replicas {
+		if n < 0 {
+			return nil, fmt.Errorf("cluster: shard %d has negative replica count %d", i, n)
+		}
+		r[i] = n
+	}
+	return &ShardMap{shards: shards, replicas: r}, nil
+}
+
+// Shards returns the shard count.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Of returns the shard owning source vertex v. Total and stable: every
+// int maps to exactly one shard in [0, Shards()), and the same
+// (vertex, shard count) pair maps identically in every process.
+func (m *ShardMap) Of(v int) int {
+	return int(mix64(uint64(int64(v))) % uint64(m.shards))
+}
+
+// Endpoints returns the serving endpoint count of shard s: its primary
+// plus its replicas. Panics on an out-of-range shard (caller bug).
+func (m *ShardMap) Endpoints(s int) int {
+	return 1 + m.replicas[s]
+}
+
+// Partition splits the source vertex ids [0, n) into one slice per
+// shard, in ascending vertex order within each slice. Slices may be
+// empty; together they cover every vertex exactly once. This is the
+// decomposition the coordinator sends to shards for a pairs top-k.
+func (m *ShardMap) Partition(n int) [][]int {
+	parts := make([][]int, m.shards)
+	for v := 0; v < n; v++ {
+		s := m.Of(v)
+		parts[s] = append(parts[s], v)
+	}
+	return parts
+}
+
+// mix64 is the splitmix64 finaliser: a fixed, well-dispersed avalanche
+// of the vertex id. The constants are part of the shard-map contract —
+// changing them resharded every cluster, so they never change.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseTopology parses the usimd coordinator flags into per-shard
+// endpoint lists.
+//
+// cluster is a comma-separated list of shard<i>=<base-url> entries and
+// must name every shard index 0..n-1 exactly once:
+//
+//	shard0=http://a:8471,shard1=http://b:8471
+//
+// replicas uses the same syntax, may repeat a shard key (one entry per
+// replica endpoint), and may be empty:
+//
+//	shard0=http://a2:8471,shard0=http://a3:8471,shard1=http://b2:8471
+//
+// The result is Config.Shards: element i holds shard i's primary
+// first, then its replicas in flag order.
+func ParseTopology(cluster, replicas string) ([][]string, error) {
+	primaries, err := parseEntries(cluster)
+	if err != nil {
+		return nil, fmt.Errorf("-cluster: %w", err)
+	}
+	if len(primaries) == 0 {
+		return nil, fmt.Errorf("-cluster: no shards")
+	}
+	n := 0
+	for shard := range primaries {
+		if shard+1 > n {
+			n = shard + 1
+		}
+	}
+	shards := make([][]string, n)
+	for shard, urls := range primaries {
+		if len(urls) > 1 {
+			return nil, fmt.Errorf("-cluster: shard%d named %d times (replicas go in -replicas)", shard, len(urls))
+		}
+		shards[shard] = urls
+	}
+	for shard, urls := range shards {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("-cluster: shard%d missing (shard indices must cover 0..%d)", shard, n-1)
+		}
+	}
+	if replicas != "" {
+		reps, err := parseEntries(replicas)
+		if err != nil {
+			return nil, fmt.Errorf("-replicas: %w", err)
+		}
+		keys := make([]int, 0, len(reps))
+		for shard := range reps {
+			keys = append(keys, shard)
+		}
+		sort.Ints(keys)
+		for _, shard := range keys {
+			if shard >= n {
+				return nil, fmt.Errorf("-replicas: shard%d does not exist (-cluster has %d shards)", shard, n)
+			}
+			shards[shard] = append(shards[shard], reps[shard]...)
+		}
+	}
+	return shards, nil
+}
+
+// parseEntries parses "shardK=url,..." into shard → urls (flag order
+// preserved per shard).
+func parseEntries(s string) (map[int][]string, error) {
+	out := make(map[int][]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, rawURL, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not shard<i>=<url>", entry)
+		}
+		idxStr, ok := strings.CutPrefix(key, "shard")
+		if !ok {
+			return nil, fmt.Errorf("entry %q: key %q is not shard<i>", entry, key)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("entry %q: bad shard index %q", entry, idxStr)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("entry %q: %q is not an absolute base URL", entry, rawURL)
+		}
+		out[idx] = append(out[idx], strings.TrimRight(rawURL, "/"))
+	}
+	return out, nil
+}

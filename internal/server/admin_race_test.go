@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestAdminMutationsSerialized hammers /v1/admin/update and
+// /v1/admin/reload concurrently and proves the admin plane serialises
+// engine swaps behind one mutex: every successful mutation must
+// receive its own generation, and together they must form the exact
+// contiguous range 2..ops+1. If the two paths could interleave — both
+// loading the same predecessor handle before either publishes — two
+// responses would share a generation (one swap silently lost) and the
+// final resident generation would fall short. Run under -race in CI.
+func TestAdminMutationsSerialized(t *testing.T) {
+	g := testGraph()
+	s := newTestServer(t, Config{Engine: testOptions()})
+	path := writeGraphFile(t, g)
+	au, av, ap := g.ArcEndpoints(0)
+
+	const workers = 8
+	const perWorker = 4
+	gens := make(chan uint64, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if (w+i)%2 == 0 {
+					// Reweighting an existing arc is valid no matter how
+					// the batches interleave (and restoring the original
+					// probability keeps the graph usable for reloads).
+					p := 0.123
+					if i%2 == 1 {
+						p = ap
+					}
+					var resp UpdateResponse
+					code, err := callE(s, "POST", "/v1/admin/update",
+						UpdateRequest{Updates: []ArcUpdateRequest{{Op: "reweight", U: int(au), V: int(av), P: p}}}, &resp)
+					if err != nil || code != 200 {
+						gens <- 0
+						t.Errorf("worker %d update %d: code %d err %v", w, i, code, err)
+						return
+					}
+					gens <- resp.Generation
+				} else {
+					var resp ReloadResponse
+					code, err := callE(s, "POST", "/v1/admin/reload", ReloadRequest{Graph: path}, &resp)
+					if err != nil || code != 200 {
+						gens <- 0
+						t.Errorf("worker %d reload %d: code %d err %v", w, i, code, err)
+						return
+					}
+					gens <- resp.Generation
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(gens)
+
+	var got []uint64
+	for g := range gens {
+		got = append(got, g)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := make([]uint64, 0, workers*perWorker)
+	for i := 0; i < workers*perWorker; i++ {
+		want = append(want, uint64(i+2))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("admin mutations interleaved: generations %v, want the contiguous range %v", got, want)
+	}
+
+	var stats StatsResponse
+	if code := call(t, s, "GET", "/v1/stats", nil, &stats); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if wantGen := uint64(workers*perWorker + 1); stats.Graph.Generation != wantGen {
+		t.Fatalf("final generation %d, want %d", stats.Graph.Generation, wantGen)
+	}
+}

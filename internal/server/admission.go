@@ -5,28 +5,28 @@ import (
 	"time"
 )
 
-// admission is the bounded in-flight-query semaphore. It sits above
+// Admission is the bounded in-flight-query semaphore. It sits above
 // the engine's Options.Parallelism bound: Parallelism caps how many
-// worker goroutines one engine spends, admission caps how many queries
+// worker goroutines one engine spends, Admission caps how many queries
 // are allowed to contend for them at all. Beyond the bound, requests
 // wait at most the configured grace and are then rejected (HTTP 429)
 // instead of queuing unboundedly.
-type admission struct {
+type Admission struct {
 	slots chan struct{}
 	wait  time.Duration
 }
 
-func newAdmission(maxInFlight int, wait time.Duration) *admission {
-	return &admission{
+func NewAdmission(maxInFlight int, wait time.Duration) *Admission {
+	return &Admission{
 		slots: make(chan struct{}, maxInFlight),
 		wait:  wait,
 	}
 }
 
-// acquire claims a slot, waiting up to the admission grace (bounded by
+// Acquire claims a slot, waiting up to the Admission grace (bounded by
 // the request context). It returns false when the request must be
 // rejected. The fast path — a free slot — never allocates a timer.
-func (a *admission) acquire(ctx context.Context) bool {
+func (a *Admission) Acquire(ctx context.Context) bool {
 	select {
 	case a.slots <- struct{}{}:
 		return true
@@ -47,5 +47,5 @@ func (a *admission) acquire(ctx context.Context) bool {
 	}
 }
 
-// release frees a slot claimed by acquire.
-func (a *admission) release() { <-a.slots }
+// Release frees a slot claimed by Acquire.
+func (a *Admission) Release() { <-a.slots }

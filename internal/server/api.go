@@ -47,10 +47,16 @@ type SourceResponse struct {
 // TopKRequest asks for the K vertices most similar to *U, or — when U
 // is null/omitted — the K most similar vertex pairs.
 type TopKRequest struct {
-	Alg       string `json:"alg"`
-	U         *int   `json:"u,omitempty"`
-	K         int    `json:"k"`
-	TimeoutMs int    `json:"timeout_ms,omitempty"`
+	Alg string `json:"alg"`
+	U   *int   `json:"u,omitempty"`
+	K   int    `json:"k"`
+	// Sources, only valid without U, restricts the pairs sweep to pairs
+	// whose source (the smaller endpoint) is in the list. The cluster
+	// coordinator decomposes a full pairs query into one such request
+	// per shard; merging the partial top-k lists under the canonical
+	// order reproduces the unrestricted answer bit for bit.
+	Sources   []int `json:"sources,omitempty"`
+	TimeoutMs int   `json:"timeout_ms,omitempty"`
 }
 
 // PairScore is one scored vertex pair.
@@ -168,16 +174,25 @@ type UpdateResponse struct {
 	Drained bool `json:"drained"`
 }
 
+// GenerationHeader is the response header carrying the graph
+// generation a query was pinned to. The cluster coordinator checks it
+// against its own cluster generation and treats an older value as a
+// node failure (failover-eligible), so an endpoint that missed admin
+// mutations can never leak stale-graph answers into a relay.
+const GenerationHeader = "Usimrank-Generation"
+
 // ErrorResponse is the uniform error envelope.
 type ErrorResponse struct {
 	Error ErrorDetail `json:"error"`
 }
 
 // ErrorDetail carries a stable machine-readable code and a human
-// message.
+// message. Shard is set only by the cluster coordinator, naming the
+// downstream shard ("shard2") whose failure produced this error.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	Shard   string `json:"shard,omitempty"`
 }
 
 // Error codes used in ErrorDetail.Code.
@@ -188,6 +203,10 @@ const (
 	CodeEngineError      = "engine_error"      // 500
 	CodeUnavailable      = "unavailable"       // 503
 	CodeDeadlineExceeded = "deadline_exceeded" // 504
+
+	// Cluster-coordinator codes (see usimrank/internal/cluster).
+	CodeShardUnavailable = "shard_unavailable" // 502: a shard and all its replicas failed
+	CodeGenerationSkew   = "generation_skew"   // 502: shards disagree on the graph generation
 )
 
 // StatsResponse is the /v1/stats snapshot.

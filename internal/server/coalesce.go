@@ -6,7 +6,7 @@ import (
 	"sync"
 )
 
-// flightGroup is the request-coalescing (singleflight) layer:
+// FlightGroup is the request-coalescing (singleflight) layer:
 // concurrent calls with the same key share one execution of the
 // underlying function. Keys embed the engine generation, so queries
 // never join a flight computing on a different graph.
@@ -18,7 +18,7 @@ import (
 // flight keeps running and still serves every caller that can wait.
 // This decouples one impatient client from the rest of a coalesced
 // cohort.
-type flightGroup struct {
+type FlightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
 }
@@ -29,11 +29,11 @@ type flight struct {
 	err  error
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{m: make(map[string]*flight)}
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{m: make(map[string]*flight)}
 }
 
-// do returns the flight's result for key, collapsing concurrent
+// Do returns the flight's result for key, collapsing concurrent
 // identical calls into one execution. shared reports whether this
 // caller joined a flight another caller started (a coalescing hit).
 // waitCtx bounds only this caller's wait.
@@ -44,7 +44,7 @@ func newFlightGroup() *flightGroup {
 // resources that must outlive its own request (an engine-handle pin, a
 // server-owned context) into the flight, before the caller could
 // possibly release them.
-func (g *flightGroup) do(waitCtx context.Context, key string, lead func() func() (any, error)) (val any, shared bool, err error) {
+func (g *FlightGroup) Do(waitCtx context.Context, key string, lead func() func() (any, error)) (val any, shared bool, err error) {
 	g.mu.Lock()
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()

@@ -12,7 +12,7 @@ import (
 // the function exactly once; exactly one caller is the leader
 // (shared=false), the rest are coalescing hits.
 func TestFlightGroupCoalesces(t *testing.T) {
-	g := newFlightGroup()
+	g := NewFlightGroup()
 	release := make(chan struct{})
 	var execs atomic.Int64
 	var leaders, followers atomic.Int64
@@ -24,7 +24,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			ready.Done()
-			val, shared, err := g.do(context.Background(), "k", func() func() (any, error) {
+			val, shared, err := g.Do(context.Background(), "k", func() func() (any, error) {
 				return func() (any, error) {
 					execs.Add(1)
 					<-release // hold the flight open until all callers joined
@@ -59,14 +59,14 @@ func TestFlightGroupCoalesces(t *testing.T) {
 // flight's error (shared by every caller) instead of killing the
 // process, and the key is cleaned up so later calls run fresh.
 func TestFlightGroupRecoversPanic(t *testing.T) {
-	g := newFlightGroup()
-	_, _, err := g.do(context.Background(), "k", func() func() (any, error) {
+	g := NewFlightGroup()
+	_, _, err := g.Do(context.Background(), "k", func() func() (any, error) {
 		return func() (any, error) { panic("engine blew up") }
 	})
 	if err == nil || err.Error() != "query panicked: engine blew up" {
 		t.Fatalf("panicking flight returned err %v", err)
 	}
-	val, _, err := g.do(context.Background(), "k", func() func() (any, error) {
+	val, _, err := g.Do(context.Background(), "k", func() func() (any, error) {
 		return func() (any, error) { return "recovered", nil }
 	})
 	if err != nil || val.(string) != "recovered" {
@@ -77,14 +77,14 @@ func TestFlightGroupRecoversPanic(t *testing.T) {
 // TestFlightGroupDistinctKeys: different keys never share an
 // execution.
 func TestFlightGroupDistinctKeys(t *testing.T) {
-	g := newFlightGroup()
+	g := NewFlightGroup()
 	var execs atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			g.do(context.Background(), string(rune('a'+i)), func() func() (any, error) {
+			g.Do(context.Background(), string(rune('a'+i)), func() func() (any, error) {
 				return func() (any, error) { execs.Add(1); return i, nil }
 			})
 		}(i)
@@ -99,7 +99,7 @@ func TestFlightGroupDistinctKeys(t *testing.T) {
 // the wait with the context error, while the flight completes for
 // patient callers.
 func TestFlightGroupWaiterTimeout(t *testing.T) {
-	g := newFlightGroup()
+	g := NewFlightGroup()
 	release := make(chan struct{})
 	started := make(chan struct{})
 	type result struct {
@@ -108,7 +108,7 @@ func TestFlightGroupWaiterTimeout(t *testing.T) {
 	}
 	patient := make(chan result, 1)
 	go func() {
-		val, _, err := g.do(context.Background(), "k", func() func() (any, error) {
+		val, _, err := g.Do(context.Background(), "k", func() func() (any, error) {
 			close(started)
 			return func() (any, error) { <-release; return "slow", nil }
 		})
@@ -117,7 +117,7 @@ func TestFlightGroupWaiterTimeout(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
-	_, shared, err := g.do(ctx, "k", func() func() (any, error) {
+	_, shared, err := g.Do(ctx, "k", func() func() (any, error) {
 		t.Error("impatient caller must join, not lead")
 		return func() (any, error) { return nil, nil }
 	})
@@ -183,27 +183,27 @@ func TestHistogramQuantiles(t *testing.T) {
 
 // TestAdmissionSemaphore covers the slot accounting outside HTTP.
 func TestAdmissionSemaphore(t *testing.T) {
-	a := newAdmission(2, -1)
+	a := NewAdmission(2, -1)
 	ctx := context.Background()
-	if !a.acquire(ctx) || !a.acquire(ctx) {
+	if !a.Acquire(ctx) || !a.Acquire(ctx) {
 		t.Fatal("free slots rejected")
 	}
-	if a.acquire(ctx) {
+	if a.Acquire(ctx) {
 		t.Fatal("third acquire succeeded on a 2-slot semaphore with no grace")
 	}
-	a.release()
-	if !a.acquire(ctx) {
+	a.Release()
+	if !a.Acquire(ctx) {
 		t.Fatal("freed slot rejected")
 	}
 	// With a grace, a waiter succeeds once a slot frees.
-	b := newAdmission(1, time.Second)
-	if !b.acquire(ctx) {
+	b := NewAdmission(1, time.Second)
+	if !b.Acquire(ctx) {
 		t.Fatal("first acquire failed")
 	}
 	done := make(chan bool, 1)
-	go func() { done <- b.acquire(ctx) }()
+	go func() { done <- b.Acquire(ctx) }()
 	time.Sleep(5 * time.Millisecond)
-	b.release()
+	b.Release()
 	if !<-done {
 		t.Fatal("waiter within grace did not get the freed slot")
 	}

@@ -87,17 +87,17 @@ type queryMetrics struct {
 	latency      histogram
 }
 
-// metricsRegistry aggregates everything /v1/stats reports that the
+// MetricsRegistry aggregates everything /v1/stats reports that the
 // server itself owns (engine- and graph-level figures are read live at
 // snapshot time). All counters are atomics; the map of cells is
 // guarded by a mutex but accessed once per request.
-type metricsRegistry struct {
+type MetricsRegistry struct {
 	mu    sync.Mutex
 	cells map[string]*queryMetrics // key "shape/alg"
 
-	inFlight          atomic.Int64
-	admissionRejected atomic.Uint64
-	deadlineExceeded  atomic.Uint64
+	InFlight          atomic.Int64
+	AdmissionRejected atomic.Uint64
+	DeadlineExceeded  atomic.Uint64
 
 	coalesceHits   atomic.Uint64
 	coalesceMisses atomic.Uint64
@@ -105,14 +105,14 @@ type metricsRegistry struct {
 	shapeHits      map[string]uint64
 }
 
-func newMetricsRegistry() *metricsRegistry {
-	return &metricsRegistry{
+func NewMetricsRegistry() *MetricsRegistry {
+	return &MetricsRegistry{
 		cells:     make(map[string]*queryMetrics),
 		shapeHits: make(map[string]uint64),
 	}
 }
 
-func (m *metricsRegistry) cell(shape, alg string) *queryMetrics {
+func (m *MetricsRegistry) cell(shape, alg string) *queryMetrics {
 	key := shape + "/" + alg
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -124,13 +124,9 @@ func (m *metricsRegistry) cell(shape, alg string) *queryMetrics {
 	return c
 }
 
-// recordQuery folds one finished query into the registry.
-func (m *metricsRegistry) recordQuery(shape, alg string, d time.Duration, coalesced bool, err error) {
-	c := m.cell(shape, alg)
-	c.count.Add(1)
-	if err != nil {
-		c.errors.Add(1)
-	}
+// RecordQuery folds one finished query into the registry.
+func (m *MetricsRegistry) RecordQuery(shape, alg string, d time.Duration, coalesced bool, err error) {
+	c := m.recordCell(shape, alg, d, err)
 	if coalesced {
 		c.coalesceHits.Add(1)
 		m.coalesceHits.Add(1)
@@ -140,19 +136,45 @@ func (m *metricsRegistry) recordQuery(shape, alg string, d time.Duration, coales
 	} else {
 		m.coalesceMisses.Add(1)
 	}
-	c.latency.observe(d)
 }
 
-func (m *metricsRegistry) servingStats(maxInFlight int) ServingStats {
+// RecordDownstream folds one downstream sub-request (the cluster
+// coordinator's per-shard calls) into its own cell WITHOUT touching
+// the coalescing counters: a scatter's N shard requests are the
+// leader's implementation detail, and counting them as N coalesce
+// misses would dilute the reported hit rate by the shard count.
+func (m *MetricsRegistry) RecordDownstream(shape, alg string, d time.Duration, err error) {
+	m.recordCell(shape, alg, d, err)
+}
+
+// CountError bumps a cell's error counter after the fact. The cluster
+// coordinator uses it when a relayed downstream response turns out to
+// carry an error status: the flight returned it as a plain value, so
+// RecordQuery saw no error, but the client did receive one.
+func (m *MetricsRegistry) CountError(shape, alg string) {
+	m.cell(shape, alg).errors.Add(1)
+}
+
+func (m *MetricsRegistry) recordCell(shape, alg string, d time.Duration, err error) *queryMetrics {
+	c := m.cell(shape, alg)
+	c.count.Add(1)
+	if err != nil {
+		c.errors.Add(1)
+	}
+	c.latency.observe(d)
+	return c
+}
+
+func (m *MetricsRegistry) ServingStats(maxInFlight int) ServingStats {
 	return ServingStats{
-		InFlight:          m.inFlight.Load(),
+		InFlight:          m.InFlight.Load(),
 		MaxInFlight:       maxInFlight,
-		AdmissionRejected: m.admissionRejected.Load(),
-		DeadlineExceeded:  m.deadlineExceeded.Load(),
+		AdmissionRejected: m.AdmissionRejected.Load(),
+		DeadlineExceeded:  m.DeadlineExceeded.Load(),
 	}
 }
 
-func (m *metricsRegistry) coalescingStats() CoalescingStats {
+func (m *MetricsRegistry) CoalescingStats() CoalescingStats {
 	hits := m.coalesceHits.Load()
 	misses := m.coalesceMisses.Load()
 	per := make(map[string]uint64)
@@ -168,7 +190,7 @@ func (m *metricsRegistry) coalescingStats() CoalescingStats {
 	return CoalescingStats{Hits: hits, Misses: misses, HitRate: rate, PerShape: per}
 }
 
-func (m *metricsRegistry) queryStats() map[string]QueryStats {
+func (m *MetricsRegistry) QueryStats() map[string]QueryStats {
 	m.mu.Lock()
 	snap := make(map[string]*queryMetrics, len(m.cells))
 	for k, c := range m.cells {

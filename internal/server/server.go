@@ -11,6 +11,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,12 +88,17 @@ type Server struct {
 	reloads     atomic.Uint64
 	updates     atomic.Uint64
 	arcsUpdated atomic.Uint64
-	// reloadMu serialises hot-swaps; queries never take it.
-	reloadMu sync.Mutex
+	// adminMu serialises every admin mutation — reloads AND incremental
+	// updates. Both paths load the current handle, derive or build a
+	// successor, and publish it; two of them interleaving would both
+	// derive from the same predecessor and one swap would be silently
+	// lost (duplicate generations, one batch's arcs vanishing). Queries
+	// never take it. TestAdminMutationsSerialized pins the invariant.
+	adminMu sync.Mutex
 
-	adm     *admission
-	flights *flightGroup
-	metrics *metricsRegistry
+	adm     *Admission
+	flights *FlightGroup
+	metrics *MetricsRegistry
 
 	// baseCtx parents every flight's execution context, so Close
 	// cancels in-flight engine work.
@@ -115,9 +121,9 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
-		adm:     newAdmission(cfg.MaxInFlight, cfg.AdmissionWait),
-		flights: newFlightGroup(),
-		metrics: newMetricsRegistry(),
+		adm:     NewAdmission(cfg.MaxInFlight, cfg.AdmissionWait),
+		flights: NewFlightGroup(),
+		metrics: NewMetricsRegistry(),
 		baseCtx: ctx,
 		cancel:  cancel,
 		start:   time.Now(),
@@ -136,7 +142,7 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		s.writeError(w, http.StatusNotFound, CodeNotFound, "unknown route "+r.URL.Path)
+		WriteError(w, http.StatusNotFound, CodeNotFound, "unknown route "+r.URL.Path)
 	})
 	if cfg.LogEvery > 0 {
 		go s.logLoop()
@@ -184,6 +190,11 @@ func (s *Server) effectiveTimeout(ms int) time.Duration {
 // execute re-pins it for the flight's own lifetime, so a hot-swap
 // drain cannot complete while the flight still computes on the engine.
 func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, h *engineHandle, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
+	// Stamp the generation this query is pinned to. The cluster
+	// coordinator reads it to reject answers from a node that missed
+	// admin mutations (a replica that was down through an update and
+	// came back serving the old graph).
+	w.Header().Set(GenerationHeader, strconv.FormatUint(h.gen, 10))
 	timeout := s.effectiveTimeout(timeoutMs)
 	// The flight runs under the leader's deadline, so only requests
 	// with the same effective budget may share one: without the suffix
@@ -193,18 +204,18 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg stri
 	waitCtx, cancelWait := context.WithTimeout(r.Context(), timeout)
 	defer cancelWait()
 
-	if !s.adm.acquire(waitCtx) {
-		s.metrics.admissionRejected.Add(1)
-		s.writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+	if !s.adm.Acquire(waitCtx) {
+		s.metrics.AdmissionRejected.Add(1)
+		WriteError(w, http.StatusTooManyRequests, CodeOverloaded,
 			fmt.Sprintf("server saturated: %d queries in flight", s.cfg.MaxInFlight))
 		return nil, false, false
 	}
-	defer s.adm.release()
-	s.metrics.inFlight.Add(1)
-	defer s.metrics.inFlight.Add(-1)
+	defer s.adm.Release()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
 
 	start := time.Now()
-	val, coalesced, err := s.flights.do(waitCtx, key, func() func() (any, error) {
+	val, coalesced, err := s.flights.Do(waitCtx, key, func() func() (any, error) {
 		// Leader path, still in this request's frame: transfer a pin
 		// and a server-owned deadline into the flight so it survives
 		// this request abandoning the wait.
@@ -216,7 +227,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg stri
 			return fn(fctx)
 		}
 	})
-	s.metrics.recordQuery(shape, alg, time.Since(start), coalesced, err)
+	s.metrics.RecordQuery(shape, alg, time.Since(start), coalesced, err)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return nil, coalesced, false
@@ -229,14 +240,14 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg stri
 func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.metrics.deadlineExceeded.Add(1)
-		s.writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+		s.metrics.DeadlineExceeded.Add(1)
+		WriteError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
 			"query exceeded its deadline; raise timeout_ms or the server's -timeout")
 	case errors.Is(err, context.Canceled):
-		s.writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable,
 			"query cancelled (client disconnected or server shutting down)")
 	default:
-		s.writeError(w, http.StatusInternalServerError, CodeEngineError, err.Error())
+		WriteError(w, http.StatusInternalServerError, CodeEngineError, err.Error())
 	}
 }
 
@@ -247,7 +258,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	alg, err := usimrank.ParseAlgorithm(req.Alg)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	h := s.engine()
@@ -262,7 +273,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.writeJSON(w, http.StatusOK, ScoreResponse{
+	WriteJSON(w, http.StatusOK, ScoreResponse{
 		Alg: alg.String(), U: req.U, V: req.V,
 		Score: val.(float64), Coalesced: coalesced,
 	})
@@ -275,7 +286,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	}
 	alg, err := usimrank.ParseAlgorithm(req.Alg)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	h := s.engine()
@@ -287,7 +298,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	// different queries; keep their flight keys distinct.
 	candKey := "all"
 	if req.Candidates != nil {
-		candKey = digestInts(req.Candidates)
+		candKey = DigestInts(req.Candidates)
 	}
 	key := fmt.Sprintf("source|g%d|%s|%d|%s", h.gen, alg, req.U, candKey)
 	val, coalesced, ok := s.execute(w, r, "source", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
@@ -299,7 +310,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.writeJSON(w, http.StatusOK, SourceResponse{
+	WriteJSON(w, http.StatusOK, SourceResponse{
 		Alg: alg.String(), U: req.U, Candidates: req.Candidates,
 		Scores: val.([]float64), Coalesced: coalesced,
 	})
@@ -312,11 +323,15 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	alg, err := usimrank.ParseAlgorithm(req.Alg)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if req.K < 1 {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("k = %d < 1", req.K))
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("k = %d < 1", req.K))
+		return
+	}
+	if req.U != nil && req.Sources != nil {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, `"sources" is only valid for pairs queries (omit "u")`)
 		return
 	}
 	h := s.engine()
@@ -327,12 +342,29 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		key = fmt.Sprintf("topk|g%d|%s|u%d|k%d", h.gen, alg, *req.U, req.K)
+	} else if req.Sources != nil {
+		if !s.checkVertices(w, h, req.Sources...) {
+			return
+		}
+		seen := make(map[int]bool, len(req.Sources))
+		for _, u := range req.Sources {
+			if seen[u] {
+				WriteError(w, http.StatusBadRequest, CodeBadRequest,
+					fmt.Sprintf("duplicate source %d in sources", u))
+				return
+			}
+			seen[u] = true
+		}
+		key = fmt.Sprintf("topk|g%d|%s|pairs|k%d|s%s", h.gen, alg, req.K, DigestInts(req.Sources))
 	} else {
 		key = fmt.Sprintf("topk|g%d|%s|pairs|k%d", h.gen, alg, req.K)
 	}
 	val, coalesced, ok := s.execute(w, r, "topk", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
 		if req.U != nil {
 			return usimrank.TopKSimilarCtx(ctx, h.eng, alg, *req.U, req.K)
+		}
+		if req.Sources != nil {
+			return usimrank.TopKPairsAmongCtx(ctx, h.eng, alg, req.K, req.Sources)
 		}
 		return usimrank.TopKPairsCtx(ctx, h.eng, alg, req.K)
 	})
@@ -344,7 +376,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		out[i] = PairScore{U: res.U, V: res.V, Score: res.Score}
 	}
-	s.writeJSON(w, http.StatusOK, TopKResponse{
+	WriteJSON(w, http.StatusOK, TopKResponse{
 		Alg: alg.String(), U: req.U, K: req.K, Results: out, Coalesced: coalesced,
 	})
 }
@@ -356,11 +388,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	alg, err := usimrank.ParseAlgorithm(req.Alg)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if len(req.Pairs) == 0 {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "empty pairs")
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "empty pairs")
 		return
 	}
 	h := s.engine()
@@ -372,7 +404,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for _, p := range req.Pairs {
 		flat = append(flat, p[0], p[1])
 	}
-	key := fmt.Sprintf("batch|g%d|%s|%s", h.gen, alg, digestInts(flat))
+	key := fmt.Sprintf("batch|g%d|%s|%s", h.gen, alg, DigestInts(flat))
 	val, coalesced, ok := s.execute(w, r, "batch", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
 		return usimrank.BatchCtx(ctx, h.eng, alg, req.Pairs, 0)
 	})
@@ -387,11 +419,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out[i].Error = res.Err.Error()
 		}
 	}
-	s.writeJSON(w, http.StatusOK, BatchResponse{Alg: alg.String(), Results: out, Coalesced: coalesced})
+	WriteJSON(w, http.StatusOK, BatchResponse{Alg: alg.String(), Results: out, Coalesced: coalesced})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.Stats())
+	WriteJSON(w, http.StatusOK, s.Stats())
 }
 
 // WarmFilters pre-builds the resident engine's SR-SP filter pools (the
@@ -426,9 +458,9 @@ func (s *Server) Stats() StatsResponse {
 			RowCacheCap:       opt.RowCacheSize,
 			RowCacheEvictions: rcEvict,
 		},
-		Serving:    s.metrics.servingStats(s.cfg.MaxInFlight),
-		Coalescing: s.metrics.coalescingStats(),
-		Queries:    s.metrics.queryStats(),
+		Serving:    s.metrics.ServingStats(s.cfg.MaxInFlight),
+		Coalescing: s.metrics.CoalescingStats(),
+		Queries:    s.metrics.QueryStats(),
 	}
 }
 
@@ -438,15 +470,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Graph == "" {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, `"graph" is required`)
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, `"graph" is required`)
 		return
 	}
 	resp, err := s.Reload(req.Graph, req.Warm)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // Reload builds a fresh engine from the graph file at path (with the
@@ -457,8 +489,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 // engine, queries admitted after it run on the new one, and no query
 // ever spans both.
 func (s *Server) Reload(path string, warm bool) (*ReloadResponse, error) {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
 
 	buildStart := time.Now()
 	g, err := usimrank.LoadGraphFile(path)
@@ -497,16 +529,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cfg.MaxUpdateBatch < 0 {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+		WriteError(w, http.StatusBadRequest, CodeBadRequest,
 			"incremental updates are disabled on this server (-max-update-batch < 0); use /v1/admin/reload")
 		return
 	}
 	if len(req.Updates) == 0 {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, `"updates" is required and must be non-empty`)
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, `"updates" is required and must be non-empty`)
 		return
 	}
 	if len(req.Updates) > s.cfg.MaxUpdateBatch {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+		WriteError(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Sprintf("batch of %d updates exceeds -max-update-batch %d (split it, or reload)",
 				len(req.Updates), s.cfg.MaxUpdateBatch))
 		return
@@ -515,17 +547,17 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for i, u := range req.Updates {
 		op, err := usimrank.ParseUpdateOp(u.Op)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("updates[%d]: %v", i, err))
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("updates[%d]: %v", i, err))
 			return
 		}
 		ups[i] = usimrank.ArcUpdate{Op: op, U: u.U, V: u.V, P: u.P}
 	}
 	resp, err := s.ApplyUpdates(ups)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // ApplyUpdates applies a batch of arc mutations incrementally: a
@@ -544,8 +576,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // mutation can have changed, which is why a single-arc change is
 // orders of magnitude cheaper.
 func (s *Server) ApplyUpdates(ups []usimrank.ArcUpdate) (*UpdateResponse, error) {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
 
 	applyStart := time.Now()
 	old := s.cur.Load()
@@ -577,10 +609,10 @@ func (s *Server) ApplyUpdates(ups []usimrank.ArcUpdate) (*UpdateResponse, error)
 	}, nil
 }
 
-// digestInts returns a fixed-size FNV-128a digest of an operand list,
+// DigestInts returns a fixed-size FNV-128a digest of an operand list,
 // keeping coalescing keys O(1) in payload size (a 100k-pair batch must
 // not build and compare megabyte key strings under the flight mutex).
-func digestInts(xs []int) string {
+func DigestInts(xs []int) string {
 	h := fnv.New128a()
 	var buf [8]byte
 	for _, x := range xs {
@@ -596,7 +628,7 @@ func (s *Server) checkVertices(w http.ResponseWriter, h *engineHandle, vs ...int
 	n := h.graph.NumVertices()
 	for _, v := range vs {
 		if v < 0 || v >= n {
-			s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			WriteError(w, http.StatusBadRequest, CodeBadRequest,
 				fmt.Sprintf("vertex %d out of range [0,%d)", v, n))
 			return false
 		}
@@ -604,23 +636,27 @@ func (s *Server) checkVertices(w http.ResponseWriter, h *engineHandle, vs ...int
 	return true
 }
 
-// maxBodyBytes bounds request bodies (8 MiB ≈ a ~350k-pair batch):
+// MaxBodyBytes bounds request bodies (8 MiB ≈ a ~350k-pair batch):
 // admission control is pointless if an unbounded JSON body can balloon
 // memory before the semaphore is ever consulted.
-const maxBodyBytes = 8 << 20
+const MaxBodyBytes = 8 << 20
 
 // decodeBody decodes a JSON request body, writing a 400 on failure.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad JSON body: "+err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad JSON body: "+err.Error())
 		return false
 	}
 	return true
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as the two-space-indented JSON the whole serving
+// plane (single node and cluster coordinator) emits. Merged cluster
+// responses must encode exactly like single-node ones, so every
+// response body flows through this one encoder.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -628,8 +664,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
-	s.writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
+// WriteError writes the uniform error envelope.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	WriteJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
 }
 
 // logLoop periodically logs a one-line serving summary until Close.

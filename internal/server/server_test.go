@@ -259,10 +259,10 @@ func TestValidationErrors(t *testing.T) {
 func TestAdmissionControl(t *testing.T) {
 	s := newTestServer(t, Config{Engine: testOptions(), MaxInFlight: 1, AdmissionWait: -1})
 	// Occupy the single slot out-of-band.
-	if !s.adm.acquire(t.Context()) {
+	if !s.adm.Acquire(t.Context()) {
 		t.Fatal("could not occupy the only slot")
 	}
-	defer s.adm.release()
+	defer s.adm.Release()
 	var errResp ErrorResponse
 	if code := call(t, s, "POST", "/v1/score", ScoreRequest{Alg: "srsp", U: 0, V: 1}, &errResp); code != 429 {
 		t.Fatalf("saturated server: status %d, want 429", code)
@@ -481,5 +481,26 @@ func TestMixedLoadWithHotSwap(t *testing.T) {
 	}
 	if total != clients*iters {
 		t.Fatalf("recorded %d queries, want %d", total, clients*iters)
+	}
+}
+
+// TestTopKSourcesValidation: the sources restriction rejects
+// duplicates (they would skew the merged top-k) and rejects
+// combination with "u".
+func TestTopKSourcesValidation(t *testing.T) {
+	s := newTestServer(t, Config{Engine: testOptions()})
+	if code := call(t, s, "POST", "/v1/topk", TopKRequest{Alg: "srsp", K: 3, Sources: []int{1, 2, 1}}, nil); code != 400 {
+		t.Fatalf("duplicate sources: status %d, want 400", code)
+	}
+	u := 1
+	if code := call(t, s, "POST", "/v1/topk", TopKRequest{Alg: "srsp", K: 3, U: &u, Sources: []int{2}}, nil); code != 400 {
+		t.Fatalf("u+sources: status %d, want 400", code)
+	}
+	var resp TopKResponse
+	if code := call(t, s, "POST", "/v1/topk", TopKRequest{Alg: "srsp", K: 3, Sources: []int{1, 2, 5}}, &resp); code != 200 {
+		t.Fatalf("valid sources: status %d", code)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("valid sources returned no results")
 	}
 }

@@ -235,45 +235,74 @@ func AllPairsParallel(e *core.Engine, alg core.Algorithm, k int) ([]Result, erro
 // source tasks and unsampled chunks are skipped once ctx is done, and
 // ctx.Err() is returned instead of a partial top-k.
 func AllPairsParallelCtx(ctx context.Context, e *core.Engine, alg core.Algorithm, k int) ([]Result, error) {
+	n := e.Graph().NumVertices()
+	sources := make([]int, n)
+	for v := range sources {
+		sources[v] = v
+	}
+	return AllPairsSubsetCtx(ctx, e, alg, k, sources)
+}
+
+// AllPairsSubsetCtx is the sharded form of AllPairsParallelCtx: it
+// restricts the pairs sweep to pairs whose source (the smaller
+// endpoint, u) is in sources, still pairing each source with every
+// candidate v > u. Because every pair of the full sweep has exactly one
+// source, partitioning the vertex set across shards, running this on
+// each shard, and folding the partial lists with Merge reproduces the
+// unrestricted AllPairsParallel answer bit for bit — each global winner
+// belongs to exactly one shard and survives that shard's local top-k
+// under the same canonical order. This is the merge contract the
+// cluster coordinator's scatter-gather relies on.
+func AllPairsSubsetCtx(ctx context.Context, e *core.Engine, alg core.Algorithm, k int, sources []int) ([]Result, error) {
 	g := e.Graph()
 	if k < 1 {
 		return nil, fmt.Errorf("topk: k = %d < 1", k)
 	}
 	n := g.NumVertices()
+	seen := make(map[int]bool, len(sources))
+	for _, u := range sources {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("topk: source %d out of range [0,%d)", u, n)
+		}
+		// A repeated source would sweep its pairs twice and let the
+		// duplicates displace genuine winners from the k-bounded merge;
+		// a caller bug must surface, not skew results.
+		if seen[u] {
+			return nil, fmt.Errorf("topk: duplicate source %d", u)
+		}
+		seen[u] = true
+	}
 	// Explicit prefetch: warm the shared LRU once up-front (bounded by
 	// its capacity, a no-op for algorithms without exact rows) so the
 	// first wave of workers doesn't recompute the same rows up to
 	// `workers` times.
-	vertices := make([]int, n)
-	for v := range vertices {
-		vertices[v] = v
-	}
-	if err := e.WarmRowsFor(alg, vertices); err != nil {
+	if err := e.WarmRowsFor(alg, sources); err != nil {
 		return nil, err
 	}
-	local := make([][]Result, n)
-	errs := make([]error, n)
+	local := make([][]Result, len(sources))
+	errs := make([]error, len(sources))
 	// Fan out over sources on the engine's own pool: the kernels inside
 	// share its pool-wide helper tokens, so the whole sweep respects the
 	// single Options.Parallelism bound instead of stacking two pools.
 	// The ctx view stops unclaimed source tasks after cancellation; the
 	// ctx-aware kernel inside stops unclaimed chunks.
-	e.WorkerPool().WithContext(ctx).For(n, func(u int) {
+	e.WorkerPool().WithContext(ctx).For(len(sources), func(i int) {
+		u := sources[i]
 		candidates := make([]int, 0, n-u-1)
 		for v := u + 1; v < n; v++ {
 			candidates = append(candidates, v)
 		}
 		scores, err := e.SingleSourceAgainstCtx(ctx, alg, u, candidates)
 		if err != nil {
-			errs[u] = err
+			errs[i] = err
 			return
 		}
 		h := resultHeap{}
 		heap.Init(&h)
-		for i, v := range candidates {
-			offerK(&h, Result{U: u, V: v, Score: scores[i]}, k)
+		for j, v := range candidates {
+			offerK(&h, Result{U: u, V: v, Score: scores[j]}, k)
 		}
-		local[u] = h
+		local[i] = h
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -319,3 +319,74 @@ func TestMergeCanonical(t *testing.T) {
 		}
 	}
 }
+
+// TestAllPairsSubsetPartition pins the decomposition the cluster
+// coordinator's scatter-gather relies on: partition the sources across
+// "shards" (by a stable hash, by parity, arbitrarily), run the subset
+// sweep per part, and Merge must reproduce the full AllPairsParallel
+// answer bit for bit, for every algorithm.
+func TestAllPairsSubsetPartition(t *testing.T) {
+	ppi := gen.PlantedPPI(gen.DefaultPPIConfig(50), rng.New(7))
+	n := ppi.Graph.NumVertices()
+	for _, alg := range allAlgorithms {
+		for _, k := range []int{1, 7, 25} {
+			e, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, N: 256, RowCacheSize: n + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := AllPairsParallel(e, alg, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parts := range []int{1, 2, 4} {
+				sources := make([][]int, parts)
+				for v := 0; v < n; v++ {
+					sources[v%parts] = append(sources[v%parts], v)
+				}
+				partial := make([][]Result, parts)
+				for i, ss := range sources {
+					// A fresh engine per part, like a real shard node.
+					es, err := core.NewEngine(ppi.Graph, core.Options{Seed: 1, N: 256, RowCacheSize: n + 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := AllPairsSubsetCtx(t.Context(), es, alg, k, ss)
+					if err != nil {
+						t.Fatal(err)
+					}
+					partial[i] = got
+				}
+				merged := Merge(k, partial...)
+				if len(merged) != len(want) {
+					t.Fatalf("%v k=%d parts=%d: %d results, want %d", alg, k, parts, len(merged), len(want))
+				}
+				for i := range want {
+					if merged[i] != want[i] {
+						t.Fatalf("%v k=%d parts=%d: result %d = %+v, want %+v", alg, k, parts, i, merged[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllPairsSubsetBadSource: out-of-range sources are rejected, not
+// silently dropped (a coordinator bug must surface, not skew results).
+func TestAllPairsSubsetBadSource(t *testing.T) {
+	e := engineFor(t, ugraph.PaperFig1())
+	if _, err := AllPairsSubsetCtx(t.Context(), e, core.AlgSRSP, 3, []int{0, 99}); err == nil {
+		t.Fatal("expected out-of-range source error")
+	}
+	if _, err := AllPairsSubsetCtx(t.Context(), e, core.AlgSRSP, 3, []int{-1}); err == nil {
+		t.Fatal("expected negative source error")
+	}
+}
+
+// TestAllPairsSubsetDuplicateSource: a repeated source would sweep its
+// pairs twice and displace genuine winners; it must be rejected.
+func TestAllPairsSubsetDuplicateSource(t *testing.T) {
+	e := engineFor(t, ugraph.PaperFig1())
+	if _, err := AllPairsSubsetCtx(t.Context(), e, core.AlgSRSP, 3, []int{0, 1, 0}); err == nil {
+		t.Fatal("expected duplicate-source error")
+	}
+}

@@ -266,3 +266,13 @@ func TopKPairs(e *Engine, alg Algorithm, k int) ([]TopKResult, error) {
 func TopKPairsCtx(ctx context.Context, e *Engine, alg Algorithm, k int) ([]TopKResult, error) {
 	return topk.AllPairsParallelCtx(ctx, e, alg, k)
 }
+
+// TopKPairsAmongCtx restricts TopKPairsCtx to pairs whose source (the
+// smaller endpoint) is in sources. Partitioning the vertex set,
+// querying each part, and merging the partial lists under the
+// canonical (score desc, U, V) order reproduces TopKPairs bit for bit
+// — the decomposition behind the cluster coordinator's scatter-gather
+// top-k.
+func TopKPairsAmongCtx(ctx context.Context, e *Engine, alg Algorithm, k int, sources []int) ([]TopKResult, error) {
+	return topk.AllPairsSubsetCtx(ctx, e, alg, k, sources)
+}
