@@ -226,6 +226,41 @@ func BenchmarkAblationDiskTransPr(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexedSingleSource compares the precomputed reverse-walk
+// index path against the sampling kernel it shortcuts, on the
+// 10k-vertex serving bench graph at equal N. The sampling kernel walks
+// both sides per query; the indexed path samples only the source side
+// and dots it against the index rows, so it is expected to run ≥5×
+// faster (enforced by the bench gate). Index construction — the
+// offline phase usim-index pays once per graph generation — is
+// excluded from the timed region; accuracy is pinned separately by
+// TestIndexedConvergesToOracle and TestIndexedTracksSampling.
+func BenchmarkIndexedSingleSource(b *testing.B) {
+	g := gen.CoAuthorship(10_000, 2, rng.New(5))
+	e, err := usimrank.New(g, usimrank.Options{N: 1000, Seed: 1, L: 1, RowCacheSize: 10_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := usimrank.BuildIndex(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.SingleSourceIndexed(idx, i%g.NumVertices()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sampling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.SingleSource(usimrank.AlgSampling, i%g.NumVertices()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchUpdateGraph builds the 10k-vertex dynamic-update bench graph and
 // a serving-shaped engine over it: two-phase split l = 1, warm SR-SP
 // filter pools, and the row cache warmed for every vertex — the state a

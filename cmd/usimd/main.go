@@ -66,6 +66,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = all cores)")
 		rowCache  = flag.Int("rowcache", 0, "row cache capacity (0 = engine default)")
 		warm      = flag.Bool("warm", false, "build the SR-SP filter pools before serving")
+		indexPath = flag.String("index", "", "reverse-walk index file for this graph (node mode; built with usim-index), enables alg=indexed")
 
 		clusterFlag = flag.String("cluster", "", "coordinator mode: comma-separated shard<i>=<base-url> primaries")
 		replicas    = flag.String("replicas", "", "coordinator mode: shard<i>=<base-url> replica endpoints (repeatable keys)")
@@ -135,11 +136,21 @@ func main() {
 	if err != nil {
 		logger.Fatalf("load graph: %v", err)
 	}
+	var idx *usimrank.Index
+	if *indexPath != "" {
+		idx, err = usimrank.LoadIndexFile(*indexPath)
+		if err != nil {
+			logger.Fatalf("load index: %v", err)
+		}
+		logger.Printf("loaded index %s: generation %d, %d vertices, N=%d",
+			*indexPath, idx.Generation(), idx.NumVertices(), idx.Samples())
+	}
 	cfg := server.Config{
 		Engine: usimrank.Options{
 			C: *c, Steps: *n, N: *samples, L: *l, Seed: *seed,
 			Parallelism: *workers, RowCacheSize: *rowCache,
 		},
+		Index:          idx,
 		MaxInFlight:    *maxInFlight,
 		MaxUpdateBatch: *maxUpdateBatch,
 		QueryTimeout:   *timeout,
@@ -168,7 +179,7 @@ func main() {
 func rejectForeignFlags(coordinator bool) {
 	nodeOnly := map[string]bool{
 		"c": true, "n": true, "N": true, "l": true, "seed": true,
-		"workers": true, "rowcache": true, "warm": true,
+		"workers": true, "rowcache": true, "warm": true, "index": true,
 		"max-update-batch": true, "drain-timeout": true,
 	}
 	coordOnly := map[string]bool{

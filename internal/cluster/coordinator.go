@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -622,18 +623,27 @@ func (co *Coordinator) handleSource(w http.ResponseWriter, r *http.Request) {
 	if !decodeStrict(w, raw, &req) {
 		return
 	}
-	alg, err := usimrank.ParseAlgorithm(req.Alg)
-	if err != nil {
-		server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
-		return
+	// "indexed" is a source-only algorithm the engine enum does not
+	// cover: it routes like any other single-shard source query, and the
+	// owning shard answers from its partition's index (each node serves
+	// the index built for its own graph; the shard rejects it with 400
+	// when it holds none).
+	algName := server.AlgIndexed
+	if !strings.EqualFold(req.Alg, server.AlgIndexed) {
+		alg, err := usimrank.ParseAlgorithm(req.Alg)
+		if err != nil {
+			server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
+			return
+		}
+		algName = alg.String()
 	}
 	shard := co.shards.Of(req.U)
 	candKey := "all"
 	if req.Candidates != nil {
 		candKey = server.DigestInts(req.Candidates)
 	}
-	key := fmt.Sprintf("source|g%d|%s|%d|%s", co.Generation(), alg, req.U, candKey)
-	co.passThrough(w, r, "source", alg.String(), req.TimeoutMs, key, shard, "/v1/source", raw)
+	key := fmt.Sprintf("source|g%d|%s|%d|%s", co.Generation(), algName, req.U, candKey)
+	co.passThrough(w, r, "source", algName, req.TimeoutMs, key, shard, "/v1/source", raw)
 }
 
 func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,225 @@
+package core
+
+// The indexed single-source strategy: the first query path whose
+// request-time cost is independent of the candidate count's sampling
+// work. An offline pass (usimrank/internal/index) runs the engine's
+// v-side walk streams once per vertex and stores, for every vertex v
+// and step k, the empirical occupancy distribution
+//
+//	occ_v[k](w) = #{ v-side walks of v at vertex w after k steps } / N
+//
+// — a sparse probability (sub-)vector over the reversed graph, summing
+// to the fraction of walks still alive at step k. At query time only
+// the SOURCE's walks are sampled (the "residual sample", the same
+// u-side chunk streams every other sampling kernel uses); each
+// candidate then costs one sparse dot product per step:
+//
+//	m̂(k)(u, v) = ⟨occ_u[k], occ_v[k]⟩
+//	           = (1/N²) · Σᵢ Σⱼ 1[Wᵘᵢ(k) = Wᵛⱼ(k)]
+//
+// Accuracy contract: the u-side and v-side streams are independent (the
+// per-side salts guarantee it, even for v = u), so the double sum
+// averages N² independent-pair indicators where the Sampling algorithm
+// (Eq. 13) averages the N diagonal ones. The estimator is therefore
+// unbiased for m(k)(u, v) with variance at most that of Sampling at
+// equal N, and the Hoeffding bound the paper derives for Eq. 14 applies
+// verbatim. It is NOT bit-identical to Sampling — it is a strictly
+// larger average over the same walk randomness — and the oracle suite
+// pins it to the exact possible-world measure within the same tolerance
+// as the sampled algorithms.
+//
+// Generation discipline: an index stores the graph generation, engine
+// seed, sample count and depth it was built under; CheckIndex refuses
+// any mismatch, so a serving plane can never silently answer from an
+// index that disagrees with the resident engine's walk streams.
+
+import (
+	"context"
+	"fmt"
+
+	"usimrank/internal/matrix"
+	"usimrank/internal/mc"
+	"usimrank/internal/parallel"
+	"usimrank/internal/rng"
+)
+
+// SourceIndex is a read-only per-vertex occupancy index as the indexed
+// single-source kernel consumes it. Row(v, k) is occ_v[k] for
+// k = 0..Depth; implementations must make Row safe for concurrent use
+// and panic-free for v in [0, NumVertices()) and k in [0, Depth()].
+// usimrank/internal/index provides the mmap-backed implementation.
+type SourceIndex interface {
+	// Generation is the engine graph generation the rows were computed
+	// at (Engine.Generation of the builder).
+	Generation() uint64
+	// NumVertices is the vertex count of the indexed graph.
+	NumVertices() int
+	// Depth is the deepest indexed step; rows cover k = 0..Depth.
+	Depth() int
+	// Samples is the walk count N the rows were estimated from.
+	Samples() int
+	// Seed is the engine seed the v-side walk streams derived from.
+	Seed() uint64
+	// Row returns occ_v[k], immutable and possibly empty.
+	Row(v, k int) matrix.Vec
+}
+
+// CheckIndex reports whether x can serve indexed queries for this
+// engine: same vertex count, same sample count and seed (the u-side
+// residual stream must pair with the v-side streams the rows came
+// from), depth covering Steps, and exactly the engine's graph
+// generation. A nil error is the serving plane's license to probe.
+func (e *Engine) CheckIndex(x SourceIndex) error {
+	if x == nil {
+		return fmt.Errorf("core: nil index")
+	}
+	if x.NumVertices() != e.g.NumVertices() {
+		return fmt.Errorf("core: index covers %d vertices, graph has %d", x.NumVertices(), e.g.NumVertices())
+	}
+	if x.Samples() != e.opt.N {
+		return fmt.Errorf("core: index built with N=%d, engine runs N=%d", x.Samples(), e.opt.N)
+	}
+	if x.Seed() != e.opt.Seed {
+		return fmt.Errorf("core: index built with seed %d, engine runs seed %d", x.Seed(), e.opt.Seed)
+	}
+	if x.Depth() < e.opt.Steps {
+		return fmt.Errorf("core: index depth %d < engine steps %d", x.Depth(), e.opt.Steps)
+	}
+	if x.Generation() != e.gen {
+		return fmt.Errorf("core: index generation %d != engine generation %d", x.Generation(), e.gen)
+	}
+	return nil
+}
+
+// occupancyWith folds one vertex-side's walk stream into per-step
+// occupancy vectors occ[k], k = 0..Steps. The chunks fan out over p;
+// the integer per-chunk counts are merged in chunk order and divided by
+// N once, so the result is bit-identical for every Parallelism value —
+// and identical whether computed at build time (v-side) or query time
+// (u-side residual).
+func (e *Engine) occupancyWith(p *parallel.Pool, v int, salt uint64) []matrix.Vec {
+	chunks := e.walkChunks(v, salt)
+	steps := e.opt.Steps
+	counts := make([][]map[int32]int, len(chunks))
+	p.For(len(chunks), func(ci int) {
+		w := mc.Sample(e.rev, v, steps, chunks[ci].Len(), rng.New(chunks[ci].Seed))
+		per := make([]map[int32]int, steps+1)
+		for k := range per {
+			per[k] = make(map[int32]int)
+		}
+		for _, walk := range w.Pos {
+			for k, at := range walk {
+				per[k][at]++
+			}
+		}
+		counts[ci] = per
+	})
+	total := make([]map[int32]float64, steps+1)
+	for k := range total {
+		total[k] = make(map[int32]float64)
+	}
+	invN := 1 / float64(e.opt.N)
+	for _, per := range counts {
+		if per == nil {
+			continue // cancelled pool view; caller checks ctx.Err()
+		}
+		for k, m := range per {
+			for at, c := range m {
+				total[k][at] += float64(c) * invN
+			}
+		}
+	}
+	occ := make([]matrix.Vec, steps+1)
+	for k := range occ {
+		occ[k] = matrix.FromMap(total[k])
+	}
+	return occ
+}
+
+// VSideOccupancy computes the v-side occupancy rows of one vertex —
+// exactly what the index stores for it. The offline builder fans
+// vertices out over the worker pool and calls this per vertex; the
+// update plane recomputes exactly the BFS-touched vertices through the
+// same entry point, which is what makes a patched index bit-identical
+// to a fresh rebuild.
+func (e *Engine) VSideOccupancy(v int) ([]matrix.Vec, error) {
+	if err := e.checkVertex(v); err != nil {
+		return nil, err
+	}
+	return e.occupancyWith(nil, v, saltWalkV), nil
+}
+
+// SingleSourceIndexed computes s(u, v) for every vertex v by probing x:
+// u's residual walks are sampled once, then every candidate costs
+// Steps+1 sparse dot products against its index rows — no per-candidate
+// sampling, so the request-time cost is independent of how much walk
+// work went into the index. See the package comment above for the
+// accuracy contract relative to SingleSource(AlgSampling, u).
+func (e *Engine) SingleSourceIndexed(x SourceIndex, u int) ([]float64, error) {
+	candidates := make([]int, e.g.NumVertices())
+	for i := range candidates {
+		candidates[i] = i
+	}
+	return e.SingleSourceIndexedAgainst(x, u, candidates)
+}
+
+// SingleSourceIndexedAgainst is SingleSourceIndexed restricted to an
+// explicit candidate set: out[i] = ŝ(u, candidates[i]).
+func (e *Engine) SingleSourceIndexedAgainst(x SourceIndex, u int, candidates []int) ([]float64, error) {
+	return e.singleSourceIndexedWith(e.pool, x, u, candidates)
+}
+
+// SingleSourceIndexedCtx is SingleSourceIndexed with cancellation.
+func (e *Engine) SingleSourceIndexedCtx(ctx context.Context, x SourceIndex, u int) ([]float64, error) {
+	candidates := make([]int, e.g.NumVertices())
+	for i := range candidates {
+		candidates[i] = i
+	}
+	return e.SingleSourceIndexedAgainstCtx(ctx, x, u, candidates)
+}
+
+// SingleSourceIndexedAgainstCtx is SingleSourceIndexedAgainst with
+// cancellation, following the engine-wide contract: a query that
+// completes before the deadline is bit-identical to the plain call.
+func (e *Engine) SingleSourceIndexedAgainstCtx(ctx context.Context, x SourceIndex, u int, candidates []int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out, err := e.singleSourceIndexedWith(e.pool.WithContext(ctx), x, u, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Engine) singleSourceIndexedWith(p *parallel.Pool, x SourceIndex, u int, candidates []int) ([]float64, error) {
+	if err := e.CheckIndex(x); err != nil {
+		return nil, err
+	}
+	if err := e.checkVertex(u); err != nil {
+		return nil, err
+	}
+	for _, v := range candidates {
+		if err := e.checkVertex(v); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, len(candidates))
+	if len(candidates) == 0 {
+		return out, nil // nothing to score; skip the residual sample too
+	}
+	occU := e.occupancyWith(p, u, saltWalkU)
+	n := e.opt.Steps
+	p.For(len(candidates), func(i int) {
+		v := candidates[i]
+		m := make([]float64, n+1)
+		for k := 0; k <= n; k++ {
+			m[k] = occU[k].Dot(x.Row(v, k))
+		}
+		out[i] = Combine(m, e.opt.C, n)
+	})
+	return out, nil
+}

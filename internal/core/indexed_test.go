@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"usimrank/internal/matrix"
+)
+
+// memIndex is the minimal in-memory SourceIndex: exactly what the
+// offline builder persists, without the file round trip.
+type memIndex struct {
+	gen      uint64
+	vertices int
+	depth    int
+	samples  int
+	seed     uint64
+	rows     [][]matrix.Vec // rows[v][k]
+}
+
+func (x *memIndex) Generation() uint64      { return x.gen }
+func (x *memIndex) NumVertices() int        { return x.vertices }
+func (x *memIndex) Depth() int              { return x.depth }
+func (x *memIndex) Samples() int            { return x.samples }
+func (x *memIndex) Seed() uint64            { return x.seed }
+func (x *memIndex) Row(v, k int) matrix.Vec { return x.rows[v][k] }
+
+func buildMemIndex(t *testing.T, e *Engine) *memIndex {
+	t.Helper()
+	n := e.Graph().NumVertices()
+	x := &memIndex{
+		gen:      e.Generation(),
+		vertices: n,
+		depth:    e.Options().Steps,
+		samples:  e.Options().N,
+		seed:     e.Options().Seed,
+		rows:     make([][]matrix.Vec, n),
+	}
+	for v := 0; v < n; v++ {
+		occ, err := e.VSideOccupancy(v)
+		if err != nil {
+			t.Fatalf("VSideOccupancy(%d): %v", v, err)
+		}
+		x.rows[v] = occ
+	}
+	return x
+}
+
+// TestVSideOccupancyIsDistribution: every occupancy row is a
+// sub-distribution (entries in [0,1], total ≤ 1, strictly sorted), and
+// step 0 is the unit vector at the vertex itself.
+func TestVSideOccupancyIsDistribution(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 500, Seed: 9})
+	for _, v := range []int{0, 1, 17, 63, 100} {
+		occ, err := e.VSideOccupancy(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(occ) != e.Options().Steps+1 {
+			t.Fatalf("vertex %d: %d rows, want %d", v, len(occ), e.Options().Steps+1)
+		}
+		if occ[0].Len() != 1 || occ[0].Idx[0] != int32(v) || occ[0].Val[0] != 1 {
+			t.Fatalf("vertex %d: step-0 occupancy %+v, want unit at %d", v, occ[0], v)
+		}
+		for k, row := range occ {
+			sum := 0.0
+			prev := int32(-1)
+			for i := range row.Idx {
+				if row.Idx[i] <= prev {
+					t.Fatalf("vertex %d step %d: unsorted indices", v, k)
+				}
+				prev = row.Idx[i]
+				if row.Val[i] <= 0 || row.Val[i] > 1 {
+					t.Fatalf("vertex %d step %d: probability %v", v, k, row.Val[i])
+				}
+				sum += row.Val[i]
+			}
+			if sum > 1+1e-12 {
+				t.Fatalf("vertex %d step %d: total mass %v > 1", v, k, sum)
+			}
+		}
+	}
+}
+
+// TestIndexedMatchesManualEstimator: the kernel computes exactly
+// Combine over ⟨occ_u[k], occ_v[k]⟩ — pinned bit for bit against a
+// hand-rolled per-pair evaluation.
+func TestIndexedMatchesManualEstimator(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 400, Seed: 5})
+	x := buildMemIndex(t, e)
+	candidates := []int{0, 3, 17, 17, 42, 99}
+	u := 7
+	got, err := e.SingleSourceIndexedAgainst(x, u, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occU := e.occupancyWith(nil, u, saltWalkU)
+	n := e.Options().Steps
+	for i, v := range candidates {
+		m := make([]float64, n+1)
+		for k := 0; k <= n; k++ {
+			m[k] = occU[k].Dot(x.Row(v, k))
+		}
+		if want := Combine(m, e.Options().C, n); got[i] != want {
+			t.Fatalf("candidate %d: got %v, want %v", v, got[i], want)
+		}
+	}
+}
+
+// TestIndexedParallelismDeterminism: the indexed kernel obeys the
+// engine-wide contract — bit-identical output for every Parallelism.
+func TestIndexedParallelismDeterminism(t *testing.T) {
+	g := testGraph()
+	run := func(par int) []float64 {
+		e := newEngine(t, g, Options{N: 600, Seed: 21, Parallelism: par})
+		x := buildMemIndex(t, e)
+		out, err := e.SingleSourceIndexed(x, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := run(1)
+	for _, par := range []int{2, 7} {
+		got := run(par)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("Parallelism=%d: s(12,%d) = %v, want %v", par, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestIndexedTracksSampling: at equal N the indexed estimator averages
+// N² walk pairings where Sampling averages N, so the two must agree
+// within Monte Carlo noise on every vertex.
+func TestIndexedTracksSampling(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 2000, Seed: 3})
+	x := buildMemIndex(t, e)
+	u := 5
+	indexed, err := e.SingleSourceIndexed(x, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := e.SingleSource(AlgSampling, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range indexed {
+		if d := math.Abs(indexed[v] - sampled[v]); d > 0.08 {
+			t.Fatalf("s(%d,%d): indexed %v vs sampled %v (|Δ|=%v)", u, v, indexed[v], sampled[v], d)
+		}
+	}
+}
+
+func TestCheckIndexRejectsMismatch(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 300, Seed: 11})
+	good := buildMemIndex(t, e)
+	if err := e.CheckIndex(good); err != nil {
+		t.Fatalf("matching index rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(x *memIndex)
+	}{
+		{"nil", nil},
+		{"generation", func(x *memIndex) { x.gen = 2 }},
+		{"vertices", func(x *memIndex) { x.vertices-- }},
+		{"samples", func(x *memIndex) { x.samples = 999 }},
+		{"seed", func(x *memIndex) { x.seed = 12 }},
+		{"depth", func(x *memIndex) { x.depth = e.Options().Steps - 1 }},
+	}
+	for _, tc := range cases {
+		var x SourceIndex
+		if tc.mutate != nil {
+			bad := *good
+			tc.mutate(&bad)
+			x = &bad
+		}
+		if err := e.CheckIndex(x); err == nil {
+			t.Errorf("%s mismatch accepted", tc.name)
+		}
+		if _, err := e.SingleSourceIndexedAgainst(x, 0, []int{1}); err == nil {
+			t.Errorf("%s mismatch served a query", tc.name)
+		}
+	}
+}
+
+func TestIndexedEdgeCases(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 200, Seed: 2})
+	x := buildMemIndex(t, e)
+	if out, err := e.SingleSourceIndexedAgainst(x, 0, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty candidates: %v, %v", out, err)
+	}
+	if _, err := e.SingleSourceIndexedAgainst(x, -1, []int{0}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := e.SingleSourceIndexedAgainst(x, 0, []int{g.NumVertices()}); err == nil {
+		t.Fatal("out-of-range candidate accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SingleSourceIndexedCtx(ctx, x, 0); err != context.Canceled {
+		t.Fatalf("cancelled ctx: %v", err)
+	}
+	// An uncancelled context returns exactly the plain-call answer.
+	plain, err := e.SingleSourceIndexedAgainst(x, 4, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := e.SingleSourceIndexedAgainstCtx(context.Background(), x, 4, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != viaCtx[i] {
+			t.Fatalf("ctx path diverged at %d: %v vs %v", i, viaCtx[i], plain[i])
+		}
+	}
+}

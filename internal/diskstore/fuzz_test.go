@@ -1,0 +1,61 @@
+package diskstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"usimrank/internal/matrix"
+)
+
+// FuzzIndexFile fuzzes the USIX loader's safety contract: arbitrary
+// bytes must either parse into a fully consistent index or error
+// cleanly — never panic, and never allocate more than O(input size)
+// (the parser validates every declared count against the actual byte
+// length before allocating). A successful parse must satisfy the
+// invariants the serving hot path relies on without per-probe checks:
+// row-count geometry, sorted in-range vertex ids, probabilities in
+// [0,1]. The committed corpus includes a real engine-built index (see
+// testdata/fuzz/FuzzIndexFile), so mutation starts from valid files.
+func FuzzIndexFile(f *testing.F) {
+	meta, rows := testIndexRows(6, 2)
+	path := filepath.Join(f.TempDir(), "seed.usix")
+	if err := WriteIndexFile(path, meta, rows); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:indexHeaderSize])
+	f.Add([]byte("USIX"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := ParseIndexBytes(data)
+		if err != nil {
+			return
+		}
+		if x.Meta.Vertices < 0 || x.Meta.Depth < 0 || x.Meta.Samples < 1 {
+			t.Fatalf("accepted meta %+v", x.Meta)
+		}
+		if want := x.Meta.Vertices * (x.Meta.Depth + 1); len(x.Rows) != want {
+			t.Fatalf("%d rows for %d vertices × depth %d", len(x.Rows), x.Meta.Vertices, x.Meta.Depth)
+		}
+		for r, row := range x.Rows {
+			prev := int32(-1)
+			for i := range row.Idx {
+				if row.Idx[i] <= prev || int(row.Idx[i]) >= x.Meta.Vertices {
+					t.Fatalf("row %d: bad vertex id %d", r, row.Idx[i])
+				}
+				prev = row.Idx[i]
+				if !(row.Val[i] >= 0 && row.Val[i] <= 1) {
+					t.Fatalf("row %d: probability %v", r, row.Val[i])
+				}
+			}
+			// Every accepted row must be probe-safe through the Vec API.
+			_ = row.Dot(matrix.Unit(0))
+		}
+	})
+}

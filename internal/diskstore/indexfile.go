@@ -1,0 +1,339 @@
+package diskstore
+
+// The reverse-walk index file (USIX): the on-disk form of the index
+// plane's per-vertex meeting-probability decomposition. One file holds,
+// for every vertex v of one graph generation, the empirical step-k
+// occupancy rows occ_v[k] for k = 0..depth — sparse probability vectors
+// over the reversed graph, sampled from the engine's deterministic
+// v-side walk streams (see usimrank/internal/index for the estimator
+// and the build/patch rules).
+//
+// Layout (all integers little-endian; every section 8-byte aligned):
+//
+//	header (64 bytes):
+//	  [0:4)   magic "USIX"
+//	  [4:8)   u32 format version (currently 1)
+//	  [8:16)  u64 graph generation the rows were computed at
+//	  [16:24) u64 vertex count
+//	  [24:28) u32 depth (rows cover k = 0..depth)
+//	  [28:32) u32 endianness marker 0x0A0B0C0D (native-read check)
+//	  [32:40) u64 walk samples N per vertex
+//	  [40:48) u64 engine seed the walk streams derive from
+//	  [48:56) u64 data-section size in bytes
+//	  [56:64) u64 reserved (zero)
+//	offsets: (vertices·(depth+1) + 1) × u64, byte offsets into the data
+//	  section; row (v, k) occupies data[off[r]:off[r+1]] with
+//	  r = v·(depth+1) + k. Offsets are multiples of 8, nondecreasing,
+//	  off[0] = 0, and the final offset equals the data-section size.
+//	data, per row:
+//	  [0:4)          u32 entry count c
+//	  [4:8)          zero padding
+//	  [8 : 8+8c)     c × f64 probabilities, each finite and in [0, 1]
+//	  [8+8c : 8+12c) c × i32 vertex indices, strictly increasing, < |V|
+//	  …              zero padding to the next multiple of 8
+//
+// The probability and index arrays are laid out so both are naturally
+// aligned (f64s first, from an 8-aligned row start), which is what lets
+// the loader hand out matrix.Vec views straight into the mapped file —
+// zero copies, zero per-row allocations beyond the slice headers.
+//
+// ParseIndexBytes validates the entire file up front (bounds, alignment,
+// monotone offsets, sorted indices, probability range) so the serving
+// hot path can probe rows with no per-access checks, and so arbitrary
+// bytes can never panic the loader or trick it into allocating more
+// than O(file size) — the FuzzIndexFile contract.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"unsafe"
+
+	"usimrank/internal/matrix"
+)
+
+// IndexMeta is the USIX header's logical content.
+type IndexMeta struct {
+	// Generation is the engine graph generation the rows were computed
+	// at; serving planes refuse an index whose generation does not match
+	// the resident engine.
+	Generation uint64
+	// Vertices is the vertex count of the indexed graph.
+	Vertices int
+	// Depth is the deepest walk step covered: each vertex stores rows
+	// for k = 0..Depth.
+	Depth int
+	// Samples is the number N of walks per vertex the rows were
+	// estimated from.
+	Samples int
+	// Seed is the engine seed the v-side walk streams derive from.
+	Seed uint64
+}
+
+const (
+	indexHeaderSize  = 64
+	indexVersion     = 1
+	indexEndianCheck = 0x0A0B0C0D
+	// MaxIndexDepth bounds the per-vertex row count a file may declare.
+	// Real engines run single-digit step counts; the bound exists so a
+	// corrupt header cannot force a near-overflow rowcount computation.
+	MaxIndexDepth = 1 << 16
+)
+
+var indexMagic = [4]byte{'U', 'S', 'I', 'X'}
+
+// IndexFile is a loaded (and fully validated) USIX file. Rows holds one
+// matrix.Vec per (vertex, step) pair in row-major order — row (v, k) at
+// index v·(Depth+1)+k — viewing the mapped bytes directly; treat them
+// as immutable. Close unmaps the backing; do not use Rows after Close.
+type IndexFile struct {
+	Meta IndexMeta
+	Rows []matrix.Vec
+
+	mapped []byte // non-nil when backed by an mmap
+}
+
+// Close releases the mmap backing, if any. Safe on the read-fallback
+// path too (no-op).
+func (f *IndexFile) Close() error {
+	if f.mapped == nil {
+		return nil
+	}
+	m := f.mapped
+	f.mapped = nil
+	f.Rows = nil
+	return munmapFile(m)
+}
+
+// rowsPerVertex returns Depth+1 (rows k = 0..Depth).
+func (m IndexMeta) rowsPerVertex() int { return m.Depth + 1 }
+
+// WriteIndexFile persists rows (row (v, k) at v·(depth+1)+k, each a
+// canonical sparse probability vector) under meta at path. The write is
+// atomic-ish: a partial file can fail validation on load but a crashed
+// writer never corrupts an existing readable file, because the content
+// is staged to path+".tmp" and renamed into place.
+func WriteIndexFile(path string, meta IndexMeta, rows []matrix.Vec) error {
+	if meta.Vertices < 0 || meta.Depth < 0 || meta.Depth > MaxIndexDepth || meta.Samples < 1 {
+		return fmt.Errorf("diskstore: bad index meta %+v", meta)
+	}
+	if want := meta.Vertices * meta.rowsPerVertex(); len(rows) != want {
+		return fmt.Errorf("diskstore: %d rows for %d vertices × depth %d (want %d)",
+			len(rows), meta.Vertices, meta.Depth, want)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	var hdr [indexHeaderSize]byte
+	copy(hdr[0:4], indexMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], indexVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], meta.Generation)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(meta.Vertices))
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(meta.Depth))
+	binary.LittleEndian.PutUint32(hdr[28:32], indexEndianCheck)
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(meta.Samples))
+	binary.LittleEndian.PutUint64(hdr[40:48], uint64(meta.Seed))
+
+	rowBytes := func(v matrix.Vec) uint64 {
+		return (8 + 12*uint64(v.Len()) + 7) &^ 7
+	}
+	var dataSize uint64
+	for _, r := range rows {
+		dataSize += rowBytes(r)
+	}
+	binary.LittleEndian.PutUint64(hdr[48:56], dataSize)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+
+	var b8 [8]byte
+	off := uint64(0)
+	for _, r := range rows {
+		binary.LittleEndian.PutUint64(b8[:], off)
+		if _, err := w.Write(b8[:]); err != nil {
+			return fmt.Errorf("diskstore: %w", err)
+		}
+		off += rowBytes(r)
+	}
+	binary.LittleEndian.PutUint64(b8[:], off)
+	if _, err := w.Write(b8[:]); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+
+	for _, r := range rows {
+		binary.LittleEndian.PutUint32(b8[0:4], uint32(r.Len()))
+		binary.LittleEndian.PutUint32(b8[4:8], 0)
+		if _, err := w.Write(b8[:]); err != nil {
+			return fmt.Errorf("diskstore: %w", err)
+		}
+		for _, val := range r.Val {
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(val))
+			if _, err := w.Write(b8[:]); err != nil {
+				return fmt.Errorf("diskstore: %w", err)
+			}
+		}
+		for _, idx := range r.Idx {
+			binary.LittleEndian.PutUint32(b8[0:4], uint32(idx))
+			if _, err := w.Write(b8[0:4]); err != nil {
+				return fmt.Errorf("diskstore: %w", err)
+			}
+		}
+		if pad := (8 - (4*uint64(r.Len()))%8) % 8; pad > 0 {
+			zero := [8]byte{}
+			if _, err := w.Write(zero[:pad]); err != nil {
+				return fmt.Errorf("diskstore: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// OpenIndexFile maps (or, where mmap is unavailable, reads) the USIX
+// file at path and validates it completely. The returned rows view the
+// mapping directly; hold the IndexFile alive as long as any row is in
+// use and Close it when done.
+func OpenIndexFile(path string) (*IndexFile, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %s: %w", path, err)
+	}
+	f, err := ParseIndexBytes(data)
+	if err != nil {
+		if mapped != nil {
+			_ = munmapFile(mapped)
+		}
+		return nil, fmt.Errorf("diskstore: %s: %w", path, err)
+	}
+	f.mapped = mapped
+	return f, nil
+}
+
+// ParseIndexBytes validates data as a complete USIX file and returns
+// zero-copy row views into it. It is the single entry point for both
+// the mmap loader and arbitrary untrusted bytes (the fuzz target): any
+// malformed input yields an error — never a panic, and never an
+// allocation beyond O(len(data)).
+func ParseIndexBytes(data []byte) (*IndexFile, error) {
+	if len(data) < indexHeaderSize {
+		return nil, fmt.Errorf("index: %d bytes, want at least the %d-byte header", len(data), indexHeaderSize)
+	}
+	data = alignBytes(data)
+	if [4]byte(data[0:4]) != indexMagic {
+		return nil, fmt.Errorf("index: bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != indexVersion {
+		return nil, fmt.Errorf("index: unsupported version %d (want %d)", v, indexVersion)
+	}
+	// The row views below read the mapping through native-endian typed
+	// slices; the marker proves native == the little-endian file order.
+	if *(*uint32)(unsafe.Pointer(&data[28])) != indexEndianCheck {
+		return nil, fmt.Errorf("index: endianness marker mismatch (file is little-endian; host is not)")
+	}
+	meta := IndexMeta{
+		Generation: binary.LittleEndian.Uint64(data[8:16]),
+		Seed:       binary.LittleEndian.Uint64(data[40:48]),
+	}
+	vertices := binary.LittleEndian.Uint64(data[16:24])
+	depth := binary.LittleEndian.Uint32(data[24:28])
+	samples := binary.LittleEndian.Uint64(data[32:40])
+	dataSize := binary.LittleEndian.Uint64(data[48:56])
+
+	if depth > MaxIndexDepth {
+		return nil, fmt.Errorf("index: depth %d exceeds the format bound %d", depth, MaxIndexDepth)
+	}
+	if samples < 1 || samples > math.MaxInt32 {
+		return nil, fmt.Errorf("index: sample count %d outside [1, 2³¹)", samples)
+	}
+	avail := uint64(len(data) - indexHeaderSize)
+	// Bound the declared geometry by the actual file size BEFORE any
+	// size computation that uses it: rowCount may not overflow, and the
+	// offsets table it implies must fit in what was actually read.
+	if vertices > avail/8 {
+		return nil, fmt.Errorf("index: %d vertices cannot fit in a %d-byte file", vertices, len(data))
+	}
+	rowCount := vertices * uint64(depth+1)
+	if vertices != 0 && rowCount/vertices != uint64(depth+1) {
+		return nil, fmt.Errorf("index: %d vertices × depth %d overflows", vertices, depth)
+	}
+	if rowCount+1 > avail/8 {
+		return nil, fmt.Errorf("index: %d rows cannot fit in a %d-byte file", rowCount, len(data))
+	}
+	offEnd := uint64(indexHeaderSize) + 8*(rowCount+1)
+	if uint64(len(data)) != offEnd+dataSize {
+		return nil, fmt.Errorf("index: file is %d bytes, header implies %d", len(data), offEnd+dataSize)
+	}
+
+	offsets := unsafe.Slice((*uint64)(unsafe.Pointer(&data[indexHeaderSize])), rowCount+1)
+	payload := data[offEnd:]
+	if offsets[0] != 0 || offsets[rowCount] != dataSize {
+		return nil, fmt.Errorf("index: offset table does not span the data section")
+	}
+
+	rows := make([]matrix.Vec, rowCount)
+	for r := uint64(0); r < rowCount; r++ {
+		start, end := offsets[r], offsets[r+1]
+		if start%8 != 0 || end < start || end > dataSize {
+			return nil, fmt.Errorf("index: row %d has corrupt offsets [%d, %d)", r, start, end)
+		}
+		row := payload[start:end]
+		if len(row) < 8 {
+			return nil, fmt.Errorf("index: row %d truncated (%d bytes)", r, len(row))
+		}
+		count := uint64(binary.LittleEndian.Uint32(row[0:4]))
+		if want := (8 + 12*count + 7) &^ 7; uint64(len(row)) != want {
+			return nil, fmt.Errorf("index: row %d declares %d entries in %d bytes (want %d)", r, count, len(row), want)
+		}
+		if count == 0 {
+			continue
+		}
+		vals := unsafe.Slice((*float64)(unsafe.Pointer(&row[8])), count)
+		idxs := unsafe.Slice((*int32)(unsafe.Pointer(&row[8+8*count])), count)
+		prev := int32(-1)
+		for i := range idxs {
+			if idxs[i] <= prev || uint64(idxs[i]) >= vertices {
+				return nil, fmt.Errorf("index: row %d has unsorted or out-of-range vertex id %d at entry %d", r, idxs[i], i)
+			}
+			prev = idxs[i]
+			if !(vals[i] >= 0 && vals[i] <= 1) { // also rejects NaN
+				return nil, fmt.Errorf("index: row %d has probability %v outside [0,1] at entry %d", r, vals[i], i)
+			}
+		}
+		rows[r] = matrix.Vec{Idx: idxs, Val: vals}
+	}
+	meta.Vertices = int(vertices)
+	meta.Depth = int(depth)
+	meta.Samples = int(samples)
+	return &IndexFile{Meta: meta, Rows: rows}, nil
+}
+
+// alignBytes returns data 8-aligned, copying once if the caller handed
+// an unaligned buffer (mmap is page-aligned; this path exists for
+// fuzzing and read-fallback inputs).
+func alignBytes(data []byte) []byte {
+	if uintptr(unsafe.Pointer(&data[0]))%8 == 0 {
+		return data
+	}
+	buf := make([]uint64, (len(data)+7)/8)
+	aligned := unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), len(buf)*8)[:len(data)]
+	copy(aligned, data)
+	return aligned
+}

@@ -1,0 +1,176 @@
+package diskstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"usimrank/internal/matrix"
+)
+
+func testIndexRows(vertices, depth int) (IndexMeta, []matrix.Vec) {
+	meta := IndexMeta{Generation: 7, Vertices: vertices, Depth: depth, Samples: 1000, Seed: 42}
+	rows := make([]matrix.Vec, vertices*(depth+1))
+	for v := 0; v < vertices; v++ {
+		for k := 0; k <= depth; k++ {
+			r := v*(depth+1) + k
+			switch {
+			case k == 0:
+				rows[r] = matrix.Unit(int32(v))
+			case (v+k)%3 == 0:
+				// leave empty: walks all died
+			default:
+				m := map[int32]float64{}
+				for j := 0; j < (v+k)%4+1; j++ {
+					m[int32((v+j*k+1)%vertices)] += 0.25
+				}
+				rows[r] = matrix.FromMap(m)
+			}
+		}
+	}
+	return meta, rows
+}
+
+func sameVec(a, b matrix.Vec) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexFileRoundTrip(t *testing.T) {
+	meta, rows := testIndexRows(17, 3)
+	path := filepath.Join(t.TempDir(), "t.usix")
+	if err := WriteIndexFile(path, meta, rows); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f, err := OpenIndexFile(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if f.Meta != meta {
+		t.Fatalf("meta %+v, want %+v", f.Meta, meta)
+	}
+	if len(f.Rows) != len(rows) {
+		t.Fatalf("%d rows, want %d", len(f.Rows), len(rows))
+	}
+	for i := range rows {
+		if !sameVec(f.Rows[i], rows[i]) {
+			t.Fatalf("row %d = %+v, want %+v", i, f.Rows[i], rows[i])
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestIndexFileEmptyGraph(t *testing.T) {
+	meta := IndexMeta{Generation: 1, Vertices: 0, Depth: 2, Samples: 1, Seed: 0}
+	path := filepath.Join(t.TempDir(), "empty.usix")
+	if err := WriteIndexFile(path, meta, nil); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f, err := OpenIndexFile(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if f.Meta != meta || len(f.Rows) != 0 {
+		t.Fatalf("got %+v with %d rows", f.Meta, len(f.Rows))
+	}
+}
+
+func TestWriteIndexFileRejectsBadShape(t *testing.T) {
+	dir := t.TempDir()
+	meta, rows := testIndexRows(4, 1)
+	if err := WriteIndexFile(filepath.Join(dir, "a"), meta, rows[:3]); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+	bad := meta
+	bad.Samples = 0
+	if err := WriteIndexFile(filepath.Join(dir, "b"), bad, rows); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+func TestParseIndexBytesUnaligned(t *testing.T) {
+	meta, rows := testIndexRows(5, 2)
+	path := filepath.Join(t.TempDir(), "t.usix")
+	if err := WriteIndexFile(path, meta, rows); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a misaligned base so the copy fallback path runs.
+	buf := make([]byte, len(raw)+1)
+	copy(buf[1:], raw)
+	f, err := ParseIndexBytes(buf[1:])
+	if err != nil {
+		t.Fatalf("unaligned parse: %v", err)
+	}
+	for i := range rows {
+		if !sameVec(f.Rows[i], rows[i]) {
+			t.Fatalf("row %d mismatch after unaligned parse", i)
+		}
+	}
+}
+
+func TestParseIndexBytesRejectsCorruption(t *testing.T) {
+	meta, rows := testIndexRows(9, 2)
+	path := filepath.Join(t.TempDir(), "t.usix")
+	if err := WriteIndexFile(path, meta, rows); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseIndexBytes(good); err != nil {
+		t.Fatalf("pristine bytes rejected: %v", err)
+	}
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(bytes.Clone(good))
+		if _, err := ParseIndexBytes(b); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+	mutate("short header", func(b []byte) []byte { return b[:32] })
+	mutate("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("bad version", func(b []byte) []byte { b[4] = 99; return b })
+	mutate("bad endian marker", func(b []byte) []byte { b[28] ^= 0xFF; return b })
+	mutate("truncated data", func(b []byte) []byte { return b[:len(b)-8] })
+	mutate("appended garbage", func(b []byte) []byte { return append(b, 0, 0, 0, 0, 0, 0, 0, 0) })
+	mutate("huge vertex count", func(b []byte) []byte {
+		for i := 16; i < 24; i++ {
+			b[i] = 0xFF
+		}
+		return b
+	})
+	mutate("huge depth", func(b []byte) []byte {
+		b[24], b[25], b[26], b[27] = 0xFF, 0xFF, 0xFF, 0x7F
+		return b
+	})
+	mutate("zero samples", func(b []byte) []byte {
+		for i := 32; i < 40; i++ {
+			b[i] = 0
+		}
+		return b
+	})
+	mutate("misaligned row offset", func(b []byte) []byte {
+		// offsets[1] lives right after the first table entry; nudge it off
+		// the 8-byte grid.
+		b[indexHeaderSize+8]++
+		return b
+	})
+	mutate("datasize lies", func(b []byte) []byte { b[48]++; return b })
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package diskstore
+
+import "os"
+
+// mapFile falls back to reading the whole file where mmap is
+// unavailable; mapped is always nil on this path.
+func mapFile(path string) (data, mapped []byte, err error) {
+	data, err = os.ReadFile(path)
+	return data, nil, err
+}
+
+func munmapFile([]byte) error { return nil }

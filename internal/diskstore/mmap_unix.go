@@ -1,0 +1,35 @@
+//go:build unix
+
+package diskstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the file at path read-only. It returns the file
+// content plus the mapping to hand back to munmapFile; an empty file
+// maps to (nil, nil) so the parser can reject it by size.
+func mapFile(path string) (data, mapped []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		return nil, nil, nil
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a plain read.
+		data, err := os.ReadFile(path)
+		return data, nil, err
+	}
+	return m, m, nil
+}
+
+func munmapFile(m []byte) error { return syscall.Munmap(m) }

@@ -26,7 +26,10 @@ type ScoreResponse struct {
 }
 
 // SourceRequest asks for the single-source vector s(u, ·), optionally
-// restricted to an explicit candidate set.
+// restricted to an explicit candidate set. Alg additionally accepts
+// "indexed" (beyond the four engine algorithms): answer from the
+// resident reverse-walk index plus a residual sample of u's walks —
+// 400 when the server holds no index for the current generation.
 type SourceRequest struct {
 	Alg        string `json:"alg"`
 	U          int    `json:"u"`
@@ -100,10 +103,15 @@ type BatchResponse struct {
 
 // ReloadRequest asks the server to hot-swap to the graph stored at
 // Graph (text or binary codec, auto-detected). Warm additionally
-// builds the new engine's SR-SP filter pools before the swap.
+// builds the new engine's SR-SP filter pools before the swap. Index
+// optionally names an index file built for the new graph; it must pass
+// the new engine's generation/seed/sample checks or the whole reload
+// fails. Without it the resident index (if any) is dropped — a reload
+// starts a fresh engine lineage, so the old rows can never match.
 type ReloadRequest struct {
 	Graph string `json:"graph"`
 	Warm  bool   `json:"warm,omitempty"`
+	Index string `json:"index,omitempty"`
 }
 
 // ReloadResponse reports the completed swap.
@@ -166,6 +174,11 @@ type UpdateResponse struct {
 	// carried over (patched per touched vertex) rather than left to a
 	// lazy from-scratch rebuild.
 	FiltersPatched bool `json:"filters_patched"`
+	// IndexRowsPatched is the number of vertices whose reverse-walk
+	// index rows were recomputed for the new generation (0 when the
+	// server serves no index). The patched index is bit-identical to a
+	// fresh offline build on the mutated graph.
+	IndexRowsPatched int `json:"index_rows_patched,omitempty"`
 	// ApplyMs is the wall time of the incremental derivation, off the
 	// serving path (compare ReloadResponse.BuildMs).
 	ApplyMs int64 `json:"apply_ms"`
@@ -217,6 +230,38 @@ type StatsResponse struct {
 	Serving       ServingStats          `json:"serving"`
 	Coalescing    CoalescingStats       `json:"coalescing"`
 	Queries       map[string]QueryStats `json:"queries"`
+	// Index is present only while the server holds a reverse-walk index
+	// for the resident generation.
+	Index *IndexStats `json:"index,omitempty"`
+}
+
+// IndexStats covers the reverse-walk index serving path.
+type IndexStats struct {
+	// Generation, Vertices, Depth and Samples echo the resident index's
+	// header; Generation always equals the engine generation (mismatched
+	// indexes are rejected at boot, reload, and update time).
+	Generation uint64 `json:"generation"`
+	Vertices   int    `json:"vertices"`
+	Depth      int    `json:"depth"`
+	Samples    int    `json:"samples"`
+	// Queries counts alg:"indexed" source queries answered (coalesced
+	// followers included).
+	Queries uint64 `json:"queries"`
+	// RowsProbed counts index rows dotted against a residual sample;
+	// ResidualWalks counts the source walks sampled at request time.
+	// Their ratio is the probe-vs-sample balance of the indexed path:
+	// per query, rows probed grow with the candidate set while the
+	// residual stays one N-walk sample, so a healthy index workload has
+	// RowsProbed ≫ ResidualWalks. Coalesced followers add to neither.
+	RowsProbed    uint64 `json:"rows_probed"`
+	ResidualWalks uint64 `json:"residual_walks"`
+	// ProbeRatio is RowsProbed / (RowsProbed + ResidualWalks) — the
+	// fraction of the indexed path's work units served from the index
+	// rather than sampled at request time.
+	ProbeRatio float64 `json:"probe_ratio"`
+	// RowsPatched is the cumulative number of vertices whose index rows
+	// were recomputed by /v1/admin/update batches.
+	RowsPatched uint64 `json:"rows_patched"`
 }
 
 // GraphStats describes the currently resident graph.

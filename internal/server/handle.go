@@ -21,10 +21,16 @@ import (
 //     releases it, the drained channel closes and the reload reply can
 //     report a clean handover.
 type engineHandle struct {
-	eng     *usimrank.Engine
-	graph   *usimrank.Graph
-	source  string // file path (or descriptor) the graph was loaded from
-	gen     uint64 // 1 for the boot engine, +1 per successful reload
+	eng    *usimrank.Engine
+	graph  *usimrank.Graph
+	source string // file path (or descriptor) the graph was loaded from
+	gen    uint64 // 1 for the boot engine, +1 per successful reload
+	// idx is the reverse-walk index matching this handle's engine
+	// generation, or nil when this generation serves without one. It
+	// rides the handle's lifetime: a hot-swap that patches or replaces
+	// the index publishes the successor in the next handle, and requests
+	// pinned here keep probing this one until they finish.
+	idx     *usimrank.Index
 	builtAt time.Time
 
 	// refs counts pinned users plus one reference owned by the server
@@ -35,12 +41,13 @@ type engineHandle struct {
 	drained chan struct{}
 }
 
-func newEngineHandle(eng *usimrank.Engine, g *usimrank.Graph, source string, gen uint64) *engineHandle {
+func newEngineHandle(eng *usimrank.Engine, g *usimrank.Graph, source string, gen uint64, idx *usimrank.Index) *engineHandle {
 	h := &engineHandle{
 		eng:     eng,
 		graph:   g,
 		source:  source,
 		gen:     gen,
+		idx:     idx,
 		builtAt: time.Now(),
 		drained: make(chan struct{}),
 	}

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,14 @@ type Config struct {
 	// Engine configures the resident engine (and every engine built by
 	// a hot-swap: reloads reuse the boot options).
 	Engine usimrank.Options
+	// Index optionally serves alg:"indexed" source queries from a
+	// precomputed reverse-walk index. New rejects an index whose
+	// generation, vertex count, sample count, seed, or depth disagrees
+	// with the boot engine — a mismatched index must fail loudly at boot,
+	// never answer quietly from the wrong graph. Incremental updates
+	// patch it in place (only BFS-touched vertices recomputed); reloads
+	// drop it unless the reload names a replacement.
+	Index *usimrank.Index
 	// MaxInFlight bounds concurrently admitted queries across all
 	// shapes. Default: 4× the engine's effective Parallelism, at least
 	// 32.
@@ -88,6 +97,14 @@ type Server struct {
 	reloads     atomic.Uint64
 	updates     atomic.Uint64
 	arcsUpdated atomic.Uint64
+
+	// Index-path counters (see IndexStats). Cumulative across hot-swaps:
+	// the index travels with the engine handle, the counters with the
+	// server.
+	indexQueries       atomic.Uint64
+	indexRowsProbed    atomic.Uint64
+	indexResidualWalks atomic.Uint64
+	indexRowsPatched   atomic.Uint64
 	// adminMu serialises every admin mutation — reloads AND incremental
 	// updates. Both paths load the current handle, derive or build a
 	// successor, and publish it; two of them interleaving would both
@@ -117,6 +134,11 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Index != nil {
+		if err := eng.CheckIndex(cfg.Index); err != nil {
+			return nil, fmt.Errorf("index rejected: %w", err)
+		}
+	}
 	cfg = cfg.withDefaults(eng.Options().Parallelism)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -128,7 +150,7 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 		cancel:  cancel,
 		start:   time.Now(),
 	}
-	s.cur.Store(newEngineHandle(eng, g, source, 1))
+	s.cur.Store(newEngineHandle(eng, g, source, 1, cfg.Index))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
 	s.mux.HandleFunc("POST /v1/source", s.handleSource)
@@ -279,18 +301,36 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// AlgIndexed is the source-only algorithm name selecting the
+// reverse-walk index path (outside the engine's Algorithm enum: it
+// needs a resident index, so only /v1/source on an index-serving node
+// accepts it).
+const AlgIndexed = "indexed"
+
 func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	var req SourceRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	alg, err := usimrank.ParseAlgorithm(req.Alg)
-	if err != nil {
-		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return
+	indexed := strings.EqualFold(req.Alg, AlgIndexed)
+	var alg usimrank.Algorithm
+	algName := AlgIndexed
+	if !indexed {
+		var err error
+		if alg, err = usimrank.ParseAlgorithm(req.Alg); err != nil {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest,
+				err.Error()+` (or "indexed" on an index-serving node)`)
+			return
+		}
+		algName = alg.String()
 	}
 	h := s.engine()
 	defer h.release()
+	if indexed && h.idx == nil {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest,
+			"no reverse-walk index loaded for this generation; start usimd with -index, or reload with an index")
+		return
+	}
 	if !s.checkVertices(w, h, append([]int{req.U}, req.Candidates...)...) {
 		return
 	}
@@ -300,18 +340,38 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	if req.Candidates != nil {
 		candKey = DigestInts(req.Candidates)
 	}
-	key := fmt.Sprintf("source|g%d|%s|%d|%s", h.gen, alg, req.U, candKey)
-	val, coalesced, ok := s.execute(w, r, "source", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
-		if req.Candidates == nil {
+	key := fmt.Sprintf("source|g%d|%s|%d|%s", h.gen, algName, req.U, candKey)
+	val, coalesced, ok := s.execute(w, r, "source", algName, req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+		switch {
+		case indexed && req.Candidates == nil:
+			return h.eng.SingleSourceIndexedCtx(ctx, h.idx, req.U)
+		case indexed:
+			return h.eng.SingleSourceIndexedAgainstCtx(ctx, h.idx, req.U, req.Candidates)
+		case req.Candidates == nil:
 			return h.eng.SingleSourceCtx(ctx, alg, req.U)
+		default:
+			return h.eng.SingleSourceAgainstCtx(ctx, alg, req.U, req.Candidates)
 		}
-		return h.eng.SingleSourceAgainstCtx(ctx, alg, req.U, req.Candidates)
 	})
 	if !ok {
 		return
 	}
+	if indexed {
+		s.indexQueries.Add(1)
+		if !coalesced {
+			// One probe per (candidate, step) pair; the residual sample is
+			// one N-walk stream regardless of candidate count. Followers
+			// shared the leader's work, so they add to neither.
+			cands := len(req.Candidates)
+			if req.Candidates == nil {
+				cands = h.graph.NumVertices()
+			}
+			s.indexRowsProbed.Add(uint64(cands) * uint64(h.eng.Options().Steps+1))
+			s.indexResidualWalks.Add(uint64(h.idx.Samples()))
+		}
+	}
 	WriteJSON(w, http.StatusOK, SourceResponse{
-		Alg: alg.String(), U: req.U, Candidates: req.Candidates,
+		Alg: algName, U: req.U, Candidates: req.Candidates,
 		Scores: val.([]float64), Coalesced: coalesced,
 	})
 }
@@ -441,6 +501,25 @@ func (s *Server) Stats() StatsResponse {
 	defer h.release()
 	rcLen, rcEvict := h.eng.RowCacheStats()
 	opt := h.eng.Options()
+	var idxStats *IndexStats
+	if h.idx != nil {
+		probed, residual := s.indexRowsProbed.Load(), s.indexResidualWalks.Load()
+		ratio := 0.0
+		if probed+residual > 0 {
+			ratio = float64(probed) / float64(probed+residual)
+		}
+		idxStats = &IndexStats{
+			Generation:    h.idx.Generation(),
+			Vertices:      h.idx.NumVertices(),
+			Depth:         h.idx.Depth(),
+			Samples:       h.idx.Samples(),
+			Queries:       s.indexQueries.Load(),
+			RowsProbed:    probed,
+			ResidualWalks: residual,
+			ProbeRatio:    ratio,
+			RowsPatched:   s.indexRowsPatched.Load(),
+		}
+	}
 	return StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Graph: GraphStats{
@@ -461,6 +540,7 @@ func (s *Server) Stats() StatsResponse {
 		Serving:    s.metrics.ServingStats(s.cfg.MaxInFlight),
 		Coalescing: s.metrics.CoalescingStats(),
 		Queries:    s.metrics.QueryStats(),
+		Index:      idxStats,
 	}
 }
 
@@ -473,7 +553,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, CodeBadRequest, `"graph" is required`)
 		return
 	}
-	resp, err := s.Reload(req.Graph, req.Warm)
+	resp, err := s.Reload(req.Graph, req.Warm, req.Index)
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
@@ -488,7 +568,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 // throughout: queries admitted before the swap finish on the old
 // engine, queries admitted after it run on the new one, and no query
 // ever spans both.
-func (s *Server) Reload(path string, warm bool) (*ReloadResponse, error) {
+//
+// A non-empty indexPath loads a reverse-walk index for the new graph,
+// validated against the new engine before the swap (a bad index fails
+// the whole reload, leaving the old generation serving). An empty one
+// drops any resident index: a reload starts a fresh engine lineage at
+// generation 1, which the old index's stamped generation can never
+// match.
+func (s *Server) Reload(path string, warm bool, indexPath string) (*ReloadResponse, error) {
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
 
@@ -501,13 +588,22 @@ func (s *Server) Reload(path string, warm bool) (*ReloadResponse, error) {
 	if err != nil {
 		return nil, fmt.Errorf("build engine: %w", err)
 	}
+	var idx *usimrank.Index
+	if indexPath != "" {
+		if idx, err = usimrank.LoadIndexFile(indexPath); err != nil {
+			return nil, fmt.Errorf("load index: %w", err)
+		}
+		if err := eng.CheckIndex(idx); err != nil {
+			return nil, fmt.Errorf("index rejected: %w", err)
+		}
+	}
 	if warm {
 		eng.WarmFilters()
 	}
 	buildMs := time.Since(buildStart).Milliseconds()
 
 	old := s.cur.Load()
-	next := newEngineHandle(eng, g, path, old.gen+1)
+	next := newEngineHandle(eng, g, path, old.gen+1, idx)
 	s.cur.Store(next)
 	old.release() // drop the server's ownership reference
 	drained := old.awaitDrain(s.cfg.DrainTimeout)
@@ -585,27 +681,41 @@ func (s *Server) ApplyUpdates(ups []usimrank.ArcUpdate) (*UpdateResponse, error)
 	if err != nil {
 		return nil, err
 	}
+	// The resident index rides the swap: patch it onto the successor
+	// generation before publishing, so there is never a window where the
+	// current handle pairs a new engine with an index the generation
+	// check would reject. A patch failure fails the whole update — the
+	// old generation keeps serving, index included.
+	var idx *usimrank.Index
+	idxPatched := 0
+	if old.idx != nil {
+		if idx, idxPatched, err = usimrank.PatchIndex(old.idx, derived, old.graph, ups); err != nil {
+			return nil, fmt.Errorf("patch index: %w", err)
+		}
+		s.indexRowsPatched.Add(uint64(idxPatched))
+	}
 	applyMs := time.Since(applyStart).Milliseconds()
 
 	g := derived.Graph()
-	next := newEngineHandle(derived, g, old.source, old.gen+1)
+	next := newEngineHandle(derived, g, old.source, old.gen+1, idx)
 	s.cur.Store(next)
 	old.release() // drop the server's ownership reference
 	drained := old.awaitDrain(s.cfg.DrainTimeout)
 	s.updates.Add(1)
 	s.arcsUpdated.Add(uint64(stats.Applied))
-	s.cfg.Logger.Printf("update: generation %d -> %d (%d arcs changed, rows evicted %d / retained %d, filters patched %v, apply %dms, drained=%v)",
-		old.gen, next.gen, stats.Applied, stats.RowsEvicted, stats.RowsRetained, stats.FiltersPatched, applyMs, drained)
+	s.cfg.Logger.Printf("update: generation %d -> %d (%d arcs changed, rows evicted %d / retained %d, filters patched %v, index rows patched %d, apply %dms, drained=%v)",
+		old.gen, next.gen, stats.Applied, stats.RowsEvicted, stats.RowsRetained, stats.FiltersPatched, idxPatched, applyMs, drained)
 	return &UpdateResponse{
-		Generation:     next.gen,
-		Applied:        stats.Applied,
-		Vertices:       g.NumVertices(),
-		Arcs:           g.NumArcs(),
-		RowsEvicted:    stats.RowsEvicted,
-		RowsRetained:   stats.RowsRetained,
-		FiltersPatched: stats.FiltersPatched,
-		ApplyMs:        applyMs,
-		Drained:        drained,
+		Generation:       next.gen,
+		Applied:          stats.Applied,
+		Vertices:         g.NumVertices(),
+		Arcs:             g.NumArcs(),
+		RowsEvicted:      stats.RowsEvicted,
+		RowsRetained:     stats.RowsRetained,
+		FiltersPatched:   stats.FiltersPatched,
+		IndexRowsPatched: idxPatched,
+		ApplyMs:          applyMs,
+		Drained:          drained,
 	}, nil
 }
 

@@ -62,6 +62,7 @@ import (
 	"usimrank/internal/detsim"
 	"usimrank/internal/dusim"
 	"usimrank/internal/graph"
+	"usimrank/internal/index"
 	"usimrank/internal/simmeasure"
 	"usimrank/internal/topk"
 	"usimrank/internal/ugraph"
@@ -233,6 +234,37 @@ func ExpectedCosine(g *Graph, u, v int) float64 {
 
 // ErrorBound returns the Theorem 2 truncation bound |s(n) − s| ≤ c^(n+1).
 func ErrorBound(c float64, n int) float64 { return core.ErrorBound(c, n) }
+
+// Index is a precomputed reverse-walk index for one graph generation:
+// per-vertex, per-step occupancy distributions of the engine's v-side
+// walk streams, built offline and probed at query time through
+// Engine.SingleSourceIndexed (index probe + residual sample — the first
+// query path whose request cost is independent of per-candidate
+// sampling). An Index implements core's SourceIndex and is safe for
+// concurrent probes; see usimrank/internal/index for the on-disk
+// format, generation semantics, and patch rules.
+type Index = index.Index
+
+// BuildIndex runs the offline index pass on e's worker pool: every
+// vertex's v-side occupancy rows, stamped with e's graph generation,
+// seed, sample count and step depth. Deterministic — bit-identical for
+// every Parallelism value. Persist with Index.Write, reload with
+// LoadIndexFile.
+func BuildIndex(e *Engine) (*Index, error) { return index.Build(e) }
+
+// LoadIndexFile memory-maps and fully validates the index file at path.
+// Close the index only after every query probing it has finished.
+func LoadIndexFile(path string) (*Index, error) { return index.Load(path) }
+
+// PatchIndex derives the successor generation's index after
+// Engine.ApplyUpdates without a full rebuild: succ is the engine
+// ApplyUpdates returned, oldG the predecessor's graph, and updates the
+// batch. Only vertices within the walk horizon of a touched arc head
+// are recomputed; the result is bit-identical to BuildIndex(succ).
+// Returns the patched index and the number of recomputed vertices.
+func PatchIndex(x *Index, succ *Engine, oldG *Graph, updates []ArcUpdate) (*Index, int, error) {
+	return index.Patch(x, succ, oldG, updates)
+}
 
 // TopKResult is one scored vertex (or pair) of a top-k query.
 type TopKResult = topk.Result
