@@ -26,4 +26,4 @@ check: build
 # and review the delta alongside the code — the benchmark set must stay
 # identical to the bench-gate job's regex.
 bench-baseline:
-	go test -json -run '^$$' -bench 'SRSP|SingleSource|ApplyUpdates' -benchtime 3x -count 3 . > BENCH_BASELINE.json
+	go test -json -run '^$$' -bench 'SRSP|SingleSource|SamplingV2|ApplyUpdates' -benchmem -benchtime 3x -count 3 . > BENCH_BASELINE.json

@@ -42,7 +42,7 @@ func main() {
 		graphPath = flag.String("graph", "", "uncertain graph file (text or binary)")
 		u         = flag.Int("u", 0, "first vertex")
 		v         = flag.Int("v", 1, "second vertex")
-		alg       = flag.String("alg", "srsp", "algorithm: baseline | sampling | twophase | srsp | det | du | jaccard")
+		alg       = flag.String("alg", "srsp", "algorithm: baseline | sampling | twophase | srsp | sampling_v2 | det | du | jaccard")
 		c         = flag.Float64("c", 0.6, "decay factor in (0,1)")
 		n         = flag.Int("n", 5, "SimRank iterations")
 		samples   = flag.Int("N", 1000, "sampled walk pairs")
@@ -63,7 +63,7 @@ func main() {
 	}
 	engineAlg, algErr := usimrank.ParseAlgorithm(*alg)
 	if algErr != nil && !baselineAlgs[*alg] {
-		usage(fmt.Sprintf("unknown algorithm %q (want baseline, sampling, twophase, srsp, det, du or jaccard)", *alg))
+		usage(fmt.Sprintf("unknown algorithm %q (want baseline, sampling, twophase, srsp, sampling_v2, det, du or jaccard)", *alg))
 	}
 	if !(*c > 0 && *c < 1) {
 		usage(fmt.Sprintf("-c %v outside (0,1)", *c))

@@ -35,6 +35,10 @@
 // downstream attempt (-shard-timeout), and fans admin mutations out
 // transactionally (all shards at the same generation, or a structured
 // generation-skew error).
+//
+// For in-situ profiling, -pprof-addr serves net/http/pprof on a
+// separate listener. Bind it to loopback or a management network only;
+// it must never be public (profiles leak memory contents and cost CPU).
 package main
 
 import (
@@ -43,7 +47,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -79,6 +85,7 @@ func main() {
 		admitWait      = flag.Duration("admission-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429 (negative: reject immediately)")
 		drain          = flag.Duration("drain-timeout", 15*time.Second, "max wait for old-engine requests after a hot-swap")
 		logEvery       = flag.Duration("log-every", time.Minute, "period of the metrics log line (0 disables)")
+		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060); NEVER expose publicly — profiles leak memory contents and cost CPU")
 	)
 	flag.Parse()
 	if (*graphPath == "") == (*clusterFlag == "") {
@@ -91,6 +98,28 @@ func main() {
 	// -replicas that never fails over); refuse instead of serving a
 	// silent misconfiguration.
 	rejectForeignFlags(*clusterFlag != "")
+
+	// Profiling is mode-neutral (kernel work is profiled on nodes, merge
+	// and hedging overhead on coordinators) and strictly opt-in. It gets
+	// its own listener so the serving address never exposes pprof: bind
+	// it to loopback or a management network, never a public interface.
+	// Listen synchronously so a bad address fails startup instead of
+	// logging after the operator walked away.
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "usimd: pprof listener: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("usimd: serving pprof on http://%s/debug/pprof/ (keep this listener private)", ln.Addr())
+		go func() {
+			// The blank net/http/pprof import registers its handlers on
+			// http.DefaultServeMux; nothing else in usimd uses that mux.
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("usimd: pprof listener stopped: %v", err)
+			}
+		}()
+	}
 
 	if *clusterFlag != "" {
 		logger := log.New(os.Stderr, "usimd-coord ", log.LstdFlags)

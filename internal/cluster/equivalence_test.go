@@ -9,7 +9,7 @@ import (
 	"usimrank/internal/server"
 )
 
-var allAlgs = []string{"baseline", "sampling", "twophase", "srsp"}
+var allAlgs = []string{"baseline", "sampling", "twophase", "srsp", "sampling_v2"}
 
 // queryShapes is the full query surface of the v1 API: the five query
 // shapes (score, single-source full sweep and candidate-restricted,

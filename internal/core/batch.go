@@ -10,15 +10,21 @@ import (
 	"usimrank/internal/parallel"
 )
 
-// Algorithm selects one of the four SimRank computation strategies.
+// Algorithm selects one of the SimRank computation strategies.
 type Algorithm int
 
-// The four algorithms of Sec. VI.
+// The four algorithms of Sec. VI, plus the v2 rewrite of the Monte
+// Carlo kernel.
 const (
 	AlgBaseline Algorithm = iota
 	AlgSampling
 	AlgTwoPhase
 	AlgSRSP
+	// AlgSamplingV2 is the Sampling estimator on the v2 kernel
+	// (internal/mc Plan/Arena): same measure, same Hoeffding bounds,
+	// different randomness-consumption order, so its values differ from
+	// AlgSampling's within sampling tolerance and are pinned separately.
+	AlgSamplingV2
 )
 
 // String implements fmt.Stringer.
@@ -32,20 +38,23 @@ func (a Algorithm) String() string {
 		return "SR-TS"
 	case AlgSRSP:
 		return "SR-SP"
+	case AlgSamplingV2:
+		return "Sampling-v2"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
-// Algorithms lists the four strategies in their canonical order — the
+// Algorithms lists the strategies in their canonical order — the
 // iteration set for sweeps, CLIs, and serving planes.
 func Algorithms() []Algorithm {
-	return []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP}
+	return []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP, AlgSamplingV2}
 }
 
 // ParseAlgorithm maps a user-facing algorithm name to its Algorithm.
 // It accepts the CLI spellings ("baseline", "sampling", "twophase",
-// "srsp") plus the paper's names ("sr-ts", "sr-sp"), case-insensitively.
+// "srsp", "sampling_v2") plus the paper's names ("sr-ts", "sr-sp"),
+// case-insensitively.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToLower(s) {
 	case "baseline":
@@ -56,8 +65,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return AlgTwoPhase, nil
 	case "srsp", "sr-sp":
 		return AlgSRSP, nil
+	case "sampling_v2", "sampling-v2", "samplingv2":
+		return AlgSamplingV2, nil
 	default:
-		return 0, fmt.Errorf("core: unknown algorithm %q (want baseline, sampling, twophase or srsp)", s)
+		return 0, fmt.Errorf("core: unknown algorithm %q (want baseline, sampling, twophase, srsp or sampling_v2)", s)
 	}
 }
 
@@ -78,6 +89,8 @@ func (e *Engine) computeWith(p *parallel.Pool, alg Algorithm, u, v int) (float64
 		return e.twoPhaseWith(p, u, v)
 	case AlgSRSP:
 		return e.srspWith(p, u, v)
+	case AlgSamplingV2:
+		return e.samplingV2With(p, u, v)
 	default:
 		return 0, fmt.Errorf("core: unknown algorithm %d", int(alg))
 	}
@@ -90,16 +103,20 @@ func (e *Engine) computeWith(p *parallel.Pool, alg Algorithm, u, v int) (float64
 // isolate row-cache churn between workloads, not for safety.
 func (e *Engine) Clone() *Engine {
 	fu, fv := e.pools() // materialise shared read-only pools before sharing
-	return &Engine{
-		g:     e.g,
-		rev:   e.rev,
-		opt:   e.opt,
-		pool:  e.pool,
-		rows:  cache.New[int, []matrix.Vec](e.opt.RowCacheSize),
-		poolU: fu,
-		poolV: fv,
-		gen:   e.gen,
+	clone := &Engine{
+		g:      e.g,
+		rev:    e.rev,
+		opt:    e.opt,
+		pool:   e.pool,
+		rows:   cache.New[int, []matrix.Vec](e.opt.RowCacheSize),
+		poolU:  fu,
+		poolV:  fv,
+		v2pool: e.v2pool, // scratch buffers are generic, share the warm pool
+		gen:    e.gen,
 	}
+	// Same graph, same plan: share whatever the receiver has built.
+	clone.v2plan.Store(e.v2plan.Load())
+	return clone
 }
 
 // PairResult is one outcome of a Batch computation.

@@ -8,14 +8,15 @@ import (
 
 func TestAlgorithmStrings(t *testing.T) {
 	if AlgBaseline.String() != "Baseline" || AlgSampling.String() != "Sampling" ||
-		AlgTwoPhase.String() != "SR-TS" || AlgSRSP.String() != "SR-SP" {
+		AlgTwoPhase.String() != "SR-TS" || AlgSRSP.String() != "SR-SP" ||
+		AlgSamplingV2.String() != "Sampling-v2" {
 		t.Fatal("algorithm names wrong")
 	}
 }
 
 func TestComputeDispatch(t *testing.T) {
 	e := newEngine(t, ugraph.PaperFig1(), Options{N: 500, Seed: 3})
-	for _, alg := range []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP} {
+	for _, alg := range Algorithms() {
 		v, err := e.Compute(alg, 0, 1)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
@@ -32,7 +33,7 @@ func TestComputeDispatch(t *testing.T) {
 func TestCloneIndependentButEqual(t *testing.T) {
 	e := newEngine(t, ugraph.PaperFig1(), Options{N: 2000, Seed: 7})
 	c := e.Clone()
-	for _, alg := range []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP} {
+	for _, alg := range Algorithms() {
 		a, err := e.Compute(alg, 0, 2)
 		if err != nil {
 			t.Fatal(err)

@@ -1,8 +1,10 @@
 // Package core implements SimRank on uncertain graphs (Sec. V–VI of the
-// paper): the measure s(n)(u,v) of Definition 1 and its four computation
+// paper): the measure s(n)(u,v) of Definition 1 and its computation
 // strategies — the exact Baseline, the Monte Carlo Sampling algorithm,
-// the Two-Phase algorithm (SR-TS, exact prefix + sampled tail, Eq. 15)
-// and the Two-Phase algorithm with the bit-vector speed-up (SR-SP).
+// the Two-Phase algorithm (SR-TS, exact prefix + sampled tail, Eq. 15),
+// the Two-Phase algorithm with the bit-vector speed-up (SR-SP), and
+// SamplingV2, the allocation-free cache-aware rewrite of the Monte
+// Carlo kernel (internal/mc's lockstep Plan/Arena machinery).
 //
 // SimRank propagates similarity along in-arcs (two random surfers walk
 // backwards until they meet), so the engine runs all walk machinery on
@@ -16,6 +18,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"usimrank/internal/cache"
 	"usimrank/internal/matrix"
@@ -134,6 +137,16 @@ type Engine struct {
 	poolU    *speedup.Filters
 	poolV    *speedup.Filters
 
+	// v2 sampling kernel state: the precomputed arc-sampling plan over
+	// rev (built lazily on the first SamplingV2 query of a generation;
+	// see v2Plan) and the bounded pool of reusable per-worker scratch.
+	// The scratch pool is shared with clones and ApplyUpdates
+	// successors — buffer sizing depends only on the options, which
+	// successors inherit — so warmed buffers survive graph mutations.
+	v2mu   sync.Mutex
+	v2plan atomic.Pointer[mc.Plan]
+	v2pool *parallel.BufferPool[*v2scratch]
+
 	// gen is the graph generation: 1 from NewEngine, predecessor+1 from
 	// ApplyUpdates. See Generation.
 	gen uint64
@@ -146,12 +159,13 @@ func NewEngine(g *ugraph.Graph, opt Options) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		g:    g,
-		rev:  g.Reverse(),
-		opt:  opt,
-		pool: parallel.NewPool(opt.Parallelism),
-		rows: cache.New[int, []matrix.Vec](opt.RowCacheSize),
-		gen:  1,
+		g:      g,
+		rev:    g.Reverse(),
+		opt:    opt,
+		pool:   parallel.NewPool(opt.Parallelism),
+		rows:   cache.New[int, []matrix.Vec](opt.RowCacheSize),
+		v2pool: newV2Pool(opt),
+		gen:    1,
 	}, nil
 }
 

@@ -20,6 +20,9 @@ import (
 //   - TwoPhase: u's exact prefix rows and u's walks, each once.
 //   - SRSP: u's counting tables are propagated once and dotted against
 //     one propagation per candidate.
+//   - SamplingV2: u's lockstep walk grids are sampled once per chunk
+//     into a shared buffer and replayed against every candidate,
+//     allocation-free on a warmed engine.
 //
 // Every score is bit-identical to the pairwise Compute(alg, u, v) —
 // per-side walk streams and deterministic work splitting guarantee it —
@@ -55,6 +58,34 @@ func (e *Engine) singleSourceWith(p *parallel.Pool, alg Algorithm, u int, candid
 	return out, nil
 }
 
+// SingleSourceAgainstInto is SingleSourceAgainst writing into a
+// caller-provided buffer (len(out) must equal len(candidates)) — the
+// form for callers that reuse result buffers across queries. For the
+// sampling strategies nothing else is allocated either: on a warmed
+// engine the whole AlgSamplingV2 path is allocation-free, the property
+// the allocation regression gate pins. Exact-row strategies still
+// allocate internally (rows, an error slot per candidate).
+func (e *Engine) SingleSourceAgainstInto(alg Algorithm, u int, candidates []int, out []float64) error {
+	if len(out) != len(candidates) {
+		return fmt.Errorf("core: out length %d != candidate count %d", len(out), len(candidates))
+	}
+	// Only kernels that fetch exact rows per candidate can fail
+	// per-candidate; the pure sampling kernels never touch errs.
+	var errs []error
+	if _, usesRows := e.exactDepth(alg); usesRows {
+		errs = make([]error, len(candidates))
+	}
+	if err := e.singleSourceInto(e.pool, alg, u, candidates, out, errs); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // singleSourceInto runs one single-source kernel, writing scores to
 // out[i] and per-candidate failures to errs[i] (both len(candidates)).
 // A returned error means the u-side preparation failed and no candidate
@@ -69,23 +100,29 @@ func (e *Engine) singleSourceInto(p *parallel.Pool, alg Algorithm, u int, candid
 			return err
 		}
 	}
-	var kernel func(*parallel.Pool, int, []int, []float64, []error) error
 	switch alg {
-	case AlgBaseline:
-		kernel = e.baselineKernel
-	case AlgSampling:
-		kernel = e.samplingKernel
-	case AlgTwoPhase:
-		kernel = e.twoPhaseKernel
-	case AlgSRSP:
-		kernel = e.srspKernel
+	case AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP, AlgSamplingV2:
 	default:
 		return fmt.Errorf("core: unknown algorithm %d", int(alg))
 	}
 	if len(candidates) == 0 {
 		return nil // nothing to score; skip the u-side preparation too
 	}
-	return kernel(p, u, candidates, out, errs)
+	// Direct method calls rather than a method-value variable: binding a
+	// method value heap-allocates, which the SamplingV2 allocation gate
+	// forbids on this path.
+	switch alg {
+	case AlgBaseline:
+		return e.baselineKernel(p, u, candidates, out, errs)
+	case AlgSampling:
+		return e.samplingKernel(p, u, candidates, out, errs)
+	case AlgTwoPhase:
+		return e.twoPhaseKernel(p, u, candidates, out, errs)
+	case AlgSRSP:
+		return e.srspKernel(p, u, candidates, out, errs)
+	default:
+		return e.samplingV2Kernel(p, u, candidates, out, errs)
+	}
 }
 
 // baselineKernel: exact rows of u once, one row lookup + dot per

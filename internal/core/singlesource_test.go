@@ -9,7 +9,7 @@ import (
 	"usimrank/internal/ugraph"
 )
 
-var allAlgorithms = []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP}
+var allAlgorithms = []Algorithm{AlgBaseline, AlgSampling, AlgTwoPhase, AlgSRSP, AlgSamplingV2}
 
 // smallTestGraph is big enough that sampling splits into several chunks
 // but small enough for exhaustive single-source sweeps in tests.

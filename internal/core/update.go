@@ -138,13 +138,18 @@ func (e *Engine) ApplyUpdates(updates []ugraph.ArcUpdate) (*Engine, *UpdateStats
 
 	stats.HorizonDepth = maxDepth
 	return &Engine{
-		g:     newG,
-		rev:   newRev,
-		opt:   e.opt,
-		pool:  e.pool, // shared: old + new engines stay inside one Parallelism bound while the old drains
-		rows:  newRows,
-		poolU: newPoolU,
-		poolV: newPoolV,
-		gen:   e.gen + 1,
+		g:    newG,
+		rev:  newRev,
+		opt:  e.opt,
+		pool: e.pool, // shared: old + new engines stay inside one Parallelism bound while the old drains
+		rows: newRows,
+		// The v2 arc-sampling plan is a pure function of the mutated
+		// graph, so the successor rebuilds it lazily on first SamplingV2
+		// query; the scratch pool carries over — its buffers are sized by
+		// the options, not the graph.
+		v2pool: e.v2pool,
+		poolU:  newPoolU,
+		poolV:  newPoolV,
+		gen:    e.gen + 1,
 	}, stats, nil
 }

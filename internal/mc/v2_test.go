@@ -1,0 +1,270 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+	"usimrank/internal/walkpr"
+)
+
+// v2Sample is the test harness around Plan.Sample: fresh plan, fresh
+// arena, returns the position grid.
+func v2Sample(g *ugraph.Graph, src, steps, W int, seed uint64) []int32 {
+	p := BuildPlan(g)
+	var a Arena
+	pos := make([]int32, (steps+1)*W)
+	r := rng.New(seed)
+	p.Sample(src, steps, W, r, &a, pos)
+	return pos
+}
+
+func TestV2PlanPartitionsRows(t *testing.T) {
+	b := ugraph.NewBuilder(4)
+	b.AddArc(0, 1, 1.0)
+	b.AddArc(0, 2, 0.5)
+	b.AddArc(0, 3, 1.0)
+	b.AddArc(1, 2, 0.25)
+	b.AddArc(2, 3, 1.0)
+	g := b.MustBuild()
+	p := BuildPlan(g)
+	if p.NumVertices() != 4 {
+		t.Fatalf("plan has %d vertices", p.NumVertices())
+	}
+	// Row 0: two certain arcs first, then the uncertain one.
+	lo, hi := p.off[0], p.off[1]
+	if p.certEnd[0]-lo != 2 || hi-p.certEnd[0] != 1 {
+		t.Fatalf("row 0 split: certain %d, uncertain %d", p.certEnd[0]-lo, hi-p.certEnd[0])
+	}
+	if p.dst[p.certEnd[0]] != 2 {
+		t.Fatalf("row 0 uncertain target %d, want 2", p.dst[p.certEnd[0]])
+	}
+	if got, want := p.thr[p.certEnd[0]], uint64(1)<<52; got != want {
+		t.Fatalf("p=0.5 threshold %d, want %d", got, want)
+	}
+	// Row 2 is fully certain.
+	if p.certEnd[2]-p.off[2] != 1 || p.off[3]-p.certEnd[2] != 0 {
+		t.Fatal("row 2 not fully certain in plan")
+	}
+	if p.maxUnc != 1 {
+		t.Fatalf("maxUnc = %d, want 1", p.maxUnc)
+	}
+}
+
+// TestV2ThresholdMatchesBool pins the integer flip test against the v1
+// float compare: for any draw, draw>>11 < ⌈p·2^53⌉ must equal
+// float64(draw>>11)/2^53 < p.
+func TestV2ThresholdMatchesBool(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 200000; trial++ {
+		p := r.Float64()
+		draw := r.Uint64()
+		thr := uint64(math.Ceil(p * (1 << 53)))
+		intFlip := draw>>11 < thr
+		floatFlip := float64(draw>>11)/(1<<53) < p
+		if intFlip != floatFlip {
+			t.Fatalf("p=%v draw=%d: threshold %v, float compare %v", p, draw, intFlip, floatFlip)
+		}
+	}
+}
+
+func TestV2SampleWalkShapes(t *testing.T) {
+	g := ugraph.PaperFig1()
+	const steps, W = 5, 100
+	pos := v2Sample(g, 0, steps, W, 1)
+	for i := 0; i < W; i++ {
+		if pos[i] != 0 {
+			t.Fatalf("walk %d starts at %d", i, pos[i])
+		}
+		dead := false
+		for k := 1; k <= steps; k++ {
+			cur := pos[k*W+i]
+			prev := pos[(k-1)*W+i]
+			if dead {
+				if cur != -1 {
+					t.Fatalf("walk %d resurrected at step %d", i, k)
+				}
+				continue
+			}
+			if cur == -1 {
+				dead = true
+				continue
+			}
+			if !g.HasArc(int(prev), int(cur)) {
+				t.Fatalf("walk %d uses non-arc (%d,%d) at step %d", i, prev, cur, k)
+			}
+		}
+	}
+}
+
+func TestV2SampleDeterministicWithSeed(t *testing.T) {
+	g := ugraph.PaperFig1()
+	a := v2Sample(g, 1, 4, 50, 9)
+	b := v2Sample(g, 1, 4, 50, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different walks")
+		}
+	}
+}
+
+// TestV2ArenaReuseIsBitStable: a warmed, reused arena must reproduce the
+// grid of a fresh one exactly — stale log/instantiation state from a
+// previous call must never leak into the next.
+func TestV2ArenaReuseIsBitStable(t *testing.T) {
+	g := ugraph.PaperFig1()
+	p := BuildPlan(g)
+	const steps, W = 5, 64
+	var a Arena
+	warm := make([]int32, (steps+1)*W)
+	// Warm the arena on a different source and seed first.
+	p.Sample(3, steps, W, rng.New(77), &a, warm)
+	p.Sample(0, steps, W, rng.New(12), &a, warm)
+	fresh := v2Sample(g, 0, steps, W, 12)
+	for i := range fresh {
+		if warm[i] != fresh[i] {
+			t.Fatal("reused arena changed the sampled walks")
+		}
+	}
+}
+
+// TestV2WalkStepDistribution verifies the v2 sampler against the exact
+// k-step transition rows, the same ground truth that pins v1.
+func TestV2WalkStepDistribution(t *testing.T) {
+	g := ugraph.PaperFig1()
+	const N, n, src = 60000, 3, 0
+	pos := v2Sample(g, src, n, N, 17)
+	rows, err := walkpr.TransitionRows(g, src, n, walkpr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		counts := make(map[int32]int)
+		for i := 0; i < N; i++ {
+			if v := pos[k*N+i]; v >= 0 {
+				counts[v]++
+			}
+		}
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			got := float64(counts[v]) / N
+			want := rows[k].At(v)
+			if math.Abs(got-want) > 0.01 {
+				t.Fatalf("step %d vertex %d: empirical %v, exact %v", k, v, got, want)
+			}
+		}
+	}
+}
+
+// TestV2RevisitConsistency checks the possible-world discipline on the
+// p=0.5 self-loop: each walk's instantiation is fixed for its lifetime,
+// so a walk that survives step 1 survives every step.
+func TestV2RevisitConsistency(t *testing.T) {
+	b := ugraph.NewBuilder(1)
+	b.AddArc(0, 0, 0.5)
+	g := b.MustBuild()
+	const steps, W = 10, 5000
+	pos := v2Sample(g, 0, steps, W, 31)
+	alive := 0
+	for i := 0; i < W; i++ {
+		first := pos[W+i]
+		last := pos[steps*W+i]
+		if first != last {
+			t.Fatalf("walk %d: self-loop existed at step 1 (%d) but not at step %d (%d)", i, first, steps, last)
+		}
+		if last == 0 {
+			alive++
+		}
+	}
+	frac := float64(alive) / float64(W)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("survival fraction %v, want 0.5", frac)
+	}
+}
+
+// TestV2MeetingUnbiased verifies the v2 estimator end to end against
+// the exact meeting probabilities, like v1's MeetingEstimates test.
+func TestV2MeetingUnbiased(t *testing.T) {
+	g := ugraph.PaperFig1()
+	const N, n = 60000, 3
+	u, v := 0, 1
+	p := BuildPlan(g)
+	var a Arena
+	posU := make([]int32, (n+1)*N)
+	posV := make([]int32, (n+1)*N)
+	r := rng.New(23)
+	p.Sample(u, n, N, r, &a, posU)
+	p.Sample(v, n, N, r, &a, posV)
+	counts := make([]int64, n+1)
+	CountMeets(posU, posV, n, N, counts)
+
+	rowsU, err := walkpr.TransitionRows(g, u, n, walkpr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsV, err := walkpr.TransitionRows(g, v, n, walkpr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= n; k++ {
+		got := float64(counts[k]) / N
+		want := rowsU[k].Dot(rowsV[k])
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("m̂(%d) = %v, exact %v", k, got, want)
+		}
+	}
+}
+
+// TestV2CountMeetsDeadWalks: the -1 sentinel must never count as a
+// meeting, even when both walks are dead at the same step.
+func TestV2CountMeetsDeadWalks(t *testing.T) {
+	const steps, W = 1, 3
+	posU := []int32{0, 0, 0, -1, 2, 5}
+	posV := []int32{0, 0, 0, -1, 2, 4}
+	counts := make([]int64, steps+1)
+	CountMeets(posU, posV, steps, W, counts)
+	if counts[0] != 3 {
+		t.Fatalf("step 0 meets = %d, want 3", counts[0])
+	}
+	if counts[1] != 1 { // only the (2,2) pair; (-1,-1) is two dead walks
+		t.Fatalf("step 1 meets = %d, want 1", counts[1])
+	}
+	// Accumulation: a second call adds.
+	CountMeets(posU, posV, steps, W, counts)
+	if counts[0] != 6 || counts[1] != 2 {
+		t.Fatalf("accumulated counts = %v", counts)
+	}
+}
+
+// TestV2SampleAllocFree pins the kernel's core property: with a warmed
+// arena, sampling allocates nothing.
+func TestV2SampleAllocFree(t *testing.T) {
+	g := ugraph.PaperFig1()
+	p := BuildPlan(g)
+	const steps, W = 5, 128
+	var a Arena
+	pos := make([]int32, (steps+1)*W)
+	var r rng.RNG
+	r.Reseed(7)
+	p.Sample(0, steps, W, &r, &a, pos) // warm the high-water marks
+	allocs := testing.AllocsPerRun(50, func() {
+		r.Reseed(7)
+		p.Sample(0, steps, W, &r, &a, pos)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed Plan.Sample allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkV2SampleFig1(b *testing.B) {
+	g := ugraph.PaperFig1()
+	p := BuildPlan(g)
+	var a Arena
+	pos := make([]int32, 6*100)
+	var r rng.RNG
+	r.Reseed(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sample(0, 5, 100, &r, &a, pos)
+	}
+}

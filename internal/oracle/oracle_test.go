@@ -118,8 +118,11 @@ func TestBaselineMatchesOracle(t *testing.T) {
 // Pr(|m̂(k) − m(k)| > ε) ≤ 2·exp(−2Nε²); with N = 4000 and ε = 0.06
 // that is ≈ 6·10⁻¹³ per level, and the Eq. 12 weights sum to exactly 1,
 // so |ŝ − s| ≤ max_k |m̂(k) − m(k)| ≤ ε with failure probability below
-// 10⁻⁹ across the whole sweep (10 graphs × 3 pairs × 3 algorithms × 6
+// 10⁻⁹ across the whole sweep (10 graphs × 3 pairs × 4 algorithms × 6
 // levels) — and the fixed seed makes the run deterministic anyway.
+// SamplingV2 consumes randomness differently from Sampling but draws
+// from the same per-walk possible-world distribution, so the identical
+// Hoeffding bound pins it.
 //
 // The graphs are DAGs so that SR-SP's fixed-per-process arc choices
 // coincide in distribution with the Sampling algorithm's re-rolled
@@ -132,7 +135,7 @@ func TestSampledAlgorithmsConvergeToOracle(t *testing.T) {
 		N     = 4000
 		eps   = 0.06
 	)
-	algs := []core.Algorithm{core.AlgSampling, core.AlgTwoPhase, core.AlgSRSP}
+	algs := []core.Algorithm{core.AlgSampling, core.AlgTwoPhase, core.AlgSRSP, core.AlgSamplingV2}
 	for trial := 0; trial < 10; trial++ {
 		g := randSmallDAG(r)
 		e, err := core.NewEngine(g, core.Options{Steps: steps, N: N, L: 1, Seed: uint64(100 + trial), Parallelism: 2})

@@ -178,19 +178,75 @@ const DefaultChunkSize = 128
 // same chunk set — and hence bit-identical merged estimates — whatever
 // worker count later processes it. size < 1 selects DefaultChunkSize.
 func SplitChunks(total, size int, base *rng.RNG) []Chunk {
+	return AppendChunks(nil, total, size, base)
+}
+
+// AppendChunks is SplitChunks appending to dst instead of allocating —
+// the form the allocation-free sampling paths use with an arena-owned
+// slice (pass dst[:0] to reuse its capacity). The appended chunk set is
+// identical to SplitChunks(total, size, base).
+func AppendChunks(dst []Chunk, total, size int, base *rng.RNG) []Chunk {
 	if total <= 0 {
-		return nil
+		return dst
 	}
 	if size < 1 {
 		size = DefaultChunkSize
 	}
-	chunks := make([]Chunk, 0, (total+size-1)/size)
 	for lo := 0; lo < total; lo += size {
 		hi := lo + size
 		if hi > total {
 			hi = total
 		}
-		chunks = append(chunks, Chunk{Lo: lo, Hi: hi, Seed: base.Uint64()})
+		dst = append(dst, Chunk{Lo: lo, Hi: hi, Seed: base.Uint64()})
 	}
-	return chunks
+	return dst
+}
+
+// BufferPool is a bounded free list of reusable scratch buffers (walk
+// arenas, per-worker sampling state). Unlike sync.Pool it is never
+// drained by the garbage collector, so a warmed steady state really
+// stays allocation-free — the property the v2 kernel's allocation
+// regression gate pins — at the cost of holding up to max idle buffers
+// alive. Get and Put are safe for concurrent use; the buffers
+// themselves are handed out exclusively.
+type BufferPool[T any] struct {
+	mu    sync.Mutex
+	free  []T
+	max   int
+	newFn func() T
+}
+
+// NewBufferPool returns a pool that builds fresh buffers with newFn and
+// retains at most max idle ones (max < 1 selects 2×GOMAXPROCS, enough
+// for every worker plus an outer scope per concurrent query shape).
+func NewBufferPool[T any](max int, newFn func() T) *BufferPool[T] {
+	if max < 1 {
+		max = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &BufferPool[T]{max: max, newFn: newFn}
+}
+
+// Get returns an idle buffer, or a newly built one when none is free.
+func (p *BufferPool[T]) Get() T {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		var zero T
+		p.free[n-1] = zero // drop the pool's reference
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return x
+	}
+	p.mu.Unlock()
+	return p.newFn()
+}
+
+// Put returns a buffer to the pool; beyond the bound it is dropped for
+// the garbage collector.
+func (p *BufferPool[T]) Put(x T) {
+	p.mu.Lock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, x)
+	}
+	p.mu.Unlock()
 }

@@ -188,3 +188,80 @@ func TestPoolBoundIsPoolWide(t *testing.T) {
 		t.Fatalf("peak concurrency %d exceeds pool-wide bound %d", got, callers+workers-1)
 	}
 }
+
+// TestAppendChunksMatchesSplitChunks: the appending variant must
+// produce the identical chunk set and leave the base stream in the same
+// state, whether appending to nil or reusing an arena slice.
+func TestAppendChunksMatchesSplitChunks(t *testing.T) {
+	for _, tc := range []struct{ total, size int }{{1000, 128}, {100, 128}, {0, 128}, {5, 0}, {256, 64}} {
+		want := SplitChunks(tc.total, tc.size, rng.New(9))
+		scratch := make([]Chunk, 3, 8) // stale contents must be overwritten
+		got := AppendChunks(scratch[:0], tc.total, tc.size, rng.New(9))
+		if len(got) != len(want) {
+			t.Fatalf("total=%d size=%d: %d chunks, want %d", tc.total, tc.size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("total=%d size=%d chunk %d: %+v, want %+v", tc.total, tc.size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBufferPoolReusesAndBounds: Get returns warmed buffers LIFO, Put
+// beyond the bound drops, and newFn runs only on an empty free list.
+func TestBufferPoolReusesAndBounds(t *testing.T) {
+	built := 0
+	p := NewBufferPool(2, func() *[]int {
+		built++
+		s := make([]int, 0, 8)
+		return &s
+	})
+	a, b, c := p.Get(), p.Get(), p.Get()
+	if built != 3 {
+		t.Fatalf("built %d buffers, want 3", built)
+	}
+	p.Put(a)
+	p.Put(b)
+	p.Put(c) // beyond max=2: dropped
+	if got := p.Get(); got != b {
+		t.Fatal("Get did not return the most recently Put buffer")
+	}
+	if got := p.Get(); got != a {
+		t.Fatal("Get did not drain the free list LIFO")
+	}
+	if p.Get() == c {
+		t.Fatal("buffer beyond the bound was retained")
+	}
+	if built != 4 {
+		t.Fatalf("built %d buffers, want 4 (c was dropped)", built)
+	}
+}
+
+// TestBufferPoolDefaultBound: max < 1 selects a GOMAXPROCS-derived
+// bound, never zero (which would make the pool useless).
+func TestBufferPoolDefaultBound(t *testing.T) {
+	p := NewBufferPool(0, func() int { return 0 })
+	if p.max < 2 {
+		t.Fatalf("defaulted bound %d too small", p.max)
+	}
+}
+
+// TestBufferPoolConcurrent: Get/Put under contention (the race leg
+// checks the locking).
+func TestBufferPoolConcurrent(t *testing.T) {
+	p := NewBufferPool(4, func() *int { return new(int) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				x := p.Get()
+				*x++
+				p.Put(x)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -36,6 +36,57 @@ func (r *RNG) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// Reseed resets the generator to the stream of New(seed). It exists so
+// hot paths can hold an RNG by value (typically inside a reused arena or
+// on the stack) and re-aim it at a chunk seed without allocating the
+// fresh generator New returns.
+func (r *RNG) Reseed(seed uint64) {
+	r.state = seed
+}
+
+// Uint64s fills dst with the next len(dst) values of the stream — the
+// bulk form of Uint64 for samplers that consume draws in blocks (one
+// block per vertex-neighbourhood instantiation in the v2 Monte Carlo
+// kernel). The filled values are exactly what len(dst) successive
+// Uint64 calls would have returned, so bulk and scalar consumption are
+// interchangeable without perturbing downstream bits. Unlike repeated
+// Uint64 calls, the loop carries no dependency between iterations: each
+// output mixes state + (i+1)·gamma independently, so the CPU can
+// overlap the mixing of neighbouring draws.
+func (r *RNG) Uint64s(dst []uint64) {
+	s := r.state
+	for i := range dst {
+		s += gamma
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		dst[i] = z ^ (z >> 31)
+	}
+	r.state = s
+}
+
+// Bools fills dst with len(dst) independent Bool(p) draws. Stream
+// consumption matches repeated Bool calls exactly: clamped
+// probabilities (p <= 0, p >= 1) consume nothing, anything else
+// consumes one draw per element.
+func (r *RNG) Bools(p float64, dst []bool) {
+	if p <= 0 {
+		for i := range dst {
+			dst[i] = false
+		}
+		return
+	}
+	if p >= 1 {
+		for i := range dst {
+			dst[i] = true
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = r.Float64() < p
+	}
+}
+
 // Split returns a new generator whose stream is statistically independent
 // of the receiver's. The receiver advances by one step.
 func (r *RNG) Split() *RNG {

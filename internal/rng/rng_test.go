@@ -251,3 +251,69 @@ func BenchmarkFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestUint64sMatchesScalarStream: the bulk fill must be exactly what
+// repeated Uint64 calls produce, for every length, so bulk and scalar
+// consumers are interchangeable mid-stream.
+func TestUint64sMatchesScalarStream(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		bulk := New(42)
+		bulk.Uint64() // advance both streams off the seed state
+		scalar := New(42)
+		scalar.Uint64()
+		dst := make([]uint64, n)
+		bulk.Uint64s(dst)
+		for i, got := range dst {
+			if want := scalar.Uint64(); got != want {
+				t.Fatalf("n=%d index %d: bulk %#x, scalar %#x", n, i, got, want)
+			}
+		}
+		// Both generators must land in the same state.
+		if a, b := bulk.Uint64(), scalar.Uint64(); a != b {
+			t.Fatalf("n=%d: post-bulk state diverged (%#x vs %#x)", n, a, b)
+		}
+	}
+}
+
+// TestBoolsMatchesScalarStream: Bools must consume the stream exactly
+// like repeated Bool calls, including the clamped cases consuming
+// nothing.
+func TestBoolsMatchesScalarStream(t *testing.T) {
+	for _, p := range []float64{-0.5, 0, 0.25, 0.5, 0.9, 1, 1.5} {
+		bulk := New(7)
+		scalar := New(7)
+		dst := make([]bool, 257)
+		bulk.Bools(p, dst)
+		for i, got := range dst {
+			if want := scalar.Bool(p); got != want {
+				t.Fatalf("p=%v index %d: bulk %v, scalar %v", p, i, got, want)
+			}
+		}
+		if a, b := bulk.Uint64(), scalar.Uint64(); a != b {
+			t.Fatalf("p=%v: stream consumption diverged", p)
+		}
+	}
+}
+
+// TestReseedMatchesNew: a reseeded generator is indistinguishable from
+// a fresh one.
+func TestReseedMatchesNew(t *testing.T) {
+	var r RNG
+	r.Uint64() // dirty the state
+	r.Reseed(123)
+	fresh := New(123)
+	for i := 0; i < 10; i++ {
+		if a, b := r.Uint64(), fresh.Uint64(); a != b {
+			t.Fatalf("draw %d: reseeded %#x, fresh %#x", i, a, b)
+		}
+	}
+}
+
+func BenchmarkUint64sBulk(b *testing.B) {
+	r := New(1)
+	dst := make([]uint64, 256)
+	b.SetBytes(256 * 8)
+	for i := 0; i < b.N; i++ {
+		r.Uint64s(dst)
+	}
+}

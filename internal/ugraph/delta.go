@@ -197,8 +197,21 @@ func (d *Delta) NumArcs() int {
 }
 
 // OutArcs returns the overlay view of u's out-neighbours and their
-// probabilities, sorted by target. The slices are freshly allocated.
+// probabilities, sorted by target. The result is read-only: for a
+// vertex with no staged changes it aliases the base graph's storage
+// (the common case on a sparse overlay — no copy), otherwise the
+// slices are freshly allocated.
 func (d *Delta) OutArcs(u int) (dst []int32, probs []float64) {
+	touched := false
+	for key := range d.staged {
+		if key[0] == int32(u) {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		return d.base.Out(u), d.base.OutProbs(u)
+	}
 	dst = append(dst, d.base.Out(u)...)
 	probs = append(probs, d.base.OutProbs(u)...)
 	for key, st := range d.staged {

@@ -206,6 +206,49 @@ func TestDeltaOutArcsOverlay(t *testing.T) {
 	}
 }
 
+// TestDeltaOutArcsAliasesUntouchedRows pins the zero-copy fast path: a
+// vertex with no staged changes must get back the base graph's own
+// storage (no allocation), while a touched vertex still gets a fresh
+// overlay copy that leaves the base unmodified.
+func TestDeltaOutArcsAliasesUntouchedRows(t *testing.T) {
+	g := PaperFig1()
+	d := NewDelta(g)
+	// Touch vertex 0 only; every other row must alias the base.
+	if err := d.Stage(ArcUpdate{Op: OpInsert, U: 0, V: 0, P: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u < g.NumVertices(); u++ {
+		base := g.Out(u)
+		if len(base) == 0 {
+			continue
+		}
+		dst, probs := d.OutArcs(u)
+		if &dst[0] != &base[0] || &probs[0] != &g.OutProbs(u)[0] {
+			t.Fatalf("vertex %d untouched but OutArcs copied", u)
+		}
+	}
+	// The touched row must NOT alias: mutating the overlay result would
+	// otherwise corrupt the base graph.
+	dst, _ := d.OutArcs(0)
+	base := g.Out(0)
+	if len(dst) > 0 && len(base) > 0 && &dst[0] == &base[0] {
+		t.Fatal("touched vertex 0 aliases base storage")
+	}
+	// A delete staged on a row also forces the copy path.
+	d2 := NewDelta(g)
+	v := int(g.Out(1)[0])
+	if err := d2.Stage(ArcUpdate{Op: OpDelete, U: 1, V: v}); err != nil {
+		t.Fatal(err)
+	}
+	dst2, _ := d2.OutArcs(1)
+	if len(dst2) != len(g.Out(1))-1 {
+		t.Fatalf("deleted arc still present: %d arcs, want %d", len(dst2), len(g.Out(1))-1)
+	}
+	if g.Prob(1, v) == 0 {
+		t.Fatal("overlay delete leaked into the base graph")
+	}
+}
+
 func TestGraphApply(t *testing.T) {
 	g := PaperFig1()
 	mut, err := g.Apply([]ArcUpdate{{Op: OpInsert, U: 0, V: 0, P: 0.25}})

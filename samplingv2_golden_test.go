@@ -1,0 +1,164 @@
+package usimrank_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"usimrank"
+	"usimrank/internal/gen"
+	"usimrank/internal/rng"
+)
+
+// updateGolden rewrites testdata/golden/sampling_v2.json instead of
+// comparing:
+//
+//	go test . -run TestSamplingV2Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files under testdata/golden")
+
+// v2GoldenResult pins the Sampling-v2 kernel's answers for every query
+// shape the engine serves. The walks are pure functions of (seed,
+// vertex, side), so these values are bit-stable across Parallelism and
+// machines; any drift means the kernel's randomness contract changed.
+type v2GoldenResult struct {
+	Score            float64           `json:"score"`
+	SourceFull       []float64         `json:"source_full"`
+	SourceCandidates []float64         `json:"source_candidates"`
+	TopKU            []v2GoldenPair    `json:"topk_u"`
+	TopKPairs        []v2GoldenPair    `json:"topk_pairs"`
+	Batch            []v2GoldenPairRes `json:"batch"`
+}
+
+type v2GoldenPair struct {
+	U, V  int
+	Score float64
+}
+
+type v2GoldenPairRes struct {
+	U, V  int
+	Score float64
+}
+
+// round9 rounds to 9 significant digits, matching the scrub rule used
+// by the experiment golden files: a last-ulp libm difference across
+// architectures cannot flake the pin, a real regression still trips it.
+func round9(f float64) float64 {
+	r, _ := strconv.ParseFloat(strconv.FormatFloat(f, 'g', 9, 64), 64)
+	return r
+}
+
+func v2GoldenEngine(t *testing.T, parallelism int) *usimrank.Engine {
+	t.Helper()
+	g := gen.WithUniformProbs(gen.RMAT(7, 512, 0.45, 0.25, 0.2, rng.New(7)), 0.2, 0.9, rng.New(2))
+	e, err := usimrank.New(g, usimrank.Options{N: 512, Seed: 1, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func v2GoldenRun(t *testing.T, e *usimrank.Engine) v2GoldenResult {
+	t.Helper()
+	var res v2GoldenResult
+	alg := usimrank.AlgSamplingV2
+
+	score, err := e.Compute(alg, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Score = round9(score)
+
+	full, err := e.SingleSource(alg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.SourceFull = make([]float64, len(full))
+	for i, s := range full {
+		res.SourceFull[i] = round9(s)
+	}
+
+	cands := []int{0, 9, 9, 31, 64, 127}
+	sub, err := e.SingleSourceAgainst(alg, 5, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.SourceCandidates = make([]float64, len(sub))
+	for i, s := range sub {
+		res.SourceCandidates[i] = round9(s)
+	}
+
+	topk, err := usimrank.TopKSimilar(e, alg, 11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range topk {
+		res.TopKU = append(res.TopKU, v2GoldenPair{U: r.U, V: r.V, Score: round9(r.Score)})
+	}
+
+	pairs, err := usimrank.TopKPairs(e, alg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pairs {
+		res.TopKPairs = append(res.TopKPairs, v2GoldenPair{U: r.U, V: r.V, Score: round9(r.Score)})
+	}
+
+	for _, br := range usimrank.Batch(e, alg, [][2]int{{0, 1}, {3, 17}, {40, 41}, {100, 2}}, 0) {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+		res.Batch = append(res.Batch, v2GoldenPairRes{U: br.U, V: br.V, Score: round9(br.Value)})
+	}
+	return res
+}
+
+// TestSamplingV2Golden pins the v2 kernel's output for every query
+// shape to a golden JSON file, so a change to the walk layout, the
+// arc-sampling plan, or the chunk merge order fails tier-1
+// `go test ./...` instead of silently changing served scores.
+// Regenerate deliberately with -update-golden and review the diff.
+func TestSamplingV2Golden(t *testing.T) {
+	res := v2GoldenRun(t, v2GoldenEngine(t, 1))
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden", "sampling_v2.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sampling_v2 output diverged from golden file.\nIf the change is intended, regenerate with:\n  go test . -run TestSamplingV2Golden -update-golden\ngot:\n%s", got)
+	}
+}
+
+// TestSamplingV2GoldenParallelismInvariant re-runs every query shape on
+// engines with Parallelism 4 and 8 and requires bit-identical results:
+// the deterministic chunk merge, not scheduling luck, decides every
+// digit.
+func TestSamplingV2GoldenParallelismInvariant(t *testing.T) {
+	want := v2GoldenRun(t, v2GoldenEngine(t, 1))
+	for _, p := range []int{4, 8} {
+		got := v2GoldenRun(t, v2GoldenEngine(t, p))
+		wj, _ := json.Marshal(want)
+		gj, _ := json.Marshal(got)
+		if !bytes.Equal(wj, gj) {
+			t.Fatalf("Parallelism=%d diverged from Parallelism=1:\n got %s\nwant %s", p, gj, wj)
+		}
+	}
+}

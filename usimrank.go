@@ -96,25 +96,30 @@ type Engine = core.Engine
 // New builds an Engine for g.
 func New(g *Graph, opt Options) (*Engine, error) { return core.NewEngine(g, opt) }
 
-// Algorithm selects one of the four computation strategies for Compute
-// and Batch.
+// Algorithm selects one of the computation strategies for Compute and
+// Batch.
 type Algorithm = core.Algorithm
 
-// The four algorithms of the paper's Sec. VI.
+// The four algorithms of the paper's Sec. VI, plus SamplingV2 — the
+// allocation-free, cache-aware rewrite of the Monte Carlo kernel (same
+// estimator and accuracy bounds as AlgSampling, different randomness
+// consumption, roughly 2x faster; see the README's "Kernel v2"
+// section).
 const (
-	AlgBaseline = core.AlgBaseline
-	AlgSampling = core.AlgSampling
-	AlgTwoPhase = core.AlgTwoPhase
-	AlgSRSP     = core.AlgSRSP
+	AlgBaseline   = core.AlgBaseline
+	AlgSampling   = core.AlgSampling
+	AlgTwoPhase   = core.AlgTwoPhase
+	AlgSRSP       = core.AlgSRSP
+	AlgSamplingV2 = core.AlgSamplingV2
 )
 
-// Algorithms lists the four strategies in canonical order.
+// Algorithms lists the strategies in canonical order.
 func Algorithms() []Algorithm { return core.Algorithms() }
 
 // ParseAlgorithm maps a user-facing algorithm name ("baseline",
-// "sampling", "twophase"/"sr-ts", "srsp"/"sr-sp", case-insensitive) to
-// its Algorithm — the one parser shared by the CLI and the serving
-// plane.
+// "sampling", "twophase"/"sr-ts", "srsp"/"sr-sp", "sampling_v2",
+// case-insensitive) to its Algorithm — the one parser shared by the CLI
+// and the serving plane.
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
 
 // PairResult is one outcome of a Batch computation.
