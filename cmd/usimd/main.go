@@ -85,6 +85,8 @@ func main() {
 		admitWait      = flag.Duration("admission-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429 (negative: reject immediately)")
 		drain          = flag.Duration("drain-timeout", 15*time.Second, "max wait for old-engine requests after a hot-swap")
 		logEvery       = flag.Duration("log-every", time.Minute, "period of the metrics log line (0 disables)")
+		slowQueryMs    = flag.Int("slow-query-ms", 0, "log a structured slow-query line (with trace id and span timings) for queries at or above this many milliseconds (0 disables)")
+		logJSON        = flag.Bool("log-json", false, "emit slow-query lines as single-line JSON instead of key=value text")
 		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060); NEVER expose publicly — profiles leak memory contents and cost CPU")
 	)
 	flag.Parse()
@@ -138,6 +140,8 @@ func main() {
 			AdmissionWait: *admitWait,
 			LogEvery:      *logEvery,
 			Logger:        logger,
+			SlowQuery:     time.Duration(*slowQueryMs) * time.Millisecond,
+			LogJSON:       *logJSON,
 		})
 		if err != nil {
 			logger.Fatalf("build coordinator: %v", err)
@@ -187,6 +191,8 @@ func main() {
 		DrainTimeout:   *drain,
 		LogEvery:       *logEvery,
 		Logger:         logger,
+		SlowQuery:      time.Duration(*slowQueryMs) * time.Millisecond,
+		LogJSON:        *logJSON,
 	}
 	srv, err := server.New(g, *graphPath, cfg)
 	if err != nil {

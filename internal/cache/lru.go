@@ -35,6 +35,8 @@ type LRU[K comparable, V any] struct {
 	head      *entry[K, V] // most recently used
 	tail      *entry[K, V] // least recently used
 	evictions uint64
+	hits      uint64
+	misses    uint64
 }
 
 // New returns an empty LRU holding at most capacity entries. It panics
@@ -84,9 +86,11 @@ func (c *LRU[K, V]) Get(k K) (V, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.items[k]
 	if !ok {
+		c.misses++
 		var zero V
 		return zero, false
 	}
+	c.hits++
 	if c.head != e {
 		c.unlink(e)
 		c.pushFront(e)
@@ -154,4 +158,13 @@ func (c *LRU[K, V]) Evictions() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evictions
+}
+
+// Counters returns the lifetime Get hit and miss counts — the
+// effectiveness companion to Evictions' thrash metric. Adds are not
+// counted: a warm working set shows hits climbing against flat misses.
+func (c *LRU[K, V]) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }

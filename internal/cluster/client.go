@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"usimrank/internal/obs"
 	"usimrank/internal/server"
 )
 
@@ -34,6 +36,36 @@ type Client struct {
 	http         *http.Client
 	shardTimeout time.Duration
 	hedgeDelay   time.Duration
+	counters     []shardCounters // one per shard, indexed like endpoints
+}
+
+// shardCounters tracks one shard's replica-failover behaviour for the
+// /metrics exposition.
+type shardCounters struct {
+	hedges    atomic.Uint64 // attempts launched by the hedge timer
+	failovers atomic.Uint64 // attempts launched because an earlier one failed
+	stale     atomic.Uint64 // definitive answers rejected for a stale generation
+}
+
+// ShardCounters is a snapshot of one shard's hedging counters.
+type ShardCounters struct {
+	Hedges        uint64
+	Failovers     uint64
+	StaleRejected uint64
+}
+
+// Counters snapshots the per-shard hedge/failover counters, indexed by
+// shard.
+func (c *Client) Counters() []ShardCounters {
+	out := make([]ShardCounters, len(c.counters))
+	for i := range c.counters {
+		out[i] = ShardCounters{
+			Hedges:        c.counters[i].hedges.Load(),
+			Failovers:     c.counters[i].failovers.Load(),
+			StaleRejected: c.counters[i].stale.Load(),
+		}
+	}
+	return out
 }
 
 // NewClient builds a fan-out client over the per-shard endpoint lists.
@@ -43,6 +75,7 @@ func NewClient(endpoints [][]string, httpClient *http.Client, shardTimeout, hedg
 		http:         httpClient,
 		shardTimeout: shardTimeout,
 		hedgeDelay:   hedgeDelay,
+		counters:     make([]shardCounters, len(endpoints)),
 	}
 }
 
@@ -120,6 +153,7 @@ type attemptResult struct {
 	resp *ShardResponse
 	err  error
 	url  string
+	span obs.Span // the attempt's trace span; closed by Do's gather loop
 }
 
 // Do runs one logical request against shard, hedging across its
@@ -145,10 +179,19 @@ func (c *Client) Do(ctx context.Context, shard int, method, path string, body []
 	started := 0
 	start := func() {
 		url := urls[started]
+		hedged := started > 0
 		started++
 		go func() {
-			resp, err := c.doEndpoint(ctx, url, method, path, body)
-			results <- attemptResult{resp: resp, err: err, url: url}
+			// Each attempt gets its own span under the ambient (per-task
+			// or flight) span; the trace header it forwards names the
+			// attempt span as the remote parent, so a shard's own spans
+			// nest under the exact attempt that reached it.
+			asp := obs.SpanFromContext(ctx).Start("attempt " + url)
+			if hedged {
+				asp.Add("hedge", 1)
+			}
+			resp, err := c.doEndpoint(obs.ContextWithSpan(ctx, asp), url, method, path, body)
+			results <- attemptResult{resp: resp, err: err, url: url, span: asp}
 		}()
 	}
 	start()
@@ -164,8 +207,10 @@ func (c *Client) Do(ctx context.Context, shard int, method, path string, body []
 			pending--
 			if r.err == nil && definitive(r.resp.Status) {
 				if minGen == 0 || r.resp.Generation == 0 || r.resp.Generation >= minGen {
+					r.span.End()
 					return r.resp, nil
 				}
+				c.counters[shard].stale.Add(1)
 				r.err = fmt.Errorf("stale graph: endpoint at generation %d, cluster at %d (node missed admin mutations)",
 					r.resp.Generation, minGen)
 			}
@@ -173,10 +218,13 @@ func (c *Client) Do(ctx context.Context, shard int, method, path string, body []
 			if err == nil {
 				err = fmt.Errorf("status %d: %s", r.resp.Status, firstLine(r.resp.Body))
 			}
+			r.span.Error(err)
+			r.span.End()
 			attempts = append(attempts, AttemptError{URL: r.url, Err: err})
 			if started < len(urls) {
 				// A failed attempt promotes the next endpoint
 				// immediately; no point waiting out the hedge timer.
+				c.counters[shard].failovers.Add(1)
 				start()
 				pending++
 				hedge.Reset(c.hedgeDelay)
@@ -185,6 +233,7 @@ func (c *Client) Do(ctx context.Context, shard int, method, path string, body []
 			}
 		case <-hedge.C:
 			if started < len(urls) {
+				c.counters[shard].hedges.Add(1)
 				start()
 				pending++
 				// Re-arm so a shard with several replicas keeps hedging
@@ -222,6 +271,13 @@ func (c *Client) doEndpoint(ctx context.Context, url, method, path string, body 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate trace identity downstream: the node's spans nest under
+	// the ambient span (the attempt span on the query path, the admin
+	// root on fan-outs). Absent a trace this adds nothing — headers, not
+	// bodies, carry tracing, so relayed answers stay byte-identical.
+	if sp := obs.SpanFromContext(ctx); sp.Enabled() {
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(sp.TraceID(), sp.ID()))
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

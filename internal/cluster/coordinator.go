@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"usimrank"
+	"usimrank/internal/obs"
 	"usimrank/internal/server"
 )
 
@@ -60,6 +61,13 @@ type Config struct {
 	// Logger receives periodic summaries and admin events. Default:
 	// stderr with an "usimd-coord " prefix.
 	Logger *log.Logger
+	// SlowQuery, when positive, arms tracing on every query and logs a
+	// structured slow-query line (trace id, scatter span timings) for
+	// queries at or above the threshold. 0 disables.
+	SlowQuery time.Duration
+	// LogJSON emits slow-query lines as single-line JSON objects
+	// instead of key=value text.
+	LogJSON bool
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +198,7 @@ func New(cfg Config) (*Coordinator, error) {
 	co.mux.HandleFunc("POST /v1/topk", co.handleTopK)
 	co.mux.HandleFunc("POST /v1/batch", co.handleBatch)
 	co.mux.HandleFunc("GET /v1/stats", co.handleStats)
+	co.mux.HandleFunc("GET /metrics", co.handleMetrics)
 	co.mux.HandleFunc("POST /v1/admin/reload", co.handleReload)
 	co.mux.HandleFunc("POST /v1/admin/update", co.handleUpdate)
 	co.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -343,35 +352,85 @@ func (co *Coordinator) effectiveTimeout(ms int) time.Duration {
 	return d
 }
 
+// traceFor arms tracing for a request when any consumer exists: an
+// incoming Usimrank-Trace header, the debug flag, or a configured
+// slow-query threshold. Otherwise it returns (nil, zero Span) and the
+// request records nothing.
+func (co *Coordinator) traceFor(r *http.Request, shape string, debug bool) (*obs.Trace, obs.Span) {
+	hdr := r.Header.Get(obs.TraceHeader)
+	if hdr == "" && !debug && co.cfg.SlowQuery <= 0 {
+		return nil, obs.Span{}
+	}
+	id, parent, _ := obs.ParseTraceHeader(hdr)
+	tr := obs.NewTrace(id, parent)
+	return tr, tr.Start(shape)
+}
+
+// debugKey forks a flight key for debug requests, exactly like the
+// single node: a debug leader's relayed or merged response carries a
+// profile a non-debug follower must never receive, and a debug
+// follower behind a non-debug leader would get none.
+func debugKey(key string, debug bool) string {
+	if debug {
+		return key + "|dbg"
+	}
+	return key
+}
+
 // execute runs one admitted, coalesced, deadline-bounded scatter and
 // writes the error response when it fails — the coordinator-side twin
 // of the single node's execute, with downstream fan-out in place of an
-// engine call.
-func (co *Coordinator) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
+// engine call. When this request leads its flight, the scatter span
+// rides the flight context into the fan-out, so per-shard and
+// per-attempt spans (and the shards' own remote profiles) nest under
+// it.
+func (co *Coordinator) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, tr *obs.Trace, root obs.Span, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
+	if tr != nil {
+		w.Header().Set(obs.TraceHeader, tr.ID())
+	}
 	timeout := co.effectiveTimeout(timeoutMs)
 	key = fmt.Sprintf("%s|t%d", key, timeout.Milliseconds())
 	waitCtx, cancelWait := context.WithTimeout(r.Context(), timeout)
 	defer cancelWait()
 
+	asp := root.Start("admission_wait")
 	if !co.adm.Acquire(waitCtx) {
+		asp.Error(errors.New("admission rejected"))
+		asp.End()
 		co.metrics.AdmissionRejected.Add(1)
 		server.WriteError(w, http.StatusTooManyRequests, server.CodeOverloaded,
 			fmt.Sprintf("coordinator saturated: %d queries in flight", co.cfg.MaxInFlight))
 		return nil, false, false
 	}
+	asp.End()
 	defer co.adm.Release()
 	co.metrics.InFlight.Add(1)
 	defer co.metrics.InFlight.Add(-1)
 
 	start := time.Now()
+	csp := root.Start("coalesce")
 	val, coalesced, err := co.flights.Do(waitCtx, key, func() func() (any, error) {
 		fctx, cancelFlight := context.WithTimeout(co.baseCtx, timeout)
+		sct := root.Start("scatter")
+		fctx = obs.ContextWithSpan(fctx, sct)
 		return func() (any, error) {
+			defer sct.End()
 			defer cancelFlight()
 			return fn(fctx)
 		}
 	})
-	co.metrics.RecordQuery(shape, alg, time.Since(start), coalesced, err)
+	if csp.Enabled() {
+		var lead int64
+		if !coalesced {
+			lead = 1
+		}
+		csp.Add("leader", lead)
+	}
+	csp.End()
+	elapsed := time.Since(start)
+	co.metrics.RecordQuery(shape, alg, elapsed, coalesced, err)
+	root.Error(err)
+	server.LogSlowQuery(co.cfg.Logger, co.cfg.LogJSON, co.cfg.SlowQuery, shape, alg, tr, elapsed, coalesced, err)
 	if err != nil {
 		co.writeClusterError(w, err)
 		return nil, coalesced, false
@@ -462,10 +521,18 @@ func (co *Coordinator) doShard(ctx context.Context, shard int, shape, path strin
 }
 
 // passThrough executes a single-shard shape: the owning shard's
-// definitive response (success or error) is relayed verbatim.
-func (co *Coordinator) passThrough(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, shard int, path string, raw []byte) {
-	val, _, ok := co.execute(w, r, shape, alg, timeoutMs, key, func(ctx context.Context) (any, error) {
-		return co.doShard(ctx, shard, shape, path, raw)
+// definitive response (success or error) is relayed verbatim. A debug
+// profile on this path is the NODE's profile riding the relayed body —
+// the coordinator cannot splice its own spans into bytes it must not
+// touch, so its scatter/attempt spans surface only via the slow-query
+// log and an explicit Usimrank-Trace header.
+func (co *Coordinator) passThrough(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, tr *obs.Trace, root obs.Span, shard int, path string, raw []byte) {
+	val, _, ok := co.execute(w, r, shape, alg, timeoutMs, key, tr, root, func(ctx context.Context) (any, error) {
+		sp := obs.SpanFromContext(ctx).Start(shardName(shard))
+		resp, err := co.doShard(obs.ContextWithSpan(ctx, sp), shard, shape, path, raw)
+		sp.Error(err)
+		sp.End()
+		return resp, err
 	})
 	if !ok {
 		return
@@ -500,7 +567,14 @@ type scatterTask struct {
 // otherwise merge old-graph and new-graph partials into a response no
 // single node ever served, so a mixed gather fails with a transient
 // mixedGenerationError (503) instead.
-func (co *Coordinator) scatter(ctx context.Context, shape, path string, tasks []scatterTask) ([][]byte, error) {
+//
+// Each task gets its own span under the flight's scatter span, named
+// for the shard it targets; the client's endpoint attempts nest under
+// it. When debug is set the shard's own execution profile is decoded
+// from its 200 body and grafted onto the task span, so one debug
+// response shows coordinator scatter, both shards' engine-compute
+// spans, and the merge in a single connected tree.
+func (co *Coordinator) scatter(ctx context.Context, shape, path string, tasks []scatterTask, debug bool) ([][]byte, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	resps := make([]*ShardResponse, len(tasks))
@@ -510,16 +584,28 @@ func (co *Coordinator) scatter(ctx context.Context, shape, path string, tasks []
 		wg.Add(1)
 		go func(i int, task scatterTask) {
 			defer wg.Done()
-			resp, err := co.doShard(ctx, task.shard, shape, path, task.body)
+			sp := obs.SpanFromContext(ctx).Start(shardName(task.shard))
+			defer sp.End()
+			resp, err := co.doShard(obs.ContextWithSpan(ctx, sp), task.shard, shape, path, task.body)
 			if err != nil {
+				sp.Error(err)
 				errs[i] = err
 				cancel()
 				return
 			}
 			if resp.Status != http.StatusOK {
+				sp.Error(fmt.Errorf("status %d", resp.Status))
 				errs[i] = &relayError{resp: resp}
 				cancel()
 				return
+			}
+			if debug && sp.Enabled() {
+				var pr struct {
+					Profile *obs.Profile `json:"profile"`
+				}
+				if jerr := json.Unmarshal(resp.Body, &pr); jerr == nil {
+					sp.AttachRemote(pr.Profile)
+				}
 			}
 			resps[i] = resp
 		}(i, task)
@@ -610,8 +696,9 @@ func (co *Coordinator) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	shard := co.shards.Of(req.U)
-	key := fmt.Sprintf("score|g%d|%s|%d|%d", co.Generation(), alg, req.U, req.V)
-	co.passThrough(w, r, "score", alg.String(), req.TimeoutMs, key, shard, "/v1/score", raw)
+	key := debugKey(fmt.Sprintf("score|g%d|%s|%d|%d", co.Generation(), alg, req.U, req.V), req.Debug)
+	tr, root := co.traceFor(r, "score", req.Debug)
+	co.passThrough(w, r, "score", alg.String(), req.TimeoutMs, key, tr, root, shard, "/v1/score", raw)
 }
 
 func (co *Coordinator) handleSource(w http.ResponseWriter, r *http.Request) {
@@ -642,8 +729,9 @@ func (co *Coordinator) handleSource(w http.ResponseWriter, r *http.Request) {
 	if req.Candidates != nil {
 		candKey = server.DigestInts(req.Candidates)
 	}
-	key := fmt.Sprintf("source|g%d|%s|%d|%s", co.Generation(), algName, req.U, candKey)
-	co.passThrough(w, r, "source", algName, req.TimeoutMs, key, shard, "/v1/source", raw)
+	key := debugKey(fmt.Sprintf("source|g%d|%s|%d|%s", co.Generation(), algName, req.U, candKey), req.Debug)
+	tr, root := co.traceFor(r, "source", req.Debug)
+	co.passThrough(w, r, "source", algName, req.TimeoutMs, key, tr, root, shard, "/v1/source", raw)
 }
 
 func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -671,8 +759,9 @@ func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		shard := co.shards.Of(*req.U)
-		key := fmt.Sprintf("topk|g%d|%s|u%d|k%d", co.Generation(), alg, *req.U, req.K)
-		co.passThrough(w, r, "topk", alg.String(), req.TimeoutMs, key, shard, "/v1/topk", raw)
+		key := debugKey(fmt.Sprintf("topk|g%d|%s|u%d|k%d", co.Generation(), alg, *req.U, req.K), req.Debug)
+		tr, root := co.traceFor(r, "topk", req.Debug)
+		co.passThrough(w, r, "topk", alg.String(), req.TimeoutMs, key, tr, root, shard, "/v1/topk", raw)
 		return
 	}
 
@@ -685,7 +774,9 @@ func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 	} else {
 		key = fmt.Sprintf("topk|g%d|%s|pairs|k%d", st.gen, alg, req.K)
 	}
-	val, coalesced, ok := co.execute(w, r, "topk", alg.String(), req.TimeoutMs, key, func(ctx context.Context) (any, error) {
+	key = debugKey(key, req.Debug)
+	tr, root := co.traceFor(r, "topk", req.Debug)
+	val, coalesced, ok := co.execute(w, r, "topk", alg.String(), req.TimeoutMs, key, tr, root, func(ctx context.Context) (any, error) {
 		// The O(V) partition and the scatter bodies are built inside
 		// the flight, so coalescing followers joining this key pay
 		// nothing for work the leader's tasks already carry.
@@ -711,14 +802,14 @@ func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 					chunk = chunk[:maxSourcesPerChunk]
 				}
 				p = p[len(chunk):]
-				body, err := json.Marshal(server.TopKRequest{Alg: req.Alg, K: req.K, Sources: chunk, TimeoutMs: req.TimeoutMs})
+				body, err := json.Marshal(server.TopKRequest{Alg: req.Alg, K: req.K, Sources: chunk, TimeoutMs: req.TimeoutMs, Debug: req.Debug})
 				if err != nil {
 					return nil, err
 				}
 				tasks = append(tasks, scatterTask{shard: s, body: body})
 			}
 		}
-		bodies, err := co.scatter(ctx, "topk", "/v1/topk", tasks)
+		bodies, err := co.scatter(ctx, "topk", "/v1/topk", tasks, req.Debug)
 		if err != nil {
 			return nil, err
 		}
@@ -730,15 +821,24 @@ func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 			}
 			lists[i] = resp.Results
 		}
-		return mergeTopK(req.K, lists), nil
+		msp := obs.SpanFromContext(ctx).Start("merge")
+		msp.Add("lists", int64(len(lists)))
+		merged := mergeTopK(req.K, lists)
+		msp.End()
+		return merged, nil
 	})
 	if !ok {
 		return
 	}
-	server.WriteJSON(w, http.StatusOK, server.TopKResponse{
+	resp := server.TopKResponse{
 		Alg: alg.String(), U: nil, K: req.K,
 		Results: val.([]server.PairScore), Coalesced: coalesced,
-	})
+	}
+	if req.Debug {
+		root.End()
+		resp.Profile = tr.Profile()
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -763,8 +863,9 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for _, p := range req.Pairs {
 		flat = append(flat, p[0], p[1])
 	}
-	key := fmt.Sprintf("batch|g%d|%s|%s", co.Generation(), alg, server.DigestInts(flat))
-	val, coalesced, ok := co.execute(w, r, "batch", alg.String(), req.TimeoutMs, key, func(ctx context.Context) (any, error) {
+	key := debugKey(fmt.Sprintf("batch|g%d|%s|%s", co.Generation(), alg, server.DigestInts(flat)), req.Debug)
+	tr, root := co.traceFor(r, "batch", req.Debug)
+	val, coalesced, ok := co.execute(w, r, "batch", alg.String(), req.TimeoutMs, key, tr, root, func(ctx context.Context) (any, error) {
 		// Plan and marshal inside the flight, like the pairs top-k
 		// path: coalescing followers must not duplicate the regroup of
 		// a near-cap pairs payload just to throw it away.
@@ -774,16 +875,19 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// chunking is needed on this path.
 		tasks := make([]scatterTask, len(plan.shards))
 		for i, s := range plan.shards {
-			body, err := json.Marshal(server.BatchRequest{Alg: req.Alg, Pairs: plan.pairs[s], TimeoutMs: req.TimeoutMs})
+			body, err := json.Marshal(server.BatchRequest{Alg: req.Alg, Pairs: plan.pairs[s], TimeoutMs: req.TimeoutMs, Debug: req.Debug})
 			if err != nil {
 				return nil, err
 			}
 			tasks[i] = scatterTask{shard: s, body: body}
 		}
-		bodies, err := co.scatter(ctx, "batch", "/v1/batch", tasks)
+		bodies, err := co.scatter(ctx, "batch", "/v1/batch", tasks, req.Debug)
 		if err != nil {
 			return nil, err
 		}
+		msp := obs.SpanFromContext(ctx).Start("merge")
+		msp.Add("lists", int64(len(bodies)))
+		defer msp.End()
 		out := make([]server.BatchPairResult, len(req.Pairs))
 		for i, b := range bodies {
 			s := plan.shards[i]
@@ -803,15 +907,70 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	server.WriteJSON(w, http.StatusOK, server.BatchResponse{
+	resp := server.BatchResponse{
 		Alg: alg.String(), Results: val.([]server.BatchPairResult), Coalesced: coalesced,
-	})
+	}
+	if req.Debug {
+		root.End()
+		resp.Profile = tr.Profile()
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
 }
 
 // ---- stats -------------------------------------------------------------
 
 func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	server.WriteJSON(w, http.StatusOK, co.Stats())
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition
+// format. The serving registry contributes per-shape query families
+// plus per-downstream-shard latency histograms; the fan-out client
+// contributes hedge/failover counters per shard. Unlike /v1/stats this
+// never probes downstream endpoints — a scrape must stay cheap and
+// local however unhealthy the fleet is.
+func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := obs.NewPromWriter(w)
+
+	co.metrics.WriteProm(pw)
+
+	pw.Header("usimrank_uptime_seconds", "gauge", "Seconds since the coordinator process started.")
+	pw.Float("usimrank_uptime_seconds", nil, time.Since(co.start).Seconds())
+
+	st := co.state.Load()
+	pw.Header("usimrank_cluster_generation", "gauge", "Coordinator's view of the cluster graph generation.")
+	pw.Uint("usimrank_cluster_generation", nil, st.gen)
+	pw.Header("usimrank_cluster_shards", "gauge", "Configured shard count.")
+	pw.Int("usimrank_cluster_shards", nil, int64(co.shards.Shards()))
+	endpoints := 0
+	for _, eps := range co.cfg.Shards {
+		endpoints += len(eps)
+	}
+	pw.Header("usimrank_cluster_endpoints", "gauge", "Configured endpoint count across all shards.")
+	pw.Int("usimrank_cluster_endpoints", nil, int64(endpoints))
+	pw.Header("usimrank_graph_vertices", "gauge", "Vertex count of the cluster graph.")
+	pw.Int("usimrank_graph_vertices", nil, int64(st.vertices))
+	pw.Header("usimrank_graph_arcs", "gauge", "Arc count of the cluster graph.")
+	pw.Int("usimrank_graph_arcs", nil, int64(st.arcs))
+	pw.Header("usimrank_admin_ops_total", "counter", "Admin mutations applied across the fleet.")
+	pw.Uint("usimrank_admin_ops_total", nil, co.adminOps.Load())
+
+	pw.Header("usimrank_client_hedges_total", "counter", "Replica attempts launched by the hedge timer.")
+	counters := co.client.Counters()
+	for s, c := range counters {
+		pw.Uint("usimrank_client_hedges_total", []obs.Label{{Key: "shard", Value: shardName(s)}}, c.Hedges)
+	}
+	pw.Header("usimrank_client_failovers_total", "counter", "Replica attempts launched because an earlier attempt failed.")
+	for s, c := range counters {
+		pw.Uint("usimrank_client_failovers_total", []obs.Label{{Key: "shard", Value: shardName(s)}}, c.Failovers)
+	}
+	pw.Header("usimrank_client_stale_rejected_total", "counter", "Definitive downstream answers rejected for a stale graph generation.")
+	for s, c := range counters {
+		pw.Uint("usimrank_client_stale_rejected_total", []obs.Label{{Key: "shard", Value: shardName(s)}}, c.StaleRejected)
+	}
+
+	obs.WriteRuntimeMetrics(pw)
 }
 
 // statsProbeTTL and statsProbeTimeout bound the stats path's health
@@ -959,6 +1118,18 @@ func (co *Coordinator) adminFanout(w http.ResponseWriter, r *http.Request, path 
 	// bounded by the per-shard timeout.
 	ctx, cancel := context.WithCancel(co.baseCtx)
 	defer cancel()
+
+	// An incoming trace header rides the fan-out: every endpoint's admin
+	// spans nest under this root, so one trace shows the whole fleet
+	// applying (or refusing) a mutation.
+	if hdr := r.Header.Get(obs.TraceHeader); hdr != "" {
+		id, parent, _ := obs.ParseTraceHeader(hdr)
+		tr := obs.NewTrace(id, parent)
+		root := tr.Start("admin " + path)
+		defer root.End()
+		ctx = obs.ContextWithSpan(ctx, root)
+		w.Header().Set(obs.TraceHeader, tr.ID())
+	}
 
 	var acks []*endpointAck
 	for s, eps := range co.cfg.Shards {

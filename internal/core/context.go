@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+
+	"usimrank/internal/obs"
 )
 
 // Context-aware query wrappers. Each runs the same deterministic kernel
@@ -25,7 +27,11 @@ func (e *Engine) ComputeCtx(ctx context.Context, alg Algorithm, u, v int) (float
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	sp := obs.SpanFromContext(ctx).Start("kernel_pair")
+	sp.Add("walks", e.pairWalks(alg))
 	s, err := e.computeWith(e.pool.WithContext(ctx), alg, u, v)
+	sp.Error(err)
+	sp.End()
 	if err != nil {
 		return 0, err
 	}
@@ -49,7 +55,12 @@ func (e *Engine) SingleSourceAgainstCtx(ctx context.Context, alg Algorithm, u in
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := obs.SpanFromContext(ctx).Start("kernel_single_source")
+	sp.Add("walks", e.singleSourceWalks(alg, len(candidates)))
+	sp.Add("candidates", int64(len(candidates)))
 	out, err := e.singleSourceWith(e.pool.WithContext(ctx), alg, u, candidates)
+	sp.Error(err)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +77,10 @@ func BatchCtx(ctx context.Context, e *Engine, alg Algorithm, pairs [][2]int, wor
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := obs.SpanFromContext(ctx).Start("kernel_batch")
+	sp.Add("pairs", int64(len(pairs)))
 	out := batchWith(ctx, e, alg, pairs, workers)
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -150,6 +150,10 @@ type Engine struct {
 	// gen is the graph generation: 1 from NewEngine, predecessor+1 from
 	// ApplyUpdates. See Generation.
 	gen uint64
+
+	// kc aggregates lifetime kernel resource counts (walks sampled, v2
+	// arc instantiations, arena high-water) for the observability plane.
+	kc kernelCounters
 }
 
 // NewEngine validates opt and builds an engine for g.
@@ -461,6 +465,7 @@ func (e *Engine) meetingSampledWith(p *parallel.Pool, u, v int) ([]float64, erro
 		wu := mc.Sample(e.rev, u, e.opt.Steps, cu[ci].Len(), rng.New(cu[ci].Seed))
 		wv := mc.Sample(e.rev, v, e.opt.Steps, cv[ci].Len(), rng.New(cv[ci].Seed))
 		counts[ci] = mc.MeetingCounts(wu, wv)
+		e.kc.walks.Add(uint64(cu[ci].Len() + cv[ci].Len()))
 	})
 	return e.mergeMeetingCounts(counts), nil
 }

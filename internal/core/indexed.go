@@ -39,6 +39,7 @@ import (
 
 	"usimrank/internal/matrix"
 	"usimrank/internal/mc"
+	"usimrank/internal/obs"
 	"usimrank/internal/parallel"
 	"usimrank/internal/rng"
 )
@@ -103,6 +104,7 @@ func (e *Engine) occupancyWith(p *parallel.Pool, v int, salt uint64) []matrix.Ve
 	counts := make([][]map[int32]int, len(chunks))
 	p.For(len(chunks), func(ci int) {
 		w := mc.Sample(e.rev, v, steps, chunks[ci].Len(), rng.New(chunks[ci].Seed))
+		e.kc.walks.Add(uint64(chunks[ci].Len()))
 		per := make([]map[int32]int, steps+1)
 		for k := range per {
 			per[k] = make(map[int32]int)
@@ -166,7 +168,7 @@ func (e *Engine) SingleSourceIndexed(x SourceIndex, u int) ([]float64, error) {
 // SingleSourceIndexedAgainst is SingleSourceIndexed restricted to an
 // explicit candidate set: out[i] = ŝ(u, candidates[i]).
 func (e *Engine) SingleSourceIndexedAgainst(x SourceIndex, u int, candidates []int) ([]float64, error) {
-	return e.singleSourceIndexedWith(e.pool, x, u, candidates)
+	return e.singleSourceIndexedWith(e.pool, obs.Span{}, x, u, candidates)
 }
 
 // SingleSourceIndexedCtx is SingleSourceIndexed with cancellation.
@@ -185,7 +187,7 @@ func (e *Engine) SingleSourceIndexedAgainstCtx(ctx context.Context, x SourceInde
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	out, err := e.singleSourceIndexedWith(e.pool.WithContext(ctx), x, u, candidates)
+	out, err := e.singleSourceIndexedWith(e.pool.WithContext(ctx), obs.SpanFromContext(ctx), x, u, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +197,12 @@ func (e *Engine) SingleSourceIndexedAgainstCtx(ctx context.Context, x SourceInde
 	return out, nil
 }
 
-func (e *Engine) singleSourceIndexedWith(p *parallel.Pool, x SourceIndex, u int, candidates []int) ([]float64, error) {
+// singleSourceIndexedWith runs the indexed kernel. sp, when enabled, is
+// the ambient request span under which the two phases — residual
+// sampling of the source, index probing per candidate — are recorded as
+// separate timed children; the zero Span makes every trace call a
+// no-op, so untraced queries pay nothing.
+func (e *Engine) singleSourceIndexedWith(p *parallel.Pool, sp obs.Span, x SourceIndex, u int, candidates []int) ([]float64, error) {
 	if err := e.CheckIndex(x); err != nil {
 		return nil, err
 	}
@@ -211,8 +218,13 @@ func (e *Engine) singleSourceIndexedWith(p *parallel.Pool, x SourceIndex, u int,
 	if len(candidates) == 0 {
 		return out, nil // nothing to score; skip the residual sample too
 	}
+	res := sp.Start("index_residual")
+	res.Add("residual_walks", int64(e.opt.N))
 	occU := e.occupancyWith(p, u, saltWalkU)
+	res.End()
 	n := e.opt.Steps
+	probe := sp.Start("index_probe")
+	probe.Add("rows_probed", int64(len(candidates))*int64(n+1))
 	p.For(len(candidates), func(i int) {
 		v := candidates[i]
 		m := make([]float64, n+1)
@@ -221,5 +233,6 @@ func (e *Engine) singleSourceIndexedWith(p *parallel.Pool, x SourceIndex, u int,
 		}
 		out[i] = Combine(m, e.opt.C, n)
 	})
+	probe.End()
 	return out, nil
 }

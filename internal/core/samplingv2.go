@@ -125,8 +125,12 @@ func (e *Engine) v2PairChunk(plan *mc.Plan, s, w *v2scratch, u, v, ci int) {
 	w.posV = growInt32(w.posV, stride*W)
 	w.r.Reseed(cu.Seed)
 	plan.Sample(u, n, W, &w.r, &w.arena, w.posU)
+	arcs := w.arena.Instantiated()
 	w.r.Reseed(cv.Seed)
 	plan.Sample(v, n, W, &w.r, &w.arena, w.posV)
+	e.kc.walks.Add(uint64(2 * W))
+	e.kc.arcs.Add(uint64(arcs + w.arena.Instantiated()))
+	e.kc.noteArena(w.arena.FootprintBytes())
 	mc.CountMeets(w.posU, w.posV, n, W, s.counts[ci*stride:(ci+1)*stride])
 }
 
@@ -183,6 +187,9 @@ func (e *Engine) v2SourceChunk(plan *mc.Plan, s, w *v2scratch, u, ci int) {
 	c := s.cu[ci]
 	w.r.Reseed(c.Seed)
 	plan.Sample(u, e.opt.Steps, c.Len(), &w.r, &w.arena, s.posU[s.uoff[ci]:s.uoff[ci+1]])
+	e.kc.walks.Add(uint64(c.Len()))
+	e.kc.arcs.Add(uint64(w.arena.Instantiated()))
+	e.kc.noteArena(w.arena.FootprintBytes())
 }
 
 // v2Candidate scores one candidate against the pre-sampled source
@@ -197,13 +204,18 @@ func (e *Engine) v2Candidate(plan *mc.Plan, s, w *v2scratch, v int) float64 {
 	w.cv = parallel.AppendChunks(w.cv[:0], e.opt.N, parallel.DefaultChunkSize, &w.r)
 	w.counts = growInt64(w.counts, stride)
 	clearInt64(w.counts)
+	arcs := 0
 	for ci, c := range w.cv {
 		W := c.Len()
 		w.posV = growInt32(w.posV, stride*W)
 		w.r.Reseed(c.Seed)
 		plan.Sample(v, n, W, &w.r, &w.arena, w.posV)
+		arcs += w.arena.Instantiated()
 		mc.CountMeets(s.posU[s.uoff[ci]:s.uoff[ci+1]], w.posV, n, W, w.counts)
 	}
+	e.kc.walks.Add(uint64(e.opt.N))
+	e.kc.arcs.Add(uint64(arcs))
+	e.kc.noteArena(w.arena.FootprintBytes())
 	w.m = growFloat64(w.m, stride)
 	for k := 0; k < stride; k++ {
 		w.m[k] = float64(w.counts[k]) / float64(e.opt.N)

@@ -155,6 +155,7 @@ func (e *Engine) sourceWalks(p *parallel.Pool, u int) []*mc.Walks {
 	walks := make([]*mc.Walks, len(cu))
 	p.For(len(cu), func(ci int) {
 		walks[ci] = mc.Sample(e.rev, u, e.opt.Steps, cu[ci].Len(), rng.New(cu[ci].Seed))
+		e.kc.walks.Add(uint64(cu[ci].Len()))
 	})
 	return walks
 }
@@ -171,6 +172,7 @@ func (e *Engine) candidateMeeting(walksU []*mc.Walks, v int) []float64 {
 		wv := mc.Sample(e.rev, v, e.opt.Steps, cv[ci].Len(), rng.New(cv[ci].Seed))
 		counts[ci] = mc.MeetingCounts(walksU[ci], wv)
 	}
+	e.kc.walks.Add(uint64(e.opt.N)) // the chunks partition exactly N walks
 	return e.mergeMeetingCounts(counts)
 }
 

@@ -1,0 +1,17 @@
+package mc
+
+// Instantiated returns the number of arc-instantiation entries the most
+// recent Sample call recorded in the arena — how many arcs of the
+// possible worlds walked that chunk were materialised. The count resets
+// at every Sample call (the out-sets are per-chunk state), so callers
+// aggregating across chunks must read it after each call.
+func (a *Arena) Instantiated() int { return len(a.inst) }
+
+// FootprintBytes returns the arena's current buffer footprint — the
+// high-water scratch memory this worker holds between queries. Element
+// sizes are spelled per slice so the accessor tracks the Arena layout.
+func (a *Arena) FootprintBytes() uint64 {
+	int32Elems := cap(a.cur) + cap(a.wi) + cap(a.inst) +
+		cap(a.logV) + cap(a.logStart) + cap(a.logLen) + cap(a.logCnt)
+	return uint64(4*int32Elems + 8*cap(a.draws))
+}

@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that propagates trace identity across
+// the serving tiers: client → coordinator → shard node, and coordinator
+// → node on the admin fan-out. Its value is
+//
+//	<trace-id>-<parent-span-id-hex>
+//
+// where <trace-id> is an opaque alphanumeric token (16 lowercase hex
+// chars when minted here) and <parent-span-id-hex> is the sender's span
+// under which the receiver's spans nest. A bare <trace-id> (no dash
+// suffix) is accepted and means "no parent span". The header travels
+// next to Usimrank-Generation and, like it, never touches response
+// bodies — byte-identity of answers is independent of tracing.
+const TraceHeader = "Usimrank-Trace"
+
+// idState seeds trace-id generation; a splitmix64 sequence over a
+// wall-clock-seeded counter gives collision-resistant ids without
+// coordination. Trace ids appear only in headers, logs, and debug
+// profiles — never in regular response bodies — so this randomness
+// cannot perturb the determinism contract.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+// NewTraceID mints a fresh 16-hex-char trace id.
+func NewTraceID() string {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+// FormatTraceHeader renders the TraceHeader value announcing spanID as
+// the parent for the receiver's spans.
+func FormatTraceHeader(traceID string, spanID uint64) string {
+	return traceID + "-" + strconv.FormatUint(spanID, 16)
+}
+
+// ParseTraceHeader splits a TraceHeader value into the trace id and the
+// remote parent span id. ok is false for malformed values; callers then
+// mint a fresh trace instead of failing the request — tracing is
+// best-effort telemetry, never a correctness gate.
+func ParseTraceHeader(h string) (traceID string, parentSpan uint64, ok bool) {
+	h = strings.TrimSpace(h)
+	if h == "" || len(h) > 128 {
+		return "", 0, false
+	}
+	id, span := h, ""
+	if i := strings.LastIndexByte(h, '-'); i >= 0 {
+		id, span = h[:i], h[i+1:]
+		if span == "" {
+			return "", 0, false
+		}
+	}
+	if id == "" {
+		return "", 0, false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z') {
+			return "", 0, false
+		}
+	}
+	if span != "" {
+		p, err := strconv.ParseUint(span, 16, 64)
+		if err != nil {
+			return "", 0, false
+		}
+		parentSpan = p
+	}
+	return id, parentSpan, true
+}
+
+// Trace records one request's span tree. A nil *Trace is the disabled
+// state: every operation on it (and on the zero Span it hands out) is a
+// no-op that allocates nothing — the property the AllocsPerRun test
+// pins so that always-on instrumentation cannot break the v2 kernel's
+// zero-allocation gate.
+//
+// A Trace is safe for concurrent use: the flight leader, coalesced
+// followers, and hedged replica attempts all record into the same
+// trace.
+type Trace struct {
+	id     string
+	parent uint64 // remote parent span id carried in from TraceHeader
+	start  time.Time
+
+	mu     sync.Mutex
+	nextID uint64
+	spans  []spanRec
+}
+
+type spanRec struct {
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Duration
+	dur    time.Duration
+	done   bool
+	attrs  []attr
+	errMsg string
+	remote *Profile
+}
+
+type attr struct {
+	key string
+	val int64
+}
+
+// NewTrace starts a trace. An empty id mints a fresh one; a non-zero
+// parentSpan (from a remote TraceHeader) becomes the parent of every
+// span started directly on the trace, keeping cross-process span trees
+// connected.
+func NewTrace(id string, parentSpan uint64) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{id: id, parent: parentSpan, start: time.Now()}
+}
+
+// ID returns the trace id, "" on a nil trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start opens a top-level span (parented at the remote parent span, if
+// any). On a nil trace it returns the zero Span, on which every method
+// is an allocation-free no-op.
+func (t *Trace) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.newSpan(t.parent, name)
+}
+
+func (t *Trace) newSpan(parent uint64, name string) Span {
+	at := time.Since(t.start)
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.spans = append(t.spans, spanRec{id: id, parent: parent, name: name, start: at})
+	t.mu.Unlock()
+	return Span{t: t, id: id}
+}
+
+// Span is a value handle on one recorded span. The zero Span is valid
+// and disabled: Start returns another zero Span and Add/Error/End/
+// AttachRemote do nothing, so instrumented code never branches on
+// whether tracing is armed.
+type Span struct {
+	t  *Trace
+	id uint64
+}
+
+// Enabled reports whether the span records anywhere. Use it only to
+// skip work that is expensive even to prepare (e.g. decoding a remote
+// profile); plain Start/Add/End calls are cheap enough unguarded.
+func (s Span) Enabled() bool { return s.t != nil }
+
+// ID returns the span id (0 for the zero Span).
+func (s Span) ID() uint64 { return s.id }
+
+// TraceID returns the owning trace's id, "" for the zero Span.
+func (s Span) TraceID() string { return s.t.ID() }
+
+// Start opens a child span.
+func (s Span) Start(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.newSpan(s.id, name)
+}
+
+// Add accumulates an integer attribute on the span (repeated keys sum
+// in the profile) — the channel for kernel resource counts: walks
+// sampled, rows probed, residual walks, cache lookups.
+func (s Span) Add(key string, v int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	r := &s.t.spans[s.id-1]
+	r.attrs = append(r.attrs, attr{key: key, val: v})
+	s.t.mu.Unlock()
+}
+
+// Error marks the span failed. Recording an error does not end the
+// span.
+func (s Span) Error(err error) {
+	if s.t == nil || err == nil {
+		return
+	}
+	msg := err.Error()
+	s.t.mu.Lock()
+	s.t.spans[s.id-1].errMsg = msg
+	s.t.mu.Unlock()
+}
+
+// AttachRemote nests a profile returned by a downstream tier (a shard
+// node's debug profile) under this span, keeping the cross-process span
+// tree in one place.
+func (s Span) AttachRemote(p *Profile) {
+	if s.t == nil || p == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.spans[s.id-1].remote = p
+	s.t.mu.Unlock()
+}
+
+// End closes the span. Ending twice keeps the first duration.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	at := time.Since(s.t.start)
+	s.t.mu.Lock()
+	r := &s.t.spans[s.id-1]
+	if !r.done {
+		r.dur = at - r.start
+		r.done = true
+	}
+	s.t.mu.Unlock()
+}
+
+// ctxKey is the context key for the ambient span. A zero-size type
+// means the interface conversion in Value lookups never allocates.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the ambient span. A
+// disabled span returns ctx unchanged, so the disabled path allocates
+// nothing.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if s.t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the ambient span, or the zero (disabled) Span
+// when none is attached. The miss path performs no allocation.
+func SpanFromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(ctxKey{}).(Span)
+	return s
+}
+
+// Profile is the serializable snapshot of a trace: the span tree with
+// durations, summed attributes, errors, and nested remote profiles.
+// It appears in responses only when the request asked (debug=true) —
+// regular responses never carry one, preserving byte-identity.
+type Profile struct {
+	TraceID string        `json:"trace_id"`
+	Spans   []ProfileSpan `json:"spans,omitempty"`
+}
+
+// ProfileSpan is one span in a Profile. Parent 0 means the span is a
+// root of this process's tree (or hangs off the remote parent named in
+// the incoming trace header).
+type ProfileSpan struct {
+	ID      uint64           `json:"id"`
+	Parent  uint64           `json:"parent,omitempty"`
+	Name    string           `json:"name"`
+	StartUs int64            `json:"start_us"`
+	DurUs   int64            `json:"dur_us"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
+	Error   string           `json:"error,omitempty"`
+	Remote  *Profile         `json:"remote,omitempty"`
+}
+
+// Profile snapshots the trace. Spans still open are reported with their
+// duration so far, so a slow-query log taken mid-request is still
+// meaningful. Returns nil on a nil trace.
+func (t *Trace) Profile() *Profile {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &Profile{TraceID: t.id, Spans: make([]ProfileSpan, len(t.spans))}
+	for i := range t.spans {
+		r := &t.spans[i]
+		ps := ProfileSpan{
+			ID:      r.id,
+			Parent:  r.parent,
+			Name:    r.name,
+			StartUs: r.start.Microseconds(),
+			DurUs:   r.dur.Microseconds(),
+			Error:   r.errMsg,
+			Remote:  r.remote,
+		}
+		if !r.done {
+			ps.DurUs = (now - r.start).Microseconds()
+		}
+		if len(r.attrs) > 0 {
+			ps.Attrs = make(map[string]int64, len(r.attrs))
+			for _, a := range r.attrs {
+				ps.Attrs[a.key] += a.val
+			}
+		}
+		p.Spans[i] = ps
+	}
+	return p
+}
+
+// SpanLine renders the profile as one compact "name=<dur>us" sequence
+// for plain-text slow-query log lines.
+func (p *Profile) SpanLine() string {
+	if p == nil || len(p.Spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, s := range p.Spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%dus", s.Name, s.DurUs)
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDisabledPathAllocationFree pins the zero-overhead-when-disabled
+// contract: every operation available to instrumented code — context
+// lookup miss, span creation, attribute adds, error recording, ending,
+// remote attachment, context re-attachment — must allocate nothing when
+// tracing is off. This is what lets the serving path call the recorder
+// unconditionally without breaking the v2 kernel's 0 allocs/op gate.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	var nilTrace *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := SpanFromContext(ctx)
+		child := sp.Start("kernel_sampling")
+		child.Add("walks", 2048)
+		child.Add("rows_probed", 128)
+		child.Error(errDisabled)
+		child.AttachRemote(nil)
+		child.End()
+		if ContextWithSpan(ctx, sp) != ctx {
+			t.Fatal("disabled span must not derive a new context")
+		}
+		root := nilTrace.Start("root")
+		root.Add("x", 1)
+		root.End()
+		_ = nilTrace.ID()
+		_ = nilTrace.Profile()
+		_ = sp.Enabled()
+		_ = sp.TraceID()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates: %v allocs/op (want 0)", allocs)
+	}
+}
+
+var errDisabled = errors.New("boom")
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	id, span, ok := ParseTraceHeader(FormatTraceHeader("deadbeef01234567", 42))
+	if !ok || id != "deadbeef01234567" || span != 42 {
+		t.Fatalf("round trip: got (%q, %d, %v)", id, span, ok)
+	}
+	// A bare trace id is accepted with no parent span.
+	id, span, ok = ParseTraceHeader("abc123")
+	if !ok || id != "abc123" || span != 0 {
+		t.Fatalf("bare id: got (%q, %d, %v)", id, span, ok)
+	}
+	// Whitespace is trimmed.
+	if id, _, ok = ParseTraceHeader("  abc-1f  "); !ok || id != "abc" {
+		t.Fatalf("trimmed: got (%q, %v)", id, ok)
+	}
+	for _, bad := range []string{
+		"", "-", "-5", "abc-", "abc-xyz", "a b-1", "id/../x-1",
+		strings.Repeat("a", 200),
+	} {
+		if _, _, ok := ParseTraceHeader(bad); ok {
+			t.Fatalf("ParseTraceHeader(%q) accepted a malformed header", bad)
+		}
+	}
+}
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q: want 16 hex chars", id)
+		}
+		if _, _, ok := ParseTraceHeader(id + "-0"); !ok {
+			t.Fatalf("trace id %q does not survive its own header codec", id)
+		}
+		if seen[id] {
+			t.Fatalf("trace id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanTreeProfile(t *testing.T) {
+	tr := NewTrace("", 0)
+	root := tr.Start("score")
+	adm := root.Start("admission_wait")
+	adm.End()
+	eng := root.Start("engine_compute")
+	kern := eng.Start("kernel_sampling")
+	kern.Add("walks", 1000)
+	kern.Add("walks", 24) // repeated keys sum
+	kern.Add("arcs", 7)
+	kern.Error(errors.New("deadline"))
+	kern.AttachRemote(&Profile{TraceID: "remote1"})
+	kern.End()
+	eng.End()
+	root.End()
+
+	p := tr.Profile()
+	if p.TraceID != tr.ID() || len(p.Spans) != 4 {
+		t.Fatalf("profile: id=%q spans=%d", p.TraceID, len(p.Spans))
+	}
+	byName := map[string]ProfileSpan{}
+	for _, s := range p.Spans {
+		byName[s.Name] = s
+	}
+	if byName["admission_wait"].Parent != byName["score"].ID {
+		t.Fatal("admission_wait not parented under score")
+	}
+	if byName["kernel_sampling"].Parent != byName["engine_compute"].ID {
+		t.Fatal("kernel_sampling not parented under engine_compute")
+	}
+	k := byName["kernel_sampling"]
+	if k.Attrs["walks"] != 1024 || k.Attrs["arcs"] != 7 {
+		t.Fatalf("attrs: %v", k.Attrs)
+	}
+	if k.Error != "deadline" {
+		t.Fatalf("error: %q", k.Error)
+	}
+	if k.Remote == nil || k.Remote.TraceID != "remote1" {
+		t.Fatalf("remote profile lost: %+v", k.Remote)
+	}
+	if line := p.SpanLine(); !strings.Contains(line, "engine_compute=") {
+		t.Fatalf("SpanLine: %q", line)
+	}
+}
+
+func TestRemoteParentConnectsSpans(t *testing.T) {
+	// A trace reconstructed from a header parents its top-level spans
+	// at the remote span id, keeping the cross-process tree connected.
+	tr := NewTrace("cafe", 9)
+	sp := tr.Start("engine_compute")
+	sp.End()
+	p := tr.Profile()
+	if p.TraceID != "cafe" || p.Spans[0].Parent != 9 {
+		t.Fatalf("remote parent: %+v", p.Spans[0])
+	}
+}
+
+func TestOpenSpanGetsDurationSoFar(t *testing.T) {
+	tr := NewTrace("", 0)
+	root := tr.Start("hung")
+	_ = root
+	p := tr.Profile()
+	if p.Spans[0].DurUs < 0 {
+		t.Fatalf("open span duration negative: %d", p.Spans[0].DurUs)
+	}
+	// Ending twice keeps the first duration.
+	root.End()
+	first := tr.Profile().Spans[0].DurUs
+	root.End()
+	if tr.Profile().Spans[0].DurUs != first {
+		t.Fatal("double End changed the recorded duration")
+	}
+}
+
+// TestConcurrentRecording hammers one trace from many goroutines — the
+// shape of a coalesced flight with hedged attempts — under the race
+// detector in CI.
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewTrace("", 0)
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := root.Start("child")
+				sp.Add("n", 1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	p := tr.Profile()
+	if len(p.Spans) != 1+8*200 {
+		t.Fatalf("spans: %d", len(p.Spans))
+	}
+	var n int64
+	for _, s := range p.Spans {
+		n += s.Attrs["n"]
+	}
+	if n != 8*200 {
+		t.Fatalf("attr sum: %d", n)
+	}
+}

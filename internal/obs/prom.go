@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// PromWriter renders the Prometheus text exposition format (version
+// 0.0.4) by hand — this repo takes no external modules, and the format
+// is small: `# HELP`/`# TYPE` comments followed by
+// `name{label="value"} number` sample lines. Errors are sticky: the
+// first write failure is kept and later calls become no-ops, so call
+// sites stay linear and check Err once.
+type PromWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+// Header emits the HELP and TYPE comment lines for a metric family.
+// typ is one of "counter", "gauge", "histogram".
+func (p *PromWriter) Header(name, typ, help string) {
+	if p.err != nil {
+		return
+	}
+	b := p.buf[:0]
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = appendEscapedHelp(b, help)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	p.flush(b)
+}
+
+// Uint emits one sample line with an exact integer value (floats lose
+// precision past 2^53, which cumulative walk counters can exceed).
+func (p *PromWriter) Uint(name string, labels []Label, v uint64) {
+	p.sample(name, labels, func(b []byte) []byte { return strconv.AppendUint(b, v, 10) })
+}
+
+// Int emits one sample line with a signed integer value.
+func (p *PromWriter) Int(name string, labels []Label, v int64) {
+	p.sample(name, labels, func(b []byte) []byte { return strconv.AppendInt(b, v, 10) })
+}
+
+// Float emits one sample line with a float value; infinities render as
+// +Inf/-Inf per the exposition format.
+func (p *PromWriter) Float(name string, labels []Label, v float64) {
+	p.sample(name, labels, func(b []byte) []byte {
+		switch {
+		case math.IsInf(v, 1):
+			return append(b, "+Inf"...)
+		case math.IsInf(v, -1):
+			return append(b, "-Inf"...)
+		case math.IsNaN(v):
+			return append(b, "NaN"...)
+		default:
+			return strconv.AppendFloat(b, v, 'g', -1, 64)
+		}
+	})
+}
+
+func (p *PromWriter) sample(name string, labels []Label, appendVal func([]byte) []byte) {
+	if p.err != nil {
+		return
+	}
+	b := p.buf[:0]
+	b = append(b, name...)
+	if len(labels) > 0 {
+		b = append(b, '{')
+		for i, l := range labels {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, l.Key...)
+			b = append(b, '=', '"')
+			b = appendEscapedLabel(b, l.Value)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = appendVal(b)
+	b = append(b, '\n')
+	p.flush(b)
+}
+
+func (p *PromWriter) flush(b []byte) {
+	p.buf = b[:0]
+	if _, err := p.w.Write(b); err != nil {
+		p.err = err
+	}
+}
+
+// appendEscapedLabel escapes a label value: backslash, double quote,
+// and newline must be backslash-escaped inside the quotes.
+func appendEscapedLabel(b []byte, s string) []byte {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return append(b, s...)
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// appendEscapedHelp escapes a HELP text: backslash and newline only
+// (quotes are legal there).
+func appendEscapedHelp(b []byte, s string) []byte {
+	if !strings.ContainsAny(s, "\\\n") {
+		return append(b, s...)
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// WriteRuntimeMetrics emits the Go runtime gauges every serving process
+// exports: goroutines, heap, and GC totals.
+func WriteRuntimeMetrics(p *PromWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.Header("go_goroutines", "gauge", "Live goroutines.")
+	p.Int("go_goroutines", nil, int64(runtime.NumGoroutine()))
+	p.Header("go_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+	p.Uint("go_heap_alloc_bytes", nil, ms.HeapAlloc)
+	p.Header("go_heap_sys_bytes", "gauge", "Bytes of heap obtained from the OS.")
+	p.Uint("go_heap_sys_bytes", nil, ms.HeapSys)
+	p.Header("go_gc_cycles_total", "counter", "Completed GC cycles.")
+	p.Uint("go_gc_cycles_total", nil, uint64(ms.NumGC))
+	p.Header("go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	p.Float("go_gc_pause_seconds_total", nil, float64(ms.PauseTotalNs)/1e9)
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"errors"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expositionLine matches one valid sample line of the text exposition
+// format; the e2e jobs apply the same shape check to live /metrics
+// output.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+func TestPromWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	pw := NewPromWriter(&sb)
+	pw.Header("usimrank_queries_total", "counter", "Completed queries.")
+	pw.Uint("usimrank_queries_total", []Label{{"shape", "score"}, {"alg", "srsp"}}, 18446744073709551615)
+	pw.Header("usimrank_query_latency_seconds", "histogram", "Latency.")
+	pw.Float("usimrank_query_latency_seconds_bucket", []Label{{"le", "0.00005"}}, 3)
+	pw.Float("usimrank_query_latency_seconds_bucket", []Label{{"le", "+Inf"}}, 7)
+	pw.Float("usimrank_query_latency_seconds_sum", nil, 0.125)
+	pw.Int("usimrank_in_flight", nil, -1)
+	pw.Float("usimrank_inf", nil, math.Inf(1))
+	if pw.Err() != nil {
+		t.Fatalf("writer error: %v", pw.Err())
+	}
+	out := sb.String()
+	if !strings.Contains(out, `usimrank_queries_total{shape="score",alg="srsp"} 18446744073709551615`) {
+		t.Fatalf("uint line missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP usimrank_queries_total Completed queries.\n# TYPE usimrank_queries_total counter\n") {
+		t.Fatalf("header block missing:\n%s", out)
+	}
+	if !strings.Contains(out, "usimrank_inf +Inf") {
+		t.Fatalf("+Inf rendering missing:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("invalid exposition line: %q", line)
+		}
+	}
+}
+
+func TestPromWriterLabelEscaping(t *testing.T) {
+	var sb strings.Builder
+	pw := NewPromWriter(&sb)
+	pw.Uint("m", []Label{{"v", "a\"b\\c\nd"}}, 1)
+	pw.Header("h", "gauge", "line\\one\ntwo")
+	want := `m{v="a\"b\\c\nd"} 1` + "\n"
+	if !strings.HasPrefix(sb.String(), want) {
+		t.Fatalf("escaping:\n got %q\nwant prefix %q", sb.String(), want)
+	}
+	if !strings.Contains(sb.String(), `# HELP h line\\one\ntwo`) {
+		t.Fatalf("help escaping: %q", sb.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errFail
+}
+
+var errFail = errors.New("sink failed")
+
+func TestPromWriterStickyError(t *testing.T) {
+	fw := &failWriter{}
+	pw := NewPromWriter(fw)
+	pw.Uint("a", nil, 1)
+	pw.Uint("b", nil, 2)
+	pw.Header("c", "gauge", "h")
+	if pw.Err() != errFail {
+		t.Fatalf("err: %v", pw.Err())
+	}
+	if fw.n != 1 {
+		t.Fatalf("writes after first failure: %d", fw.n)
+	}
+}
+
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var sb strings.Builder
+	pw := NewPromWriter(&sb)
+	WriteRuntimeMetrics(pw)
+	if pw.Err() != nil {
+		t.Fatalf("runtime metrics: %v", pw.Err())
+	}
+	for _, want := range []string{"go_goroutines ", "go_heap_alloc_bytes ", "go_gc_pause_seconds_total "} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("runtime exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}

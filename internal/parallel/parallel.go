@@ -210,10 +210,12 @@ func AppendChunks(dst []Chunk, total, size int, base *rng.RNG) []Chunk {
 // alive. Get and Put are safe for concurrent use; the buffers
 // themselves are handed out exclusively.
 type BufferPool[T any] struct {
-	mu    sync.Mutex
-	free  []T
-	max   int
-	newFn func() T
+	mu     sync.Mutex
+	free   []T
+	max    int
+	newFn  func() T
+	gets   uint64
+	misses uint64
 }
 
 // NewBufferPool returns a pool that builds fresh buffers with newFn and
@@ -229,6 +231,7 @@ func NewBufferPool[T any](max int, newFn func() T) *BufferPool[T] {
 // Get returns an idle buffer, or a newly built one when none is free.
 func (p *BufferPool[T]) Get() T {
 	p.mu.Lock()
+	p.gets++
 	if n := len(p.free); n > 0 {
 		x := p.free[n-1]
 		var zero T
@@ -237,8 +240,19 @@ func (p *BufferPool[T]) Get() T {
 		p.mu.Unlock()
 		return x
 	}
+	p.misses++
 	p.mu.Unlock()
 	return p.newFn()
+}
+
+// Stats returns the lifetime Get count and how many of those built a
+// fresh buffer. A warmed pool shows misses plateau at its working-set
+// size while gets keep climbing — the steady-state reuse signal the
+// observability plane exposes as a hit rate.
+func (p *BufferPool[T]) Stats() (gets, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.misses
 }
 
 // Put returns a buffer to the pool; beyond the bound it is dropped for

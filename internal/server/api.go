@@ -4,6 +4,8 @@ package server
 // are the wire format documented in the package comment; keep the two
 // in sync.
 
+import "usimrank/internal/obs"
+
 // ScoreRequest asks for one pairwise similarity s(u, v).
 type ScoreRequest struct {
 	Alg string `json:"alg"`
@@ -12,6 +14,10 @@ type ScoreRequest struct {
 	// TimeoutMs optionally lowers the server's per-request deadline for
 	// this query. Values ≤ 0 or above the server default are ignored.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Debug arms tracing for this request and returns the recorded span
+	// tree (with kernel resource counts) in the response's profile
+	// field. Debug requests never coalesce with non-debug ones.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // ScoreResponse carries one pairwise similarity.
@@ -23,6 +29,10 @@ type ScoreResponse struct {
 	// Coalesced reports that this response was shared from a concurrent
 	// identical query rather than computed by a dedicated engine call.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Profile is the per-query execution profile, present only when the
+	// request set debug=true — regular responses stay byte-identical
+	// whether or not tracing is armed.
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 // SourceRequest asks for the single-source vector s(u, ·), optionally
@@ -35,16 +45,18 @@ type SourceRequest struct {
 	U          int    `json:"u"`
 	Candidates []int  `json:"candidates,omitempty"`
 	TimeoutMs  int    `json:"timeout_ms,omitempty"`
+	Debug      bool   `json:"debug,omitempty"`
 }
 
 // SourceResponse carries the scores; Scores[i] is s(U, Candidates[i]),
 // or s(U, i) over all vertices when the request had no candidate set.
 type SourceResponse struct {
-	Alg        string    `json:"alg"`
-	U          int       `json:"u"`
-	Candidates []int     `json:"candidates,omitempty"`
-	Scores     []float64 `json:"scores"`
-	Coalesced  bool      `json:"coalesced,omitempty"`
+	Alg        string       `json:"alg"`
+	U          int          `json:"u"`
+	Candidates []int        `json:"candidates,omitempty"`
+	Scores     []float64    `json:"scores"`
+	Coalesced  bool         `json:"coalesced,omitempty"`
+	Profile    *obs.Profile `json:"profile,omitempty"`
 }
 
 // TopKRequest asks for the K vertices most similar to *U, or — when U
@@ -60,6 +72,7 @@ type TopKRequest struct {
 	// order reproduces the unrestricted answer bit for bit.
 	Sources   []int `json:"sources,omitempty"`
 	TimeoutMs int   `json:"timeout_ms,omitempty"`
+	Debug     bool  `json:"debug,omitempty"`
 }
 
 // PairScore is one scored vertex pair.
@@ -71,11 +84,12 @@ type PairScore struct {
 
 // TopKResponse carries the ranked results, best first.
 type TopKResponse struct {
-	Alg       string      `json:"alg"`
-	U         *int        `json:"u,omitempty"`
-	K         int         `json:"k"`
-	Results   []PairScore `json:"results"`
-	Coalesced bool        `json:"coalesced,omitempty"`
+	Alg       string       `json:"alg"`
+	U         *int         `json:"u,omitempty"`
+	K         int          `json:"k"`
+	Results   []PairScore  `json:"results"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Profile   *obs.Profile `json:"profile,omitempty"`
 }
 
 // BatchRequest asks for many pairwise similarities in one call.
@@ -83,6 +97,7 @@ type BatchRequest struct {
 	Alg       string   `json:"alg"`
 	Pairs     [][2]int `json:"pairs"`
 	TimeoutMs int      `json:"timeout_ms,omitempty"`
+	Debug     bool     `json:"debug,omitempty"`
 }
 
 // BatchPairResult is one outcome of a batch computation; Error is set
@@ -99,6 +114,7 @@ type BatchResponse struct {
 	Alg       string            `json:"alg"`
 	Results   []BatchPairResult `json:"results"`
 	Coalesced bool              `json:"coalesced,omitempty"`
+	Profile   *obs.Profile      `json:"profile,omitempty"`
 }
 
 // ReloadRequest asks the server to hot-swap to the graph stored at

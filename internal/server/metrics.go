@@ -1,9 +1,15 @@
 package server
 
 import (
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"usimrank/internal/obs"
 )
 
 // latency histogram: base-2 buckets starting at 50µs. Bucket i covers
@@ -18,27 +24,35 @@ const (
 type histogram struct {
 	counts [histBuckets]atomic.Uint64
 	total  atomic.Uint64
+	sumUs  atomic.Uint64
 	maxUs  atomic.Uint64
 }
 
+// bucketFor maps a latency to its bucket in constant time: the bucket
+// index is the bit length of ⌈us/50µs⌉-1, because base-2 bucket bounds
+// make "first power of two ≥ ratio" exactly the bit length. Replaces a
+// per-observation linear scan over the bounds; the exhaustive
+// equivalence test in metrics_internal_test.go pins it to the old
+// loop's answers across every bucket boundary.
 func bucketFor(us int64) int {
-	if us < 0 {
-		us = 0
+	if us <= histBaseUs {
+		return 0
 	}
-	bound := int64(histBaseUs)
-	for i := 0; i < histBuckets-1; i++ {
-		if us <= bound {
-			return i
-		}
-		bound <<= 1
+	b := bits.Len64((uint64(us)+histBaseUs-1)/histBaseUs - 1)
+	if b > histBuckets-1 {
+		return histBuckets - 1
 	}
-	return histBuckets - 1
+	return b
 }
 
 func (h *histogram) observe(d time.Duration) {
 	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
 	h.counts[bucketFor(us)].Add(1)
 	h.total.Add(1)
+	h.sumUs.Add(uint64(us))
 	for {
 		cur := h.maxUs.Load()
 		if uint64(us) <= cur || h.maxUs.CompareAndSwap(cur, uint64(us)) {
@@ -79,6 +93,33 @@ func (h *histogram) summary() LatencySummary {
 	}
 }
 
+// histLe precomputes the Prometheus le= boundary strings: bucket i's
+// upper bound 50µs·2^i rendered in seconds, +Inf on the open-ended
+// last bucket.
+var histLe = func() [histBuckets]string {
+	var out [histBuckets]string
+	for i := 0; i < histBuckets-1; i++ {
+		out[i] = strconv.FormatFloat(float64(int64(histBaseUs)<<i)/1e6, 'g', -1, 64)
+	}
+	out[histBuckets-1] = "+Inf"
+	return out
+}()
+
+// writeHistogram renders one histogram as a Prometheus _bucket series
+// (cumulative counts, base-2 le bounds in seconds) plus _sum/_count.
+func writeHistogram(pw *obs.PromWriter, name string, labels []obs.Label, h *histogram) {
+	lbls := make([]obs.Label, len(labels)+1)
+	copy(lbls, labels)
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		lbls[len(labels)] = obs.Label{Key: "le", Value: histLe[i]}
+		pw.Uint(name+"_bucket", lbls, cum)
+	}
+	pw.Float(name+"_sum", labels, float64(h.sumUs.Load())/1e6)
+	pw.Uint(name+"_count", labels, h.total.Load())
+}
+
 // queryMetrics is one (shape, algorithm) cell.
 type queryMetrics struct {
 	count        atomic.Uint64
@@ -87,13 +128,17 @@ type queryMetrics struct {
 	latency      histogram
 }
 
-// MetricsRegistry aggregates everything /v1/stats reports that the
-// server itself owns (engine- and graph-level figures are read live at
-// snapshot time). All counters are atomics; the map of cells is
-// guarded by a mutex but accessed once per request.
+// MetricsRegistry aggregates everything /v1/stats and /metrics report
+// that the server itself owns (engine- and graph-level figures are
+// read live at snapshot time). All counters are atomics. The cell map
+// is an atomic pointer to an immutable map: the per-request lookup is
+// lock-free, and only the first sighting of a (shape, alg) pair takes
+// the mutex to publish a copy-on-write successor map — the cell set is
+// bounded by shapes × algorithms, so writes stop once traffic has
+// touched every combination.
 type MetricsRegistry struct {
-	mu    sync.Mutex
-	cells map[string]*queryMetrics // key "shape/alg"
+	mu    sync.Mutex                               // guards cell insertion (copy-on-write publish)
+	cells atomic.Pointer[map[string]*queryMetrics] // key "shape/alg"
 
 	InFlight          atomic.Int64
 	AdmissionRejected atomic.Uint64
@@ -106,21 +151,30 @@ type MetricsRegistry struct {
 }
 
 func NewMetricsRegistry() *MetricsRegistry {
-	return &MetricsRegistry{
-		cells:     make(map[string]*queryMetrics),
-		shapeHits: make(map[string]uint64),
-	}
+	m := &MetricsRegistry{shapeHits: make(map[string]uint64)}
+	empty := make(map[string]*queryMetrics)
+	m.cells.Store(&empty)
+	return m
 }
 
 func (m *MetricsRegistry) cell(shape, alg string) *queryMetrics {
 	key := shape + "/" + alg
+	if c, ok := (*m.cells.Load())[key]; ok {
+		return c
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c, ok := m.cells[key]
-	if !ok {
-		c = &queryMetrics{}
-		m.cells[key] = c
+	old := *m.cells.Load()
+	if c, ok := old[key]; ok {
+		return c
 	}
+	next := make(map[string]*queryMetrics, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	c := &queryMetrics{}
+	next[key] = c
+	m.cells.Store(&next)
 	return c
 }
 
@@ -191,14 +245,9 @@ func (m *MetricsRegistry) CoalescingStats() CoalescingStats {
 }
 
 func (m *MetricsRegistry) QueryStats() map[string]QueryStats {
-	m.mu.Lock()
-	snap := make(map[string]*queryMetrics, len(m.cells))
-	for k, c := range m.cells {
-		snap[k] = c
-	}
-	m.mu.Unlock()
-	out := make(map[string]QueryStats, len(snap))
-	for k, c := range snap {
+	cells := *m.cells.Load()
+	out := make(map[string]QueryStats, len(cells))
+	for k, c := range cells {
 		out[k] = QueryStats{
 			Count:        c.count.Load(),
 			Errors:       c.errors.Load(),
@@ -207,4 +256,90 @@ func (m *MetricsRegistry) QueryStats() map[string]QueryStats {
 		}
 	}
 	return out
+}
+
+// isShardCellKey reports whether a cell key's first component is a
+// coordinator downstream shard name ("shard<N>").
+func isShardCellKey(first string) bool {
+	if len(first) <= 5 || first[:5] != "shard" {
+		return false
+	}
+	for i := 5; i < len(first); i++ {
+		if first[i] < '0' || first[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteProm renders the registry as Prometheus text exposition. Query
+// cells become the usimrank_queries/usimrank_query_* families labeled
+// {shape, alg}; cells recorded via RecordDownstream under a shard name
+// (the coordinator's per-shard accounting) become the usimrank_shard_*
+// families labeled {shard, shape}. Keys are emitted in sorted order so
+// scrapes are stable and diffable.
+func (m *MetricsRegistry) WriteProm(pw *obs.PromWriter) {
+	cells := *m.cells.Load()
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		labels []obs.Label
+		c      *queryMetrics
+	}
+	var query, shard []row
+	for _, k := range keys {
+		first, second, _ := strings.Cut(k, "/")
+		if isShardCellKey(first) {
+			shard = append(shard, row{[]obs.Label{{Key: "shard", Value: first}, {Key: "shape", Value: second}}, cells[k]})
+		} else {
+			query = append(query, row{[]obs.Label{{Key: "shape", Value: first}, {Key: "alg", Value: second}}, cells[k]})
+		}
+	}
+
+	if len(query) > 0 {
+		pw.Header("usimrank_queries_total", "counter", "Completed queries by shape and algorithm.")
+		for _, r := range query {
+			pw.Uint("usimrank_queries_total", r.labels, r.c.count.Load())
+		}
+		pw.Header("usimrank_query_errors_total", "counter", "Queries that returned an error.")
+		for _, r := range query {
+			pw.Uint("usimrank_query_errors_total", r.labels, r.c.errors.Load())
+		}
+		pw.Header("usimrank_query_coalesce_hits_total", "counter", "Queries served as coalesced followers.")
+		for _, r := range query {
+			pw.Uint("usimrank_query_coalesce_hits_total", r.labels, r.c.coalesceHits.Load())
+		}
+		pw.Header("usimrank_query_latency_seconds", "histogram", "Query wall time (base-2 buckets from 50us).")
+		for _, r := range query {
+			writeHistogram(pw, "usimrank_query_latency_seconds", r.labels, &r.c.latency)
+		}
+	}
+	if len(shard) > 0 {
+		pw.Header("usimrank_shard_requests_total", "counter", "Downstream shard sub-requests by shard and shape.")
+		for _, r := range shard {
+			pw.Uint("usimrank_shard_requests_total", r.labels, r.c.count.Load())
+		}
+		pw.Header("usimrank_shard_request_errors_total", "counter", "Downstream shard sub-requests that failed.")
+		for _, r := range shard {
+			pw.Uint("usimrank_shard_request_errors_total", r.labels, r.c.errors.Load())
+		}
+		pw.Header("usimrank_shard_request_latency_seconds", "histogram", "Downstream shard sub-request wall time.")
+		for _, r := range shard {
+			writeHistogram(pw, "usimrank_shard_request_latency_seconds", r.labels, &r.c.latency)
+		}
+	}
+
+	pw.Header("usimrank_in_flight", "gauge", "Requests currently admitted and executing.")
+	pw.Int("usimrank_in_flight", nil, m.InFlight.Load())
+	pw.Header("usimrank_admission_rejected_total", "counter", "Requests rejected by admission control (HTTP 429).")
+	pw.Uint("usimrank_admission_rejected_total", nil, m.AdmissionRejected.Load())
+	pw.Header("usimrank_deadline_exceeded_total", "counter", "Queries that exceeded their deadline.")
+	pw.Uint("usimrank_deadline_exceeded_total", nil, m.DeadlineExceeded.Load())
+	pw.Header("usimrank_coalesce_hits_total", "counter", "Requests that joined an in-flight identical computation.")
+	pw.Uint("usimrank_coalesce_hits_total", nil, m.coalesceHits.Load())
+	pw.Header("usimrank_coalesce_misses_total", "counter", "Requests that led their computation.")
+	pw.Uint("usimrank_coalesce_misses_total", nil, m.coalesceMisses.Load())
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"usimrank"
+	"usimrank/internal/obs"
 )
 
 // Config configures a Server. The zero value selects sane serving
@@ -59,6 +60,13 @@ type Config struct {
 	// Logger receives the periodic summaries and reload events.
 	// Default: stderr with an "usimd " prefix.
 	Logger *log.Logger
+	// SlowQuery, when positive, arms tracing on every request and logs
+	// a structured slow-query line (carrying the trace id and span
+	// timings) for queries at or above the threshold. 0 disables.
+	SlowQuery time.Duration
+	// LogJSON emits slow-query lines as single-line JSON objects
+	// instead of key=value text.
+	LogJSON bool
 }
 
 func (c Config) withDefaults(parallelism int) Config {
@@ -157,6 +165,7 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("POST /v1/admin/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -204,6 +213,22 @@ func (s *Server) effectiveTimeout(ms int) time.Duration {
 	return d
 }
 
+// traceFor arms tracing for a request when any consumer exists: an
+// incoming Usimrank-Trace header (an upstream wants connected spans),
+// the debug flag (the client wants the profile inline), or a
+// configured slow-query threshold (the log may want the trace).
+// Otherwise it returns (nil, zero Span) and the request records
+// nothing — the allocation-free disabled path.
+func (s *Server) traceFor(r *http.Request, shape string, debug bool) (*obs.Trace, obs.Span) {
+	hdr := r.Header.Get(obs.TraceHeader)
+	if hdr == "" && !debug && s.cfg.SlowQuery <= 0 {
+		return nil, obs.Span{}
+	}
+	id, parent, _ := obs.ParseTraceHeader(hdr)
+	tr := obs.NewTrace(id, parent)
+	return tr, tr.Start(shape)
+}
+
 // execute runs one admitted, coalesced, deadline-bounded query and
 // writes the error response when it fails. The happy path returns
 // (value, coalesced, true) and leaves the response to the caller.
@@ -211,12 +236,22 @@ func (s *Server) effectiveTimeout(ms int) time.Duration {
 // h must be pinned by the caller (and stays the caller's to release):
 // execute re-pins it for the flight's own lifetime, so a hot-swap
 // drain cannot complete while the flight still computes on the engine.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, h *engineHandle, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
+//
+// tr/root come from traceFor; both may be disabled. When this request
+// leads its flight, the engine_compute span rides the flight context
+// into the kernel, so a debug profile always shows where the leader's
+// time went; followers instead show a coalesce span with leader=0.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, h *engineHandle, tr *obs.Trace, root obs.Span, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
 	// Stamp the generation this query is pinned to. The cluster
 	// coordinator reads it to reject answers from a node that missed
 	// admin mutations (a replica that was down through an update and
 	// came back serving the old graph).
 	w.Header().Set(GenerationHeader, strconv.FormatUint(h.gen, 10))
+	if tr != nil {
+		// Echo the trace id so callers can join logs without a debug
+		// body; the header never varies the body bytes.
+		w.Header().Set(obs.TraceHeader, tr.ID())
+	}
 	timeout := s.effectiveTimeout(timeoutMs)
 	// The flight runs under the leader's deadline, so only requests
 	// with the same effective budget may share one: without the suffix
@@ -226,35 +261,101 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg stri
 	waitCtx, cancelWait := context.WithTimeout(r.Context(), timeout)
 	defer cancelWait()
 
+	asp := root.Start("admission_wait")
 	if !s.adm.Acquire(waitCtx) {
+		asp.Error(errors.New("admission rejected"))
+		asp.End()
 		s.metrics.AdmissionRejected.Add(1)
 		WriteError(w, http.StatusTooManyRequests, CodeOverloaded,
 			fmt.Sprintf("server saturated: %d queries in flight", s.cfg.MaxInFlight))
 		return nil, false, false
 	}
+	asp.End()
 	defer s.adm.Release()
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 
 	start := time.Now()
+	csp := root.Start("coalesce")
 	val, coalesced, err := s.flights.Do(waitCtx, key, func() func() (any, error) {
 		// Leader path, still in this request's frame: transfer a pin
 		// and a server-owned deadline into the flight so it survives
 		// this request abandoning the wait.
 		h.tryAcquire()
 		fctx, cancelFlight := context.WithTimeout(s.baseCtx, timeout)
+		eng := root.Start("engine_compute")
+		fctx = obs.ContextWithSpan(fctx, eng)
 		return func() (any, error) {
+			defer eng.End()
 			defer h.release()
 			defer cancelFlight()
 			return fn(fctx)
 		}
 	})
-	s.metrics.RecordQuery(shape, alg, time.Since(start), coalesced, err)
+	if csp.Enabled() {
+		var lead int64
+		if !coalesced {
+			lead = 1
+		}
+		csp.Add("leader", lead)
+	}
+	csp.End()
+	elapsed := time.Since(start)
+	s.metrics.RecordQuery(shape, alg, elapsed, coalesced, err)
+	root.Error(err)
+	s.logSlowQuery(shape, alg, tr, elapsed, coalesced, err)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return nil, coalesced, false
 	}
 	return val, coalesced, true
+}
+
+// slowQueryLog is the JSON shape of one -log-json slow-query line.
+type slowQueryLog struct {
+	Msg        string            `json:"msg"`
+	TraceID    string            `json:"trace_id"`
+	Shape      string            `json:"shape"`
+	Alg        string            `json:"alg"`
+	DurationMs float64           `json:"duration_ms"`
+	Coalesced  bool              `json:"coalesced"`
+	Error      string            `json:"error,omitempty"`
+	Spans      []obs.ProfileSpan `json:"spans"`
+}
+
+// logSlowQuery emits the structured slow-query line when the query met
+// the configured threshold. The trace is always armed when SlowQuery
+// is set (see traceFor), so the line can carry span timings.
+func (s *Server) logSlowQuery(shape, alg string, tr *obs.Trace, d time.Duration, coalesced bool, err error) {
+	LogSlowQuery(s.cfg.Logger, s.cfg.LogJSON, s.cfg.SlowQuery, shape, alg, tr, d, coalesced, err)
+}
+
+// LogSlowQuery writes one structured slow-query line — key=value text,
+// or single-line JSON when logJSON — when d meets the threshold and a
+// trace was recorded. Shared by the single node and the cluster
+// coordinator so both planes log the same shape.
+func LogSlowQuery(logger *log.Logger, logJSON bool, threshold time.Duration, shape, alg string, tr *obs.Trace, d time.Duration, coalesced bool, err error) {
+	if threshold <= 0 || d < threshold || tr == nil {
+		return
+	}
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	p := tr.Profile()
+	durMs := float64(d.Microseconds()) / 1000
+	if logJSON {
+		line, merr := json.Marshal(slowQueryLog{
+			Msg: "slow_query", TraceID: p.TraceID, Shape: shape, Alg: alg,
+			DurationMs: durMs, Coalesced: coalesced, Error: errMsg, Spans: p.Spans,
+		})
+		if merr == nil {
+			logger.Printf("%s", line)
+		}
+		return
+	}
+	logger.Printf("slow_query trace=%s shape=%s alg=%s dur_ms=%.3f coalesced=%v err=%q spans: %s",
+		p.TraceID, shape, alg, durMs, coalesced, errMsg, p.SpanLine())
 }
 
 // writeQueryError maps an engine/context error to the JSON error
@@ -289,16 +390,36 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("score|g%d|%s|%d|%d", h.gen, alg, req.U, req.V)
-	val, coalesced, ok := s.execute(w, r, "score", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+	key = debugKey(key, req.Debug)
+	tr, root := s.traceFor(r, "score", req.Debug)
+	val, coalesced, ok := s.execute(w, r, "score", alg.String(), req.TimeoutMs, key, h, tr, root, func(ctx context.Context) (any, error) {
 		return h.eng.ComputeCtx(ctx, alg, req.U, req.V)
 	})
 	if !ok {
 		return
 	}
-	WriteJSON(w, http.StatusOK, ScoreResponse{
+	resp := ScoreResponse{
 		Alg: alg.String(), U: req.U, V: req.V,
 		Score: val.(float64), Coalesced: coalesced,
-	})
+	}
+	if req.Debug {
+		root.End()
+		resp.Profile = tr.Profile()
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+// debugKey forks a flight key for debug requests: a debug request must
+// lead its own flight (so its profile contains the engine spans) and a
+// non-debug follower must never be handed a response computed under a
+// debug leader. Two concurrent identical debug requests still coalesce
+// with each other; the follower's profile then shows a coalesce span
+// with leader=0 — accurate attribution, it really did no engine work.
+func debugKey(key string, debug bool) string {
+	if debug {
+		return key + "|dbg"
+	}
+	return key
 }
 
 // AlgIndexed is the source-only algorithm name selecting the
@@ -341,7 +462,9 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		candKey = DigestInts(req.Candidates)
 	}
 	key := fmt.Sprintf("source|g%d|%s|%d|%s", h.gen, algName, req.U, candKey)
-	val, coalesced, ok := s.execute(w, r, "source", algName, req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+	key = debugKey(key, req.Debug)
+	tr, root := s.traceFor(r, "source", req.Debug)
+	val, coalesced, ok := s.execute(w, r, "source", algName, req.TimeoutMs, key, h, tr, root, func(ctx context.Context) (any, error) {
 		switch {
 		case indexed && req.Candidates == nil:
 			return h.eng.SingleSourceIndexedCtx(ctx, h.idx, req.U)
@@ -370,10 +493,15 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 			s.indexResidualWalks.Add(uint64(h.idx.Samples()))
 		}
 	}
-	WriteJSON(w, http.StatusOK, SourceResponse{
+	resp := SourceResponse{
 		Alg: algName, U: req.U, Candidates: req.Candidates,
 		Scores: val.([]float64), Coalesced: coalesced,
-	})
+	}
+	if req.Debug {
+		root.End()
+		resp.Profile = tr.Profile()
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -419,7 +547,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	} else {
 		key = fmt.Sprintf("topk|g%d|%s|pairs|k%d", h.gen, alg, req.K)
 	}
-	val, coalesced, ok := s.execute(w, r, "topk", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+	key = debugKey(key, req.Debug)
+	tr, root := s.traceFor(r, "topk", req.Debug)
+	val, coalesced, ok := s.execute(w, r, "topk", alg.String(), req.TimeoutMs, key, h, tr, root, func(ctx context.Context) (any, error) {
 		if req.U != nil {
 			return usimrank.TopKSimilarCtx(ctx, h.eng, alg, *req.U, req.K)
 		}
@@ -436,9 +566,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		out[i] = PairScore{U: res.U, V: res.V, Score: res.Score}
 	}
-	WriteJSON(w, http.StatusOK, TopKResponse{
+	resp := TopKResponse{
 		Alg: alg.String(), U: req.U, K: req.K, Results: out, Coalesced: coalesced,
-	})
+	}
+	if req.Debug {
+		root.End()
+		resp.Profile = tr.Profile()
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -465,7 +600,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		flat = append(flat, p[0], p[1])
 	}
 	key := fmt.Sprintf("batch|g%d|%s|%s", h.gen, alg, DigestInts(flat))
-	val, coalesced, ok := s.execute(w, r, "batch", alg.String(), req.TimeoutMs, key, h, func(ctx context.Context) (any, error) {
+	key = debugKey(key, req.Debug)
+	tr, root := s.traceFor(r, "batch", req.Debug)
+	val, coalesced, ok := s.execute(w, r, "batch", alg.String(), req.TimeoutMs, key, h, tr, root, func(ctx context.Context) (any, error) {
 		return usimrank.BatchCtx(ctx, h.eng, alg, req.Pairs, 0)
 	})
 	if !ok {
@@ -479,7 +616,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out[i].Error = res.Err.Error()
 		}
 	}
-	WriteJSON(w, http.StatusOK, BatchResponse{Alg: alg.String(), Results: out, Coalesced: coalesced})
+	resp := BatchResponse{Alg: alg.String(), Results: out, Coalesced: coalesced}
+	if req.Debug {
+		root.End()
+		resp.Profile = tr.Profile()
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

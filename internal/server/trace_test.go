@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"usimrank/internal/obs"
+)
+
+// profileNames flattens a profile's span names.
+func profileNames(p *obs.Profile) map[string]obs.ProfileSpan {
+	out := make(map[string]obs.ProfileSpan, len(p.Spans))
+	for _, s := range p.Spans {
+		out[s.Name] = s
+	}
+	return out
+}
+
+// TestDebugProfileSpans: debug=true returns the span tree inline —
+// serving spans plus the kernel span with its walk counter — and the
+// response echoes the trace id in the header.
+func TestDebugProfileSpans(t *testing.T) {
+	s := newTestServer(t, Config{Engine: testOptions()})
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(ScoreRequest{Alg: "sampling", U: 3, V: 17, Debug: true}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/score", &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var score ScoreResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &score); err != nil {
+		t.Fatal(err)
+	}
+	if score.Profile == nil || score.Profile.TraceID == "" {
+		t.Fatalf("debug response carries no profile: %s", rec.Body.String())
+	}
+	if got := rec.Result().Header.Get(obs.TraceHeader); got != score.Profile.TraceID {
+		t.Fatalf("trace header %q != profile trace id %q", got, score.Profile.TraceID)
+	}
+	byName := profileNames(score.Profile)
+	for _, name := range []string{"score", "admission_wait", "coalesce", "engine_compute", "kernel_pair"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("profile missing %q span: %s", name, rec.Body.String())
+		}
+	}
+	if w := byName["kernel_pair"].Attrs["walks"]; w <= 0 {
+		t.Errorf("kernel_pair walks attr = %d, want > 0", w)
+	}
+	if byName["coalesce"].Attrs["leader"] != 1 {
+		t.Errorf("serial debug request should lead its flight: %+v", byName["coalesce"])
+	}
+
+	// The single-source shape records the single-source kernel span with
+	// walk and candidate counts.
+	var src SourceResponse
+	if code := call(t, s, "POST", "/v1/source", SourceRequest{Alg: "srsp", U: 5, Debug: true}, &src); code != 200 {
+		t.Fatalf("/v1/source status %d", code)
+	}
+	if src.Profile == nil {
+		t.Fatal("source debug response carries no profile")
+	}
+	sb := profileNames(src.Profile)
+	ks, ok := sb["kernel_single_source"]
+	if !ok {
+		t.Fatalf("source profile missing kernel_single_source: %+v", src.Profile.Spans)
+	}
+	if ks.Attrs["candidates"] <= 0 {
+		t.Errorf("kernel_single_source candidates attr = %d, want > 0", ks.Attrs["candidates"])
+	}
+}
+
+// TestDebugProfileIndexSpans: the indexed source path records the
+// index probe (rows_probed) and the residual sampling (residual_walks)
+// as separate spans.
+func TestDebugProfileIndexSpans(t *testing.T) {
+	g := testGraph()
+	idx := buildTestIndex(t, g, testOptions())
+	s := newTestServer(t, Config{Engine: testOptions(), Index: idx})
+
+	var src SourceResponse
+	if code := call(t, s, "POST", "/v1/source", SourceRequest{Alg: "indexed", U: 3, Debug: true}, &src); code != 200 {
+		t.Fatalf("/v1/source status %d", code)
+	}
+	if src.Profile == nil {
+		t.Fatal("indexed debug response carries no profile")
+	}
+	byName := profileNames(src.Profile)
+	probe, ok := byName["index_probe"]
+	if !ok {
+		t.Fatalf("profile missing index_probe span: %+v", src.Profile.Spans)
+	}
+	if probe.Attrs["rows_probed"] <= 0 {
+		t.Errorf("index_probe rows_probed = %d, want > 0", probe.Attrs["rows_probed"])
+	}
+	residual, ok := byName["index_residual"]
+	if !ok {
+		t.Fatalf("profile missing index_residual span: %+v", src.Profile.Spans)
+	}
+	if residual.Attrs["residual_walks"] <= 0 {
+		t.Errorf("index_residual residual_walks = %d, want > 0", residual.Attrs["residual_walks"])
+	}
+}
+
+// TestTracingByteIdentity: arming tracing via the header must not
+// change a single response byte, and debug=false responses never carry
+// a profile.
+func TestTracingByteIdentity(t *testing.T) {
+	s := newTestServer(t, Config{Engine: testOptions()})
+	queries := []struct{ path, body string }{
+		{"/v1/score", `{"alg":"sampling","u":3,"v":17}`},
+		{"/v1/score", `{"alg":"twophase","u":3,"v":17}`},
+		{"/v1/source", `{"alg":"srsp","u":5}`},
+		{"/v1/topk", `{"alg":"srsp","u":3,"k":5}`},
+		{"/v1/batch", `{"alg":"srsp","pairs":[[1,2],[3,17]]}`},
+	}
+	for _, q := range queries {
+		do := func(hdr string) (int, string, string) {
+			req := httptest.NewRequest("POST", q.path, strings.NewReader(q.body))
+			if hdr != "" {
+				req.Header.Set(obs.TraceHeader, hdr)
+			}
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			return rec.Code, rec.Body.String(), rec.Result().Header.Get(obs.TraceHeader)
+		}
+		offCode, off, offEcho := do("")
+		if offCode != 200 {
+			t.Fatalf("%s: status %d: %s", q.path, offCode, off)
+		}
+		if offEcho != "" {
+			t.Errorf("%s: untraced response carries a trace header", q.path)
+		}
+		if strings.Contains(off, `"profile"`) {
+			t.Errorf("%s: untraced response carries a profile: %s", q.path, off)
+		}
+		onCode, on, onEcho := do("feedc0de00112233-ab")
+		if onCode != 200 {
+			t.Fatalf("%s traced: status %d: %s", q.path, onCode, on)
+		}
+		if onEcho != "feedc0de00112233" {
+			t.Errorf("%s: trace id not echoed: %q", q.path, onEcho)
+		}
+		if off != on {
+			t.Errorf("%s: tracing perturbed the response\noff: %s\non:  %s", q.path, off, on)
+		}
+	}
+}
+
+// TestSlowQueryLog pins both slow-query log formats: key=value text
+// with the span line, and single-line JSON that parses back into the
+// log shape with a trace id and spans.
+func TestSlowQueryLog(t *testing.T) {
+	var textBuf bytes.Buffer
+	s := newTestServer(t, Config{
+		Engine:    testOptions(),
+		SlowQuery: time.Nanosecond,
+		Logger:    log.New(&textBuf, "", 0),
+	})
+	var score ScoreResponse
+	if code := call(t, s, "POST", "/v1/score", ScoreRequest{Alg: "srsp", U: 3, V: 17}, &score); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	text := textBuf.String()
+	if !strings.Contains(text, "slow_query trace=") || !strings.Contains(text, "engine_compute=") {
+		t.Fatalf("text slow-query line missing trace/spans: %q", text)
+	}
+
+	var jsonBuf bytes.Buffer
+	sj := newTestServer(t, Config{
+		Engine:    testOptions(),
+		SlowQuery: time.Nanosecond,
+		LogJSON:   true,
+		Logger:    log.New(&jsonBuf, "", 0),
+	})
+	if code := call(t, sj, "POST", "/v1/score", ScoreRequest{Alg: "srsp", U: 3, V: 17}, &score); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	line := strings.TrimSpace(jsonBuf.String())
+	var entry struct {
+		Msg     string            `json:"msg"`
+		TraceID string            `json:"trace_id"`
+		Shape   string            `json:"shape"`
+		Spans   []obs.ProfileSpan `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("slow-query JSON line does not parse: %q: %v", line, err)
+	}
+	if entry.Msg != "slow_query" || entry.TraceID == "" || entry.Shape != "score" || len(entry.Spans) == 0 {
+		t.Fatalf("bad slow-query JSON entry: %+v", entry)
+	}
+}
+
+// expositionLine matches one Prometheus text-format sample line.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?[0-9.e+-]+)$`)
+
+// TestMetricsExposition scrapes /metrics after some traffic and checks
+// the exposition is well-formed and the engine counters moved.
+func TestMetricsExposition(t *testing.T) {
+	s := newTestServer(t, Config{Engine: testOptions()})
+	var score ScoreResponse
+	if code := call(t, s, "POST", "/v1/score", ScoreRequest{Alg: "sampling", U: 3, V: 17}, &score); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Result().Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	samples := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		fields := strings.SplitN(line, " ", 2)
+		samples[fields[0]] = fields[1]
+	}
+	for _, want := range []string{
+		"usimrank_uptime_seconds",
+		"usimrank_graph_generation",
+		"usimrank_kernel_walks_total",
+		`usimrank_queries_total{shape="score",alg="Sampling"}`,
+		`usimrank_query_latency_seconds_bucket{shape="score",alg="Sampling",le="+Inf"}`,
+		"go_goroutines",
+	} {
+		if _, ok := samples[want]; !ok {
+			t.Errorf("exposition missing %s\n%s", want, body)
+		}
+	}
+	if samples["usimrank_kernel_walks_total"] == "0" {
+		t.Error("kernel walk counter did not move after a sampling query")
+	}
+}
