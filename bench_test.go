@@ -6,6 +6,7 @@
 package usimrank_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -149,6 +150,90 @@ func BenchmarkSamplingV2(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAdaptiveScore compares the adaptive (ε, δ) pair query
+// against the fixed-N kernel it wraps, at a serving-realistic ε. The
+// adaptive path stops as soon as its empirical-Bernstein radius drops
+// under ε, so on typical (low-variance) pairs it samples a fraction of
+// the fixed budget; walks/op reports the actual spend. Accuracy is
+// pinned separately by TestAdaptiveConvergesToOracle.
+func BenchmarkAdaptiveScore(b *testing.B) {
+	g := gen.WithUniformProbs(gen.RMAT(9, 4096, 0.45, 0.22, 0.22, rng.New(1)), 0.2, 0.9, rng.New(2))
+	n := g.NumVertices()
+	e, err := usimrank.New(g, usimrank.Options{N: 4096, Seed: 1, Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Compute(usimrank.AlgSamplingV2, 0, 1); err != nil { // build the v2 plan offline
+		b.Fatal(err)
+	}
+	ao := usimrank.AdaptiveOptions{Eps: 0.03, Delta: 0.05}
+	b.Run("adaptive", func(b *testing.B) {
+		b.ReportAllocs()
+		var walks int64
+		for i := 0; i < b.N; i++ {
+			res, err := e.AdaptiveCompute(usimrank.AlgSamplingV2, i%n, (i*7+1)%n, ao)
+			if err != nil {
+				b.Fatal(err)
+			}
+			walks += res.Walks
+		}
+		b.ReportMetric(float64(walks)/float64(b.N), "walks/op")
+	})
+	b.Run("fixed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Compute(usimrank.AlgSamplingV2, i%n, (i*7+1)%n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(e.Options().N), "walks/op")
+	})
+}
+
+// BenchmarkAdaptiveSource is the single-source analogue: one shared
+// source-side walk grid, per-candidate chunk streams, candidates
+// freezing individually as their radii converge. Compared against the
+// fixed-N single-source kernel over the same candidate set.
+func BenchmarkAdaptiveSource(b *testing.B) {
+	g := gen.WithUniformProbs(gen.RMAT(9, 4096, 0.45, 0.22, 0.22, rng.New(1)), 0.2, 0.9, rng.New(2))
+	n := g.NumVertices()
+	e, err := usimrank.New(g, usimrank.Options{N: 4096, Seed: 1, Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Compute(usimrank.AlgSamplingV2, 0, 1); err != nil { // build the v2 plan offline
+		b.Fatal(err)
+	}
+	cands := make([]int, 64)
+	for i := range cands {
+		cands[i] = (i * 13) % n
+	}
+	ao := usimrank.AdaptiveOptions{Eps: 0.03, Delta: 0.05}
+	ctx := context.Background()
+	b.Run("adaptive", func(b *testing.B) {
+		b.ReportAllocs()
+		var walks int64
+		for i := 0; i < b.N; i++ {
+			res, err := e.AdaptiveSingleSourceAgainstCtx(ctx, usimrank.AlgSamplingV2, i%n, cands, ao)
+			if err != nil {
+				b.Fatal(err)
+			}
+			walks += res.Walks
+		}
+		b.ReportMetric(float64(walks)/float64(b.N), "walks/op")
+	})
+	out := make([]float64, len(cands))
+	b.Run("fixed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := e.SingleSourceAgainstInto(usimrank.AlgSamplingV2, i%n, cands, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(e.Options().N), "walks/op")
+	})
 }
 
 func BenchmarkTable1WalkPr(b *testing.B) {

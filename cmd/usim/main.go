@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +53,8 @@ func main() {
 		source    = flag.Int("source", -1, "single-source mode: compute s(source, ·) instead of one pair")
 		topK      = flag.Int("topk", 0, "top-k mode: report the k best candidates (with -source) or vertex pairs (without)")
 		update    = flag.String("update", "", `arc mutations applied before the query: "op:u,v[,p]" triples separated by ';' (op: insert | delete | reweight)`)
+		eps       = flag.Float64("eps", 0, "adaptive accuracy: sample until the confidence radius is ≤ eps instead of spending the full -N budget (0 = fixed budget)")
+		delta     = flag.Float64("delta", 0, "adaptive failure probability (requires -eps; 0 selects the default 0.05)")
 	)
 	flag.Parse()
 
@@ -85,6 +88,18 @@ func main() {
 	}
 	if (*source >= 0 || *topK > 0) && algErr != nil {
 		usage(fmt.Sprintf("algorithm %q does not support -source/-topk (use baseline, sampling, twophase or srsp)", *alg))
+	}
+	if *eps < 0 {
+		usage(fmt.Sprintf("-eps %v < 0", *eps))
+	}
+	if *delta != 0 && *eps == 0 {
+		usage("-delta requires -eps")
+	}
+	if *delta < 0 || *delta >= 1 {
+		usage(fmt.Sprintf("-delta %v outside (0,1)", *delta))
+	}
+	if *eps > 0 && algErr != nil {
+		usage(fmt.Sprintf("algorithm %q does not support -eps (use an engine algorithm)", *alg))
 	}
 	// Update syntax is validated before the (possibly slow) graph load;
 	// semantic failures (missing arcs, out-of-range vertices) surface
@@ -147,10 +162,32 @@ func main() {
 		g = mut
 	}
 
+	// printAdaptive reports how an -eps query converged, after the
+	// shape's own output.
+	ao := usimrank.AdaptiveOptions{Eps: *eps, Delta: *delta}
+	printAdaptive := func(res usimrank.AdaptiveResult) {
+		d := *delta
+		if d == 0 {
+			d = usimrank.AdaptiveDefaultDelta
+		}
+		fmt.Printf("adaptive: eps=%g delta=%g radius=%.3g walks=%d rounds=%d converged=%v partial=%v\n",
+			*eps, d, res.Radius, res.Walks, res.Rounds, res.Converged, res.Partial)
+	}
+
 	if *source >= 0 || *topK > 0 {
 		a := engineAlg
 		e := buildEngine()
 		switch {
+		case *source >= 0 && *topK > 0 && *eps > 0:
+			res, info, err := usimrank.TopKSimilarAdaptiveCtx(context.Background(), e, a, *source, *topK, ao)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("top-%d most similar to %d  [%s, n=%d, c=%g]\n", *topK, *source, *alg, *n, *c)
+			for rank, r := range res {
+				fmt.Printf("%3d. v=%-8d s=%.8f\n", rank+1, r.V, r.Score)
+			}
+			printAdaptive(info)
 		case *source >= 0 && *topK > 0:
 			res, err := usimrank.TopKSimilar(e, a, *source, *topK)
 			if err != nil {
@@ -160,6 +197,16 @@ func main() {
 			for rank, r := range res {
 				fmt.Printf("%3d. v=%-8d s=%.8f\n", rank+1, r.V, r.Score)
 			}
+		case *source >= 0 && *eps > 0:
+			res, err := e.AdaptiveSingleSource(a, *source, ao)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("s(%d, ·)  [%s, n=%d, c=%g]\n", *source, *alg, *n, *c)
+			for v, s := range res.Scores {
+				fmt.Printf("%d %.8f\n", v, s)
+			}
+			printAdaptive(res)
 		case *source >= 0:
 			scores, err := e.SingleSource(a, *source)
 			if err != nil {
@@ -169,6 +216,16 @@ func main() {
 			for v, s := range scores {
 				fmt.Printf("%d %.8f\n", v, s)
 			}
+		case *eps > 0: // -topk without -source: best pairs, adaptive
+			res, info, err := usimrank.TopKPairsAdaptiveCtx(context.Background(), e, a, *topK, nil, ao)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("top-%d most similar pairs  [%s, n=%d, c=%g]\n", *topK, *alg, *n, *c)
+			for rank, r := range res {
+				fmt.Printf("%3d. (%d, %d)  s=%.8f\n", rank+1, r.U, r.V, r.Score)
+			}
+			printAdaptive(info)
 		default: // -topk without -source: best pairs
 			res, err := usimrank.TopKPairs(e, a, *topK)
 			if err != nil {
@@ -182,7 +239,15 @@ func main() {
 		return
 	}
 	var s float64
+	var adaptiveRes *usimrank.AdaptiveResult
 	switch {
+	case algErr == nil && *eps > 0:
+		e := buildEngine()
+		res, err := e.AdaptiveCompute(engineAlg, *u, *v, ao)
+		if err != nil {
+			fatal(err)
+		}
+		s, adaptiveRes = res.Score, &res
 	case algErr == nil:
 		e := buildEngine()
 		s, err = e.Compute(engineAlg, *u, *v)
@@ -198,6 +263,9 @@ func main() {
 	}
 	fmt.Printf("s(%d,%d) = %.8f  [%s, n=%d, c=%g]\n", *u, *v, s, *alg, *n, *c)
 	fmt.Printf("truncation bound (Thm 2): %.2g\n", usimrank.ErrorBound(*c, *n))
+	if adaptiveRes != nil {
+		printAdaptive(*adaptiveRes)
+	}
 }
 
 // parseUpdates parses the -update spec: "op:u,v[,p]" triples separated

@@ -83,6 +83,7 @@ func main() {
 		maxUpdateBatch = flag.Int("max-update-batch", 0, "max arc mutations per /v1/admin/update request (0 = 4096, negative disables updates)")
 		timeout        = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		admitWait      = flag.Duration("admission-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429 (negative: reject immediately)")
+		admitReserve   = flag.Int("admission-reserve", 0, "in-flight slots reserved for adaptive (eps-bearing) queries when the general pool is saturated (0 disables)")
 		drain          = flag.Duration("drain-timeout", 15*time.Second, "max wait for old-engine requests after a hot-swap")
 		logEvery       = flag.Duration("log-every", time.Minute, "period of the metrics log line (0 disables)")
 		slowQueryMs    = flag.Int("slow-query-ms", 0, "log a structured slow-query line (with trace id and span timings) for queries at or above this many milliseconds (0 disables)")
@@ -132,16 +133,17 @@ func main() {
 			os.Exit(2)
 		}
 		co, err := cluster.New(cluster.Config{
-			Shards:        shards,
-			ShardTimeout:  *shardTO,
-			HedgeDelay:    *hedgeDelay,
-			QueryTimeout:  *timeout,
-			MaxInFlight:   *maxInFlight,
-			AdmissionWait: *admitWait,
-			LogEvery:      *logEvery,
-			Logger:        logger,
-			SlowQuery:     time.Duration(*slowQueryMs) * time.Millisecond,
-			LogJSON:       *logJSON,
+			Shards:           shards,
+			ShardTimeout:     *shardTO,
+			HedgeDelay:       *hedgeDelay,
+			QueryTimeout:     *timeout,
+			MaxInFlight:      *maxInFlight,
+			AdmissionWait:    *admitWait,
+			AdmissionReserve: *admitReserve,
+			LogEvery:         *logEvery,
+			Logger:           logger,
+			SlowQuery:        time.Duration(*slowQueryMs) * time.Millisecond,
+			LogJSON:          *logJSON,
 		})
 		if err != nil {
 			logger.Fatalf("build coordinator: %v", err)
@@ -183,16 +185,17 @@ func main() {
 			C: *c, Steps: *n, N: *samples, L: *l, Seed: *seed,
 			Parallelism: *workers, RowCacheSize: *rowCache,
 		},
-		Index:          idx,
-		MaxInFlight:    *maxInFlight,
-		MaxUpdateBatch: *maxUpdateBatch,
-		QueryTimeout:   *timeout,
-		AdmissionWait:  *admitWait,
-		DrainTimeout:   *drain,
-		LogEvery:       *logEvery,
-		Logger:         logger,
-		SlowQuery:      time.Duration(*slowQueryMs) * time.Millisecond,
-		LogJSON:        *logJSON,
+		Index:            idx,
+		MaxInFlight:      *maxInFlight,
+		MaxUpdateBatch:   *maxUpdateBatch,
+		QueryTimeout:     *timeout,
+		AdmissionWait:    *admitWait,
+		AdmissionReserve: *admitReserve,
+		DrainTimeout:     *drain,
+		LogEvery:         *logEvery,
+		Logger:           logger,
+		SlowQuery:        time.Duration(*slowQueryMs) * time.Millisecond,
+		LogJSON:          *logJSON,
 	}
 	srv, err := server.New(g, *graphPath, cfg)
 	if err != nil {

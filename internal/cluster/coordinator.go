@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -46,6 +47,11 @@ type Config struct {
 	// AdmissionWait is how long a request may wait for an in-flight
 	// slot before 429. Default 100ms; negative rejects immediately.
 	AdmissionWait time.Duration
+	// AdmissionReserve carves this many of MaxInFlight's slots into a
+	// reserve only adaptive (eps-bearing) queries may use when the
+	// general pool is saturated — the coordinator-side twin of the node
+	// server's reserve. Default 0 (no reserve).
+	AdmissionReserve int
 	// AdminProbes is how many times a skewed admin fan-out re-probes
 	// shard generations (AdminProbeWait apart) before reporting a
 	// generation-skew error. Default 3.
@@ -178,7 +184,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:     cfg,
 		shards:  sm,
 		client:  NewClient(cfg.Shards, cfg.HTTPClient, cfg.ShardTimeout, cfg.HedgeDelay),
-		adm:     server.NewAdmission(cfg.MaxInFlight, cfg.AdmissionWait),
+		adm:     server.NewTieredAdmission(cfg.MaxInFlight, cfg.AdmissionReserve, cfg.AdmissionWait),
 		flights: server.NewFlightGroup(),
 		metrics: server.NewMetricsRegistry(),
 		baseCtx: ctx,
@@ -377,6 +383,16 @@ func debugKey(key string, debug bool) string {
 	return key
 }
 
+// adaptiveKey appends an eps-bearing request's accuracy target to its
+// flight key, exactly like the single node: adaptive and full-budget
+// queries (and different targets) must never share a flight.
+func adaptiveKey(key string, eps, delta float64) string {
+	if eps <= 0 {
+		return key
+	}
+	return fmt.Sprintf("%s|e%x|d%x", key, math.Float64bits(eps), math.Float64bits(delta))
+}
+
 // execute runs one admitted, coalesced, deadline-bounded scatter and
 // writes the error response when it fails — the coordinator-side twin
 // of the single node's execute, with downstream fan-out in place of an
@@ -384,7 +400,11 @@ func debugKey(key string, debug bool) string {
 // rides the flight context into the fan-out, so per-shard and
 // per-attempt spans (and the shards' own remote profiles) nest under
 // it.
-func (co *Coordinator) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, tr *obs.Trace, root obs.Span, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
+//
+// cheap marks a degradable (adaptive eps-bearing) query eligible for
+// the admission reserve tier; followers release their slot while
+// idling on the leader's result, exactly like the node server.
+func (co *Coordinator) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, cheap bool, key string, tr *obs.Trace, root obs.Span, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
 	if tr != nil {
 		w.Header().Set(obs.TraceHeader, tr.ID())
 	}
@@ -394,22 +414,30 @@ func (co *Coordinator) execute(w http.ResponseWriter, r *http.Request, shape, al
 	defer cancelWait()
 
 	asp := root.Start("admission_wait")
-	if !co.adm.Acquire(waitCtx) {
+	release := co.adm.AcquireTier(waitCtx, cheap)
+	if release == nil {
 		asp.Error(errors.New("admission rejected"))
 		asp.End()
 		co.metrics.AdmissionRejected.Add(1)
+		w.Header().Set("Retry-After", server.RetryAfterSeconds(co.adm.Wait()))
 		server.WriteError(w, http.StatusTooManyRequests, server.CodeOverloaded,
 			fmt.Sprintf("coordinator saturated: %d queries in flight", co.cfg.MaxInFlight))
 		return nil, false, false
 	}
 	asp.End()
-	defer co.adm.Release()
 	co.metrics.InFlight.Add(1)
-	defer co.metrics.InFlight.Add(-1)
+	var relOnce sync.Once
+	releaseSlot := func() {
+		relOnce.Do(func() {
+			co.metrics.InFlight.Add(-1)
+			release()
+		})
+	}
+	defer releaseSlot()
 
 	start := time.Now()
 	csp := root.Start("coalesce")
-	val, coalesced, err := co.flights.Do(waitCtx, key, func() func() (any, error) {
+	val, coalesced, err := co.flights.Do(waitCtx, key, releaseSlot, func() func() (any, error) {
 		fctx, cancelFlight := context.WithTimeout(co.baseCtx, timeout)
 		sct := root.Start("scatter")
 		fctx = obs.ContextWithSpan(fctx, sct)
@@ -428,6 +456,15 @@ func (co *Coordinator) execute(w http.ResponseWriter, r *http.Request, shape, al
 	}
 	csp.End()
 	elapsed := time.Since(start)
+	// A disconnected client's cancellation is not a serving error: count
+	// it on its own counter and skip the write (see the node server).
+	if err != nil && errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+		co.metrics.ClientGone.Add(1)
+		co.metrics.RecordQuery(shape, alg, elapsed, coalesced, nil)
+		root.Error(err)
+		server.LogSlowQuery(co.cfg.Logger, co.cfg.LogJSON, co.cfg.SlowQuery, shape, alg, tr, elapsed, coalesced, err)
+		return nil, coalesced, false
+	}
 	co.metrics.RecordQuery(shape, alg, elapsed, coalesced, err)
 	root.Error(err)
 	server.LogSlowQuery(co.cfg.Logger, co.cfg.LogJSON, co.cfg.SlowQuery, shape, alg, tr, elapsed, coalesced, err)
@@ -526,8 +563,8 @@ func (co *Coordinator) doShard(ctx context.Context, shard int, shape, path strin
 // the coordinator cannot splice its own spans into bytes it must not
 // touch, so its scatter/attempt spans surface only via the slow-query
 // log and an explicit Usimrank-Trace header.
-func (co *Coordinator) passThrough(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, tr *obs.Trace, root obs.Span, shard int, path string, raw []byte) {
-	val, _, ok := co.execute(w, r, shape, alg, timeoutMs, key, tr, root, func(ctx context.Context) (any, error) {
+func (co *Coordinator) passThrough(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, cheap bool, key string, tr *obs.Trace, root obs.Span, shard int, path string, raw []byte) {
+	val, _, ok := co.execute(w, r, shape, alg, timeoutMs, cheap, key, tr, root, func(ctx context.Context) (any, error) {
 		sp := obs.SpanFromContext(ctx).Start(shardName(shard))
 		resp, err := co.doShard(obs.ContextWithSpan(ctx, sp), shard, shape, path, raw)
 		sp.Error(err)
@@ -696,9 +733,10 @@ func (co *Coordinator) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	shard := co.shards.Of(req.U)
-	key := debugKey(fmt.Sprintf("score|g%d|%s|%d|%d", co.Generation(), alg, req.U, req.V), req.Debug)
+	key := fmt.Sprintf("score|g%d|%s|%d|%d", co.Generation(), alg, req.U, req.V)
+	key = debugKey(adaptiveKey(key, req.Eps, req.Delta), req.Debug)
 	tr, root := co.traceFor(r, "score", req.Debug)
-	co.passThrough(w, r, "score", alg.String(), req.TimeoutMs, key, tr, root, shard, "/v1/score", raw)
+	co.passThrough(w, r, "score", alg.String(), req.TimeoutMs, req.Eps > 0, key, tr, root, shard, "/v1/score", raw)
 }
 
 func (co *Coordinator) handleSource(w http.ResponseWriter, r *http.Request) {
@@ -729,9 +767,10 @@ func (co *Coordinator) handleSource(w http.ResponseWriter, r *http.Request) {
 	if req.Candidates != nil {
 		candKey = server.DigestInts(req.Candidates)
 	}
-	key := debugKey(fmt.Sprintf("source|g%d|%s|%d|%s", co.Generation(), algName, req.U, candKey), req.Debug)
+	key := fmt.Sprintf("source|g%d|%s|%d|%s", co.Generation(), algName, req.U, candKey)
+	key = debugKey(adaptiveKey(key, req.Eps, req.Delta), req.Debug)
 	tr, root := co.traceFor(r, "source", req.Debug)
-	co.passThrough(w, r, "source", algName, req.TimeoutMs, key, tr, root, shard, "/v1/source", raw)
+	co.passThrough(w, r, "source", algName, req.TimeoutMs, req.Eps > 0, key, tr, root, shard, "/v1/source", raw)
 }
 
 func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -759,9 +798,10 @@ func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		shard := co.shards.Of(*req.U)
-		key := debugKey(fmt.Sprintf("topk|g%d|%s|u%d|k%d", co.Generation(), alg, *req.U, req.K), req.Debug)
+		key := fmt.Sprintf("topk|g%d|%s|u%d|k%d", co.Generation(), alg, *req.U, req.K)
+		key = debugKey(adaptiveKey(key, req.Eps, req.Delta), req.Debug)
 		tr, root := co.traceFor(r, "topk", req.Debug)
-		co.passThrough(w, r, "topk", alg.String(), req.TimeoutMs, key, tr, root, shard, "/v1/topk", raw)
+		co.passThrough(w, r, "topk", alg.String(), req.TimeoutMs, req.Eps > 0, key, tr, root, shard, "/v1/topk", raw)
 		return
 	}
 
@@ -774,9 +814,9 @@ func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 	} else {
 		key = fmt.Sprintf("topk|g%d|%s|pairs|k%d", st.gen, alg, req.K)
 	}
-	key = debugKey(key, req.Debug)
+	key = debugKey(adaptiveKey(key, req.Eps, req.Delta), req.Debug)
 	tr, root := co.traceFor(r, "topk", req.Debug)
-	val, coalesced, ok := co.execute(w, r, "topk", alg.String(), req.TimeoutMs, key, tr, root, func(ctx context.Context) (any, error) {
+	val, coalesced, ok := co.execute(w, r, "topk", alg.String(), req.TimeoutMs, req.Eps > 0, key, tr, root, func(ctx context.Context) (any, error) {
 		// The O(V) partition and the scatter bodies are built inside
 		// the flight, so coalescing followers joining this key pay
 		// nothing for work the leader's tasks already carry.
@@ -802,7 +842,7 @@ func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 					chunk = chunk[:maxSourcesPerChunk]
 				}
 				p = p[len(chunk):]
-				body, err := json.Marshal(server.TopKRequest{Alg: req.Alg, K: req.K, Sources: chunk, TimeoutMs: req.TimeoutMs, Debug: req.Debug})
+				body, err := json.Marshal(server.TopKRequest{Alg: req.Alg, K: req.K, Sources: chunk, Eps: req.Eps, Delta: req.Delta, TimeoutMs: req.TimeoutMs, Debug: req.Debug})
 				if err != nil {
 					return nil, err
 				}
@@ -814,31 +854,65 @@ func (co *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		lists := make([][]server.PairScore, len(bodies))
+		merged := mergedTopK{}
 		for i, b := range bodies {
 			var resp server.TopKResponse
 			if err := json.Unmarshal(b, &resp); err != nil {
 				return nil, fmt.Errorf("%s: bad top-k body: %w", shardName(tasks[i].shard), err)
 			}
 			lists[i] = resp.Results
+			// Fold each shard's accuracy report into the cluster-wide
+			// one: the merged ranking is only as tight as the loosest
+			// shard (radius = max), converged only if every shard
+			// converged, and partial as soon as any shard degraded. The
+			// scatter gathered every body (a failed shard fails the whole
+			// query), so a partial merge never hides a missing shard.
+			if resp.Adaptive != nil {
+				if merged.adaptive == nil {
+					merged.adaptive = &server.AdaptiveInfo{
+						Eps: resp.Adaptive.Eps, Delta: resp.Adaptive.Delta,
+						Converged: true,
+					}
+				}
+				if resp.Adaptive.Radius > merged.adaptive.Radius {
+					merged.adaptive.Radius = resp.Adaptive.Radius
+				}
+				merged.adaptive.Walks += resp.Adaptive.Walks
+				if resp.Adaptive.Rounds > merged.adaptive.Rounds {
+					merged.adaptive.Rounds = resp.Adaptive.Rounds
+				}
+				merged.adaptive.Converged = merged.adaptive.Converged && resp.Adaptive.Converged
+				merged.partial = merged.partial || resp.Partial
+			}
 		}
 		msp := obs.SpanFromContext(ctx).Start("merge")
 		msp.Add("lists", int64(len(lists)))
-		merged := mergeTopK(req.K, lists)
+		merged.results = mergeTopK(req.K, lists)
 		msp.End()
 		return merged, nil
 	})
 	if !ok {
 		return
 	}
+	mg := val.(mergedTopK)
 	resp := server.TopKResponse{
 		Alg: alg.String(), U: nil, K: req.K,
-		Results: val.([]server.PairScore), Coalesced: coalesced,
+		Results: mg.results, Coalesced: coalesced,
+		Adaptive: mg.adaptive, Partial: mg.partial,
 	}
 	if req.Debug {
 		root.End()
 		resp.Profile = tr.Profile()
 	}
 	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+// mergedTopK bundles a merged pairs ranking with the shards' folded
+// accuracy report through the flight's any-typed value.
+type mergedTopK struct {
+	results  []server.PairScore
+	adaptive *server.AdaptiveInfo
+	partial  bool
 }
 
 func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -865,7 +939,7 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	key := debugKey(fmt.Sprintf("batch|g%d|%s|%s", co.Generation(), alg, server.DigestInts(flat)), req.Debug)
 	tr, root := co.traceFor(r, "batch", req.Debug)
-	val, coalesced, ok := co.execute(w, r, "batch", alg.String(), req.TimeoutMs, key, tr, root, func(ctx context.Context) (any, error) {
+	val, coalesced, ok := co.execute(w, r, "batch", alg.String(), req.TimeoutMs, false, key, tr, root, func(ctx context.Context) (any, error) {
 		// Plan and marshal inside the flight, like the pairs top-k
 		// path: coalescing followers must not duplicate the regroup of
 		// a near-cap pairs payload just to throw it away.

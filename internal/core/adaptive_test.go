@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestAdaptiveDeterminism pins the adaptive determinism contract: the
+// whole trajectory — estimate, radius, walks used, rounds committed —
+// is bit-stable across Parallelism values, and the pair shape matches
+// the single-candidate source shape exactly.
+func TestAdaptiveDeterminism(t *testing.T) {
+	g := testGraph()
+	ao := AdaptiveOptions{Eps: 0.02, Delta: 0.05}
+	for _, alg := range []Algorithm{AlgSampling, AlgSamplingV2, AlgTwoPhase, AlgSRSP} {
+		run := func(par int) AdaptiveResult {
+			e := newEngine(t, g, Options{N: 4000, Seed: 21, Parallelism: par})
+			res, err := e.AdaptiveCompute(alg, 5, 17, ao)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		ref := run(1)
+		for _, par := range []int{2, 4} {
+			got := run(par)
+			if got.Score != ref.Score || got.Radius != ref.Radius ||
+				got.Walks != ref.Walks || got.Rounds != ref.Rounds ||
+				got.Converged != ref.Converged || got.Partial != ref.Partial {
+				t.Fatalf("%v: parallelism %d diverged: %+v vs %+v", alg, par, got, ref)
+			}
+		}
+		// Pair vs source-with-one-candidate: same walk streams, same
+		// chunk merge, identical trajectory.
+		e := newEngine(t, g, Options{N: 4000, Seed: 21, Parallelism: 4})
+		src, err := e.AdaptiveSingleSourceAgainstCtx(context.Background(), alg, 5, []int{17}, ao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Scores[0] != ref.Score || src.Radius != ref.Radius ||
+			src.Walks != ref.Walks || src.Rounds != ref.Rounds {
+			t.Fatalf("%v: source shape diverged from pair: %+v vs %+v", alg, src, ref)
+		}
+	}
+}
+
+// TestAdaptiveEarlyStop is the point of the feature: at a modest ε the
+// stopping rule needs far fewer walks than the Hoeffding cap, and the
+// exact-prefix strategies (smaller score range c^(l+1)) converge at
+// least as fast as the fully sampled ones.
+func TestAdaptiveEarlyStop(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 4000, Seed: 21, Parallelism: 2})
+	ao := AdaptiveOptions{Eps: 0.03, Delta: 0.05}
+	res, err := e.AdaptiveCompute(AlgSamplingV2, 5, 17, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Partial {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.Radius > ao.Eps {
+		t.Fatalf("radius %v above eps %v despite convergence", res.Radius, ao.Eps)
+	}
+	cap := res.Walks
+	if res.Walks >= int64(e.Options().N) {
+		t.Fatalf("early stop never triggered: %d walks ≥ fixed budget %d", res.Walks, e.Options().N)
+	}
+	tp, err := e.AdaptiveCompute(AlgTwoPhase, 5, 17, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Converged || tp.Walks > cap {
+		t.Fatalf("exact-prefix strategy slower than fully sampled: %+v vs %d walks", tp, cap)
+	}
+}
+
+// TestAdaptiveExactStrategies: baseline (and an exact prefix covering
+// every step) short-circuit to the exact score with a zero radius.
+func TestAdaptiveExactStrategies(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 200, Seed: 3, Parallelism: 2})
+	want, err := e.Baseline(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AdaptiveCompute(AlgBaseline, 4, 9, AdaptiveOptions{Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != want || res.Radius != 0 || !res.Converged || res.Walks != 0 {
+		t.Fatalf("baseline adaptive = %+v, want exact %v", res, want)
+	}
+	// TwoPhase with L = Steps has an all-exact prefix.
+	ef := newEngine(t, g, Options{N: 200, Steps: 3, L: 3, Seed: 3, Parallelism: 2})
+	wantTP, err := ef.TwoPhase(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTP, err := ef.AdaptiveCompute(AlgTwoPhase, 4, 9, AdaptiveOptions{Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resTP.Score != wantTP || resTP.Radius != 0 || !resTP.Converged {
+		t.Fatalf("all-exact twophase adaptive = %+v, want %v", resTP, wantTP)
+	}
+	// Source shape too.
+	src, err := e.AdaptiveSingleSourceAgainstCtx(context.Background(), AlgBaseline, 4, []int{9, 11}, AdaptiveOptions{Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Scores[0] != want || !src.Converged {
+		t.Fatalf("baseline adaptive source = %+v", src)
+	}
+}
+
+// TestAdaptiveEstimateTracksFixed: the converged adaptive estimate is
+// within its own radius plus sampling noise of the fixed-N estimator —
+// both estimate the same truncated SimRank.
+func TestAdaptiveEstimateTracksFixed(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 8000, Seed: 21, Parallelism: 2})
+	fixed, err := e.SamplingV2(5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AdaptiveCompute(AlgSamplingV2, 5, 17, AdaptiveOptions{Eps: 0.02, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-fixed) > res.Radius+0.02 {
+		t.Fatalf("adaptive %v drifted from fixed %v (radius %v)", res.Score, fixed, res.Radius)
+	}
+}
+
+// TestAdaptiveSourceSweep checks the multi-candidate shape: per-
+// candidate scores match independent pair queries bit-for-bit when the
+// sweep and the pairs use the same walk budget, and candidate freezing
+// keeps every radius at or under the committed bound.
+func TestAdaptiveSourceSweep(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 4000, Seed: 21, Parallelism: 4})
+	candidates := []int{1, 17, 40, 63}
+	// Pin the budget so every candidate runs the same fixed schedule.
+	ao := AdaptiveOptions{Eps: 1e-9, Delta: 0.05, MinWalks: 256, MaxWalks: 1024}
+	src, err := e.AdaptiveSingleSourceAgainstCtx(context.Background(), AlgSamplingV2, 5, candidates, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Converged || src.Partial {
+		t.Fatalf("unreachable eps should exhaust the budget: %+v", src)
+	}
+	if src.Walks != 1024 || src.Rounds != 3 {
+		t.Fatalf("schedule: walks %d rounds %d, want 1024/3", src.Walks, src.Rounds)
+	}
+	for i, v := range candidates {
+		pair, err := e.AdaptiveCompute(AlgSamplingV2, 5, v, ao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Scores[i] != pair.Score {
+			t.Fatalf("candidate %d: sweep %v != pair %v", v, src.Scores[i], pair.Score)
+		}
+	}
+	// Empty candidate set is trivially converged.
+	empty, err := e.AdaptiveSingleSourceAgainstCtx(context.Background(), AlgSamplingV2, 5, nil, ao)
+	if err != nil || !empty.Converged || len(empty.Scores) != 0 {
+		t.Fatalf("empty sweep: %+v, %v", empty, err)
+	}
+}
+
+// TestAdaptiveIndexed: the adaptive indexed sweep converges to the
+// non-adaptive indexed scores (same stored v-side occupancies, residual
+// error bounded by the radius) and is deterministic across parallelism.
+func TestAdaptiveIndexed(t *testing.T) {
+	g := testGraph()
+	run := func(par int) (AdaptiveResult, []float64) {
+		e := newEngine(t, g, Options{N: 4000, Seed: 21, Parallelism: par})
+		x := buildMemIndex(t, e)
+		fixed, err := e.SingleSourceIndexed(x, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.AdaptiveSingleSourceIndexedCtx(context.Background(), x, 12, AdaptiveOptions{Eps: 0.02, Delta: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fixed
+	}
+	ref, fixed := run(1)
+	if !ref.Converged {
+		t.Fatalf("indexed adaptive did not converge: %+v", ref)
+	}
+	for v, s := range ref.Scores {
+		if math.Abs(s-fixed[v]) > ref.Radius+0.02 {
+			t.Fatalf("vertex %d: adaptive %v vs indexed %v (radius %v)", v, s, fixed[v], ref.Radius)
+		}
+	}
+	got, _ := run(4)
+	if got.Walks != ref.Walks || got.Rounds != ref.Rounds || got.Radius != ref.Radius {
+		t.Fatalf("indexed adaptive not deterministic: %+v vs %+v", got, ref)
+	}
+	for v := range ref.Scores {
+		if got.Scores[v] != ref.Scores[v] {
+			t.Fatalf("vertex %d: %v vs %v across parallelism", v, got.Scores[v], ref.Scores[v])
+		}
+	}
+}
+
+// TestAdaptivePartialDeadline: under a deadline that fits some but not
+// all rounds of an unreachable ε, the query commits what it has and
+// returns Partial=true with a nil error — the serving plane's graceful
+// degradation contract.
+func TestAdaptivePartialDeadline(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 4000, Seed: 21, Parallelism: 2})
+	ao := AdaptiveOptions{Eps: 1e-12, Delta: 0.05, MaxWalks: adaptiveWalkCeiling}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	res, err := e.AdaptiveComputeCtx(ctx, AlgSamplingV2, 5, 17, ao)
+	if err != nil {
+		t.Fatalf("deadline-pressured adaptive errored: %v", err)
+	}
+	if !res.Partial || res.Converged {
+		t.Fatalf("want partial result, got %+v", res)
+	}
+	if res.Rounds < 1 || res.Walks < 256 || res.Radius <= 0 {
+		t.Fatalf("partial result carries no committed round: %+v", res)
+	}
+
+	// An already-cancelled context commits nothing and errors.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := e.AdaptiveComputeCtx(done, AlgSamplingV2, 5, 17, ao); err == nil {
+		t.Fatal("cancelled context did not error")
+	}
+}
+
+// TestAdaptiveValidation rejects malformed budgets up front.
+func TestAdaptiveValidation(t *testing.T) {
+	g := testGraph()
+	e := newEngine(t, g, Options{N: 200, Seed: 3, Parallelism: 1})
+	bad := []AdaptiveOptions{
+		{Eps: 0},
+		{Eps: -0.1},
+		{Eps: math.Inf(1)},
+		{Eps: 0.05, Delta: 1},
+		{Eps: 0.05, Delta: -0.5},
+		{Eps: 0.05, MinWalks: -1},
+		{Eps: 0.05, MinWalks: 600, MaxWalks: 500},
+	}
+	for _, ao := range bad {
+		if _, err := e.AdaptiveCompute(AlgSamplingV2, 0, 1, ao); err == nil {
+			t.Fatalf("options %+v accepted", ao)
+		}
+	}
+	if _, err := e.AdaptiveCompute(Algorithm(99), 0, 1, AdaptiveOptions{Eps: 0.05}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := e.AdaptiveCompute(AlgSamplingV2, -1, 1, AdaptiveOptions{Eps: 0.05}); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+	if _, err := e.AdaptiveSingleSourceAgainstCtx(context.Background(), AlgSamplingV2, 0, []int{999999}, AdaptiveOptions{Eps: 0.05}); err == nil {
+		t.Fatal("bad candidate accepted")
+	}
+}
+
+// TestAdaptiveRoundSchedule pins the chunk-aligned doubling.
+func TestAdaptiveRoundSchedule(t *testing.T) {
+	for _, tc := range []struct {
+		min, max int
+		want     []int
+	}{
+		{256, 1024, []int{256, 512, 1024}},
+		{256, 1000, []int{256, 512, 1024}}, // max aligned up to chunks
+		{1, 1, []int{128}},
+		{300, 700, []int{384, 768}},
+		{1024, 512, []int{1024}}, // max below min: one round at min
+	} {
+		got := adaptiveRounds(tc.min, tc.max)
+		if len(got) != len(tc.want) {
+			t.Fatalf("adaptiveRounds(%d,%d) = %v, want %v", tc.min, tc.max, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("adaptiveRounds(%d,%d) = %v, want %v", tc.min, tc.max, got, tc.want)
+			}
+		}
+	}
+}

@@ -35,6 +35,11 @@ type v2scratch struct {
 	uoff   []int32          // per-chunk offsets into posU (single-source)
 	counts []int64          // integer meeting counts
 	m      []float64        // merged m̂(k) estimate
+
+	// Adaptive (ε, δ) round-loop state; see adaptive.go.
+	sums   []float64 // per-chunk Σ X_i of the weighted estimator
+	sumsqs []float64 // per-chunk Σ X_i², parallel to sums
+	xbuf   []float64 // per-walk score scratch of one chunk
 }
 
 // newV2Pool sizes the scratch pool for opt: every worker plus a few
@@ -230,6 +235,18 @@ func growInt32(s []int32, n int) []int32 {
 		return make([]int32, n)
 	}
 	return s[:n]
+}
+
+// growInt32Keep grows like growInt32 but preserves the existing prefix
+// — the adaptive round loop extends the shared source grid in place
+// round over round, so earlier rounds' walks must survive a realloc.
+func growInt32Keep(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]int32, n, max(n, 2*cap(s)))
+	copy(out, s)
+	return out
 }
 
 func growInt64(s []int64, n int) []int64 {

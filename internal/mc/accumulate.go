@@ -1,0 +1,43 @@
+package mc
+
+// AccumulateWeighted reduces two position grids of one chunk into the
+// first two moments of the per-walk-pair score
+//
+//	X_i = Σ_k coef[k] · 1[walk pair i meets at step k],
+//
+// the random variable whose mean the adaptive (ε, δ) estimator tracks:
+// with coef[k] = (1−c)·c^k for k < steps and c^steps at k = steps this
+// is exactly one walk pair's contribution to the Eq. 12 combination, so
+// mean(X) over a chunk set equals Combine() of the same chunks' meeting
+// frequencies. Zero coefficients (an exact prefix handled separately)
+// skip their grid rows entirely. scratch must hold at least W float64s;
+// it is overwritten. Dead walks (-1) never meet, as in CountMeets.
+//
+// Returns Σ X_i and Σ X_i² over the chunk's W pairs — mergeable across
+// chunks in a fixed order for the same bit-stability argument as the
+// integer meeting counts (per-chunk reduction order is independent of
+// scheduling; the cross-chunk merge order is pinned by the caller).
+func AccumulateWeighted(posU, posV []int32, steps, W int, coef []float64, scratch []float64) (sum, sumsq float64) {
+	x := scratch[:W]
+	for i := range x {
+		x[i] = 0
+	}
+	for k := 0; k <= steps; k++ {
+		c := coef[k]
+		if c == 0 {
+			continue
+		}
+		ru := posU[k*W : (k+1)*W]
+		rv := posV[k*W : (k+1)*W : (k+1)*W]
+		for i, u := range ru {
+			if u >= 0 && u == rv[i] {
+				x[i] += c
+			}
+		}
+	}
+	for _, xi := range x {
+		sum += xi
+		sumsq += xi * xi
+	}
+	return sum, sumsq
+}

@@ -1,0 +1,105 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"usimrank/internal/rng"
+	"usimrank/internal/ugraph"
+)
+
+// referenceWeighted recomputes the two moments walk-by-walk straight
+// from the grids, with none of the row-major/skip-zero structure of the
+// production reduction.
+func referenceWeighted(posU, posV []int32, steps, W int, coef []float64) (sum, sumsq float64) {
+	for i := 0; i < W; i++ {
+		x := 0.0
+		for k := 0; k <= steps; k++ {
+			u := posU[k*W+i]
+			if u >= 0 && u == posV[k*W+i] {
+				x += coef[k]
+			}
+		}
+		sum += x
+		sumsq += x * x
+	}
+	return sum, sumsq
+}
+
+func TestAccumulateWeighted(t *testing.T) {
+	g := testChainGraph(t) // shared helper graph from the v2 tests
+	plan := BuildPlan(g)
+	const (
+		steps = 5
+		W     = 256
+	)
+	c := 0.6
+	coef := make([]float64, steps+1)
+	for k := 0; k < steps; k++ {
+		coef[k] = (1 - c) * math.Pow(c, float64(k))
+	}
+	coef[steps] = math.Pow(c, steps)
+
+	var a Arena
+	posU := make([]int32, (steps+1)*W)
+	posV := make([]int32, (steps+1)*W)
+	scratch := make([]float64, W)
+	ru := rng.New(42)
+	rv := rng.New(1042)
+	for trial := 0; trial < 4; trial++ {
+		plan.Sample(trial%g.NumVertices(), steps, W, ru, &a, posU)
+		plan.Sample((trial+1)%g.NumVertices(), steps, W, rv, &a, posV)
+		gotS, gotQ := AccumulateWeighted(posU, posV, steps, W, coef, scratch)
+		wantS, wantQ := referenceWeighted(posU, posV, steps, W, coef)
+		if math.Abs(gotS-wantS) > 1e-12 || math.Abs(gotQ-wantQ) > 1e-12 {
+			t.Fatalf("trial %d: got (%v, %v), want (%v, %v)", trial, gotS, gotQ, wantS, wantQ)
+		}
+		// Consistency with CountMeets: Σ X = Σ_k coef[k]·meets[k].
+		counts := make([]int64, steps+1)
+		CountMeets(posU, posV, steps, W, counts)
+		viaCounts := 0.0
+		for k, n := range counts {
+			viaCounts += coef[k] * float64(n)
+		}
+		if math.Abs(gotS-viaCounts) > 1e-12 {
+			t.Fatalf("trial %d: sum %v disagrees with CountMeets route %v", trial, gotS, viaCounts)
+		}
+	}
+
+	// Zero coefficients (exact prefix) must skip those steps entirely.
+	zeroed := append([]float64(nil), coef...)
+	zeroed[0], zeroed[1] = 0, 0
+	gotS, gotQ := AccumulateWeighted(posU, posV, steps, W, zeroed, scratch)
+	wantS, wantQ := referenceWeighted(posU, posV, steps, W, zeroed)
+	if math.Abs(gotS-wantS) > 1e-12 || math.Abs(gotQ-wantQ) > 1e-12 {
+		t.Fatalf("zero-prefix: got (%v, %v), want (%v, %v)", gotS, gotQ, wantS, wantQ)
+	}
+
+	// Identical grids meet everywhere they are alive: X_i ≤ Σ coef = 1.
+	sumAll, _ := AccumulateWeighted(posU, posU, steps, W, coef, scratch)
+	if sumAll > float64(W)+1e-9 {
+		t.Fatalf("self-meet mass %v exceeds walk count %d", sumAll, W)
+	}
+}
+
+// testChainGraph builds a small graph with both certain and uncertain
+// rows so sampled walks die, branch, and meet.
+func testChainGraph(t *testing.T) *ugraph.Graph {
+	t.Helper()
+	b := ugraph.NewBuilder(6)
+	arcs := []struct {
+		u, v int
+		p    float64
+	}{
+		{0, 1, 1}, {1, 2, 0.8}, {2, 3, 1}, {3, 4, 0.5},
+		{4, 5, 1}, {5, 0, 0.9}, {1, 3, 0.4}, {2, 5, 1},
+	}
+	for _, a := range arcs {
+		b.AddArc(a.u, a.v, a.p)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,130 @@
+package oracle
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"usimrank/internal/core"
+	"usimrank/internal/index"
+	"usimrank/internal/rng"
+)
+
+// TestAdaptiveConvergesToOracle pins the adaptive (ε, δ) estimator to
+// the enumerated ground truth across possible-world graphs: for every
+// sampled strategy the converged estimate must sit within ε of the
+// oracle score. The stopping rule guarantees |ŝ − E ŝ| ≤ radius ≤ ε
+// with probability 1−δ, and on DAGs every sampled strategy is unbiased
+// for the oracle's measure (same argument as the fixed-N sweep), so
+// with δ = 10⁻⁶ a level miss across the whole sweep (10 graphs × 2
+// pairs × 4 strategies) is ≲10⁻⁴ likely — and the fixed seeds make the
+// run deterministic anyway. The walks-used assertion is the point of
+// the feature: the stopping rule must finish these easy pairs with
+// strictly fewer walks than the engine's fixed budget.
+func TestAdaptiveConvergesToOracle(t *testing.T) {
+	r := rng.New(1618)
+	const (
+		steps = 5
+		N     = 4000
+		eps   = 0.05
+	)
+	ao := core.AdaptiveOptions{Eps: eps, Delta: 1e-6}
+	algs := []core.Algorithm{core.AlgSampling, core.AlgTwoPhase, core.AlgSRSP, core.AlgSamplingV2}
+	var walks, fixed int64
+	for trial := 0; trial < 10; trial++ {
+		g := randSmallDAG(r)
+		e, err := core.NewEngine(g, core.Options{Steps: steps, N: N, L: 1, Seed: uint64(100 + trial), Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := e.Options()
+		for q := 0; q < 2; q++ {
+			u, v := r.Intn(g.NumVertices()), r.Intn(g.NumVertices())
+			want, err := SimRank(g, u, v, opt.C, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, alg := range algs {
+				res, err := e.AdaptiveCompute(alg, u, v, ao)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged || res.Partial {
+					t.Fatalf("trial %d %v: s(%d,%d) did not converge: %+v", trial, alg, u, v, res)
+				}
+				if res.Radius > eps {
+					t.Fatalf("trial %d %v: converged with radius %v > ε=%v", trial, alg, res.Radius, eps)
+				}
+				if math.Abs(res.Score-want) > eps {
+					t.Fatalf("trial %d %v: adaptive s(%d,%d) = %v, oracle %v (|diff| %.4f > ε=%.2f)",
+						trial, alg, u, v, res.Score, want, math.Abs(res.Score-want), eps)
+				}
+				if res.Walks >= int64(N) {
+					t.Fatalf("trial %d %v: no early stop: %d walks ≥ fixed budget %d", trial, alg, res.Walks, N)
+				}
+				walks += res.Walks
+				fixed += int64(N)
+			}
+		}
+	}
+	// Aggregate early-stopping margin: across the sweep the adaptive
+	// path must spend well under half the fixed-N walk budget, or the
+	// stopping rule is not earning its keep.
+	if walks*2 >= fixed {
+		t.Fatalf("adaptive spent %d walks vs fixed budget %d: early stopping is not effective", walks, fixed)
+	}
+	t.Logf("adaptive walks %d vs fixed %d (%.1f%%)", walks, fixed, 100*float64(walks)/float64(fixed))
+}
+
+// TestAdaptiveIndexedConvergesToOracle covers the indexed residual
+// path: the adaptive sweep against a prebuilt reverse-walk index must
+// land every vertex of the source row within ε of the enumerated truth
+// once converged, with the same early-stopping requirement. The
+// stopping rule bounds only the residual-sampling side; the stored
+// v-side occupancies carry the index's own build-time noise, bounded
+// by the per-level Hoeffding term of TestIndexedConvergesToOracle
+// (≤ 0.03 at N = 4000 with failure mass ≲10⁻¹²), so the oracle
+// tolerance is ε plus that stored-side allowance.
+func TestAdaptiveIndexedConvergesToOracle(t *testing.T) {
+	r := rng.New(1618)
+	const (
+		steps  = 5
+		N      = 4000
+		eps    = 0.05
+		stored = 0.03 // index build-time noise allowance
+	)
+	ao := core.AdaptiveOptions{Eps: eps, Delta: 1e-6}
+	for trial := 0; trial < 6; trial++ {
+		g := randSmallDAG(r)
+		e, err := core.NewEngine(g, core.Options{Steps: steps, N: N, L: 1, Seed: uint64(100 + trial), Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := index.Build(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := e.Options()
+		u := r.Intn(g.NumVertices())
+		res, err := e.AdaptiveSingleSourceIndexedCtx(context.Background(), x, u, ao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || res.Partial {
+			t.Fatalf("trial %d: indexed adaptive did not converge: %+v", trial, res)
+		}
+		if res.Walks >= int64(N) {
+			t.Fatalf("trial %d: no early stop: %d walks ≥ fixed budget %d", trial, res.Walks, N)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			want, err := SimRank(g, u, v, opt.C, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Scores[v]-want) > eps+stored {
+				t.Fatalf("trial %d: indexed adaptive s(%d,%d) = %v, oracle %v (|diff| %.4f > ε+stored=%.2f)",
+					trial, u, v, res.Scores[v], want, math.Abs(res.Scores[v]-want), eps+stored)
+			}
+		}
+	}
+}

@@ -11,6 +11,17 @@ type ScoreRequest struct {
 	Alg string `json:"alg"`
 	U   int    `json:"u"`
 	V   int    `json:"v"`
+	// Eps, when positive, makes this an adaptive-accuracy query: the
+	// engine samples in geometric rounds and stops as soon as the
+	// confidence radius falls to eps, instead of always spending the
+	// boot-time walk budget. The response then carries an "adaptive"
+	// block. Requests without eps are byte-identical to pre-adaptive
+	// servers.
+	Eps float64 `json:"eps,omitempty"`
+	// Delta is the adaptive query's failure probability (the returned
+	// interval covers the true possible-world score with probability
+	// ≥ 1−delta). Only valid with eps; defaults to 0.05.
+	Delta float64 `json:"delta,omitempty"`
 	// TimeoutMs optionally lowers the server's per-request deadline for
 	// this query. Values ≤ 0 or above the server default are ignored.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -18,6 +29,27 @@ type ScoreRequest struct {
 	// tree (with kernel resource counts) in the response's profile
 	// field. Debug requests never coalesce with non-debug ones.
 	Debug bool `json:"debug,omitempty"`
+}
+
+// AdaptiveInfo reports how an adaptive (ε, δ) query converged. Present
+// only on responses to requests that set eps.
+type AdaptiveInfo struct {
+	// Eps and Delta echo the request's effective accuracy target.
+	Eps   float64 `json:"eps"`
+	Delta float64 `json:"delta"`
+	// Radius is the achieved confidence radius: the returned score is
+	// within ±radius of the exact possible-world expectation with
+	// probability ≥ 1−delta. For a multi-score response it is the worst
+	// (largest) per-candidate radius.
+	Radius float64 `json:"radius"`
+	// Walks is the number of walk pairs actually sampled; Rounds the
+	// number of geometric sampling rounds committed.
+	Walks  int64 `json:"walks"`
+	Rounds int   `json:"rounds"`
+	// Converged reports that the stopping rule fired (radius ≤ eps).
+	// False with partial=true means the deadline cut sampling short;
+	// false with partial=false means the walk cap was reached first.
+	Converged bool `json:"converged"`
 }
 
 // ScoreResponse carries one pairwise similarity.
@@ -29,6 +61,12 @@ type ScoreResponse struct {
 	// Coalesced reports that this response was shared from a concurrent
 	// identical query rather than computed by a dedicated engine call.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Adaptive reports the accuracy actually achieved by an eps-bearing
+	// request; Partial marks a best-effort answer the deadline cut short
+	// (HTTP status is still 200 — the score and radius are valid, the
+	// target eps was just not reached in time).
+	Adaptive *AdaptiveInfo `json:"adaptive,omitempty"`
+	Partial  bool          `json:"partial,omitempty"`
 	// Profile is the per-query execution profile, present only when the
 	// request set debug=true — regular responses stay byte-identical
 	// whether or not tracing is armed.
@@ -44,19 +82,25 @@ type SourceRequest struct {
 	Alg        string `json:"alg"`
 	U          int    `json:"u"`
 	Candidates []int  `json:"candidates,omitempty"`
-	TimeoutMs  int    `json:"timeout_ms,omitempty"`
-	Debug      bool   `json:"debug,omitempty"`
+	// Eps/Delta select adaptive accuracy (see ScoreRequest); the worst
+	// per-candidate radius is driven to eps.
+	Eps       float64 `json:"eps,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	TimeoutMs int     `json:"timeout_ms,omitempty"`
+	Debug     bool    `json:"debug,omitempty"`
 }
 
 // SourceResponse carries the scores; Scores[i] is s(U, Candidates[i]),
 // or s(U, i) over all vertices when the request had no candidate set.
 type SourceResponse struct {
-	Alg        string       `json:"alg"`
-	U          int          `json:"u"`
-	Candidates []int        `json:"candidates,omitempty"`
-	Scores     []float64    `json:"scores"`
-	Coalesced  bool         `json:"coalesced,omitempty"`
-	Profile    *obs.Profile `json:"profile,omitempty"`
+	Alg        string        `json:"alg"`
+	U          int           `json:"u"`
+	Candidates []int         `json:"candidates,omitempty"`
+	Scores     []float64     `json:"scores"`
+	Coalesced  bool          `json:"coalesced,omitempty"`
+	Adaptive   *AdaptiveInfo `json:"adaptive,omitempty"`
+	Partial    bool          `json:"partial,omitempty"`
+	Profile    *obs.Profile  `json:"profile,omitempty"`
 }
 
 // TopKRequest asks for the K vertices most similar to *U, or — when U
@@ -70,9 +114,14 @@ type TopKRequest struct {
 	// coordinator decomposes a full pairs query into one such request
 	// per shard; merging the partial top-k lists under the canonical
 	// order reproduces the unrestricted answer bit for bit.
-	Sources   []int `json:"sources,omitempty"`
-	TimeoutMs int   `json:"timeout_ms,omitempty"`
-	Debug     bool  `json:"debug,omitempty"`
+	Sources []int `json:"sources,omitempty"`
+	// Eps/Delta select adaptive accuracy (see ScoreRequest): every
+	// score feeding the ranking is resolved to ±eps, so the returned
+	// order is correct up to score ties closer than 2·eps.
+	Eps       float64 `json:"eps,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	TimeoutMs int     `json:"timeout_ms,omitempty"`
+	Debug     bool    `json:"debug,omitempty"`
 }
 
 // PairScore is one scored vertex pair.
@@ -84,12 +133,14 @@ type PairScore struct {
 
 // TopKResponse carries the ranked results, best first.
 type TopKResponse struct {
-	Alg       string       `json:"alg"`
-	U         *int         `json:"u,omitempty"`
-	K         int          `json:"k"`
-	Results   []PairScore  `json:"results"`
-	Coalesced bool         `json:"coalesced,omitempty"`
-	Profile   *obs.Profile `json:"profile,omitempty"`
+	Alg       string        `json:"alg"`
+	U         *int          `json:"u,omitempty"`
+	K         int           `json:"k"`
+	Results   []PairScore   `json:"results"`
+	Coalesced bool          `json:"coalesced,omitempty"`
+	Adaptive  *AdaptiveInfo `json:"adaptive,omitempty"`
+	Partial   bool          `json:"partial,omitempty"`
+	Profile   *obs.Profile  `json:"profile,omitempty"`
 }
 
 // BatchRequest asks for many pairwise similarities in one call.
@@ -301,12 +352,25 @@ type EngineStats struct {
 	RowCacheEvictions uint64 `json:"row_cache_evictions"`
 }
 
-// ServingStats covers admission control.
+// ServingStats covers admission control and the adaptive serving path.
 type ServingStats struct {
 	InFlight          int64  `json:"in_flight"`
 	MaxInFlight       int    `json:"max_in_flight"`
 	AdmissionRejected uint64 `json:"admission_rejected"`
 	DeadlineExceeded  uint64 `json:"deadline_exceeded"`
+	// ClientGone counts requests abandoned by their client (connection
+	// closed while the query was queued or coalesced). They are not
+	// server errors and are excluded from the per-shape error counts.
+	ClientGone uint64 `json:"client_gone"`
+	// AdaptiveQueries counts eps-bearing queries led (coalesced
+	// followers excluded); PartialResults counts those answered
+	// best-effort under deadline pressure; AdaptiveRounds and
+	// AdaptiveEarlyStops accumulate committed sampling rounds and
+	// queries that converged before exhausting their walk budget.
+	AdaptiveQueries    uint64 `json:"adaptive_queries"`
+	PartialResults     uint64 `json:"partial_results"`
+	AdaptiveRounds     uint64 `json:"adaptive_rounds"`
+	AdaptiveEarlyStops uint64 `json:"adaptive_early_stops"`
 }
 
 // CoalescingStats covers the singleflight layer. PerShape maps a query

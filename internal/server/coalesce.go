@@ -44,10 +44,20 @@ func NewFlightGroup() *FlightGroup {
 // resources that must outlive its own request (an engine-handle pin, a
 // server-owned context) into the flight, before the caller could
 // possibly release them.
-func (g *FlightGroup) Do(waitCtx context.Context, key string, lead func() func() (any, error)) (val any, shared bool, err error) {
+//
+// onFollow, when non-nil, is invoked once if this caller joins an
+// existing flight instead of leading one — before it starts waiting.
+// A follower does no engine work of its own, so the server uses the
+// hook to hand back its admission slot while it idles on the leader's
+// result; holding it would let a burst of identical queries saturate
+// admission with waiters that consume nothing.
+func (g *FlightGroup) Do(waitCtx context.Context, key string, onFollow func(), lead func() func() (any, error)) (val any, shared bool, err error) {
 	g.mu.Lock()
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
+		if onFollow != nil {
+			onFollow()
+		}
 		select {
 		case <-f.done:
 			return f.val, true, f.err

@@ -24,7 +24,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			ready.Done()
-			val, shared, err := g.Do(context.Background(), "k", func() func() (any, error) {
+			val, shared, err := g.Do(context.Background(), "k", nil, func() func() (any, error) {
 				return func() (any, error) {
 					execs.Add(1)
 					<-release // hold the flight open until all callers joined
@@ -60,13 +60,13 @@ func TestFlightGroupCoalesces(t *testing.T) {
 // process, and the key is cleaned up so later calls run fresh.
 func TestFlightGroupRecoversPanic(t *testing.T) {
 	g := NewFlightGroup()
-	_, _, err := g.Do(context.Background(), "k", func() func() (any, error) {
+	_, _, err := g.Do(context.Background(), "k", nil, func() func() (any, error) {
 		return func() (any, error) { panic("engine blew up") }
 	})
 	if err == nil || err.Error() != "query panicked: engine blew up" {
 		t.Fatalf("panicking flight returned err %v", err)
 	}
-	val, _, err := g.Do(context.Background(), "k", func() func() (any, error) {
+	val, _, err := g.Do(context.Background(), "k", nil, func() func() (any, error) {
 		return func() (any, error) { return "recovered", nil }
 	})
 	if err != nil || val.(string) != "recovered" {
@@ -84,7 +84,7 @@ func TestFlightGroupDistinctKeys(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			g.Do(context.Background(), string(rune('a'+i)), func() func() (any, error) {
+			g.Do(context.Background(), string(rune('a'+i)), nil, func() func() (any, error) {
 				return func() (any, error) { execs.Add(1); return i, nil }
 			})
 		}(i)
@@ -108,7 +108,7 @@ func TestFlightGroupWaiterTimeout(t *testing.T) {
 	}
 	patient := make(chan result, 1)
 	go func() {
-		val, _, err := g.Do(context.Background(), "k", func() func() (any, error) {
+		val, _, err := g.Do(context.Background(), "k", nil, func() func() (any, error) {
 			close(started)
 			return func() (any, error) { <-release; return "slow", nil }
 		})
@@ -117,7 +117,7 @@ func TestFlightGroupWaiterTimeout(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
-	_, shared, err := g.Do(ctx, "k", func() func() (any, error) {
+	_, shared, err := g.Do(ctx, "k", nil, func() func() (any, error) {
 		t.Error("impatient caller must join, not lead")
 		return func() (any, error) { return nil, nil }
 	})

@@ -143,6 +143,14 @@ type MetricsRegistry struct {
 	InFlight          atomic.Int64
 	AdmissionRejected atomic.Uint64
 	DeadlineExceeded  atomic.Uint64
+	// ClientGone counts requests abandoned by their client; they do not
+	// feed the per-shape error counters (see Server.execute).
+	ClientGone atomic.Uint64
+	// Adaptive serving-path counters (leaders only; see noteAdaptive).
+	AdaptiveQueries    atomic.Uint64
+	PartialResults     atomic.Uint64
+	AdaptiveRounds     atomic.Uint64
+	AdaptiveEarlyStops atomic.Uint64
 
 	coalesceHits   atomic.Uint64
 	coalesceMisses atomic.Uint64
@@ -221,10 +229,15 @@ func (m *MetricsRegistry) recordCell(shape, alg string, d time.Duration, err err
 
 func (m *MetricsRegistry) ServingStats(maxInFlight int) ServingStats {
 	return ServingStats{
-		InFlight:          m.InFlight.Load(),
-		MaxInFlight:       maxInFlight,
-		AdmissionRejected: m.AdmissionRejected.Load(),
-		DeadlineExceeded:  m.DeadlineExceeded.Load(),
+		InFlight:           m.InFlight.Load(),
+		MaxInFlight:        maxInFlight,
+		AdmissionRejected:  m.AdmissionRejected.Load(),
+		DeadlineExceeded:   m.DeadlineExceeded.Load(),
+		ClientGone:         m.ClientGone.Load(),
+		AdaptiveQueries:    m.AdaptiveQueries.Load(),
+		PartialResults:     m.PartialResults.Load(),
+		AdaptiveRounds:     m.AdaptiveRounds.Load(),
+		AdaptiveEarlyStops: m.AdaptiveEarlyStops.Load(),
 	}
 }
 
@@ -338,6 +351,16 @@ func (m *MetricsRegistry) WriteProm(pw *obs.PromWriter) {
 	pw.Uint("usimrank_admission_rejected_total", nil, m.AdmissionRejected.Load())
 	pw.Header("usimrank_deadline_exceeded_total", "counter", "Queries that exceeded their deadline.")
 	pw.Uint("usimrank_deadline_exceeded_total", nil, m.DeadlineExceeded.Load())
+	pw.Header("usimrank_client_gone_total", "counter", "Queries abandoned by a disconnected client (not server errors).")
+	pw.Uint("usimrank_client_gone_total", nil, m.ClientGone.Load())
+	pw.Header("usimrank_adaptive_queries_total", "counter", "Adaptive (eps-bearing) queries led.")
+	pw.Uint("usimrank_adaptive_queries_total", nil, m.AdaptiveQueries.Load())
+	pw.Header("usimrank_partial_results_total", "counter", "Adaptive queries answered best-effort under deadline pressure.")
+	pw.Uint("usimrank_partial_results_total", nil, m.PartialResults.Load())
+	pw.Header("usimrank_adaptive_rounds_total", "counter", "Sampling rounds committed by adaptive queries.")
+	pw.Uint("usimrank_adaptive_rounds_total", nil, m.AdaptiveRounds.Load())
+	pw.Header("usimrank_adaptive_early_stops_total", "counter", "Adaptive queries whose stopping rule fired (radius <= eps while sampling).")
+	pw.Uint("usimrank_adaptive_early_stops_total", nil, m.AdaptiveEarlyStops.Load())
 	pw.Header("usimrank_coalesce_hits_total", "counter", "Requests that joined an in-flight identical computation.")
 	pw.Uint("usimrank_coalesce_hits_total", nil, m.coalesceHits.Load())
 	pw.Header("usimrank_coalesce_misses_total", "counter", "Requests that led their computation.")

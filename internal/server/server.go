@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"strconv"
@@ -46,6 +47,14 @@ type Config struct {
 	// slot before being rejected with 429. Default 100ms; negative
 	// disables waiting (immediate rejection when saturated).
 	AdmissionWait time.Duration
+	// AdmissionReserve carves this many of MaxInFlight's slots into a
+	// reserve that only adaptive (eps-bearing) queries may fall back to
+	// when the general pool is saturated. Adaptive queries stop
+	// sampling as soon as their accuracy target is met, so the reserve
+	// keeps the cheap, degradable tier responsive under a flood of
+	// full-budget queries. 0 (the default) disables the reserve; values
+	// ≥ MaxInFlight are clamped to leave at least one general slot.
+	AdmissionReserve int
 	// DrainTimeout bounds how long a reload waits for requests pinned
 	// to the replaced engine before reporting drained=false. Default
 	// 15s.
@@ -151,7 +160,7 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
-		adm:     NewAdmission(cfg.MaxInFlight, cfg.AdmissionWait),
+		adm:     NewTieredAdmission(cfg.MaxInFlight, cfg.AdmissionReserve, cfg.AdmissionWait),
 		flights: NewFlightGroup(),
 		metrics: NewMetricsRegistry(),
 		baseCtx: ctx,
@@ -241,7 +250,14 @@ func (s *Server) traceFor(r *http.Request, shape string, debug bool) (*obs.Trace
 // leads its flight, the engine_compute span rides the flight context
 // into the kernel, so a debug profile always shows where the leader's
 // time went; followers instead show a coalesce span with leader=0.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, key string, h *engineHandle, tr *obs.Trace, root obs.Span, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
+//
+// cheap marks a degradable (adaptive eps-bearing) query eligible for
+// the admission reserve tier. A request that joins an existing flight
+// releases its admission slot immediately (see FlightGroup.Do's
+// onFollow): a follower does no engine work, and a burst of identical
+// queries must not hold the whole admission budget while idling on one
+// leader's result.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg string, timeoutMs int, cheap bool, key string, h *engineHandle, tr *obs.Trace, root obs.Span, fn func(ctx context.Context) (any, error)) (any, bool, bool) {
 	// Stamp the generation this query is pinned to. The cluster
 	// coordinator reads it to reject answers from a node that missed
 	// admin mutations (a replica that was down through an update and
@@ -262,22 +278,32 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg stri
 	defer cancelWait()
 
 	asp := root.Start("admission_wait")
-	if !s.adm.Acquire(waitCtx) {
+	release := s.adm.AcquireTier(waitCtx, cheap)
+	if release == nil {
 		asp.Error(errors.New("admission rejected"))
 		asp.End()
 		s.metrics.AdmissionRejected.Add(1)
+		w.Header().Set("Retry-After", RetryAfterSeconds(s.adm.Wait()))
 		WriteError(w, http.StatusTooManyRequests, CodeOverloaded,
 			fmt.Sprintf("server saturated: %d queries in flight", s.cfg.MaxInFlight))
 		return nil, false, false
 	}
 	asp.End()
-	defer s.adm.Release()
 	s.metrics.InFlight.Add(1)
-	defer s.metrics.InFlight.Add(-1)
+	// The slot is given back exactly once, by whichever comes first:
+	// becoming a follower (below) or this frame unwinding.
+	var relOnce sync.Once
+	releaseSlot := func() {
+		relOnce.Do(func() {
+			s.metrics.InFlight.Add(-1)
+			release()
+		})
+	}
+	defer releaseSlot()
 
 	start := time.Now()
 	csp := root.Start("coalesce")
-	val, coalesced, err := s.flights.Do(waitCtx, key, func() func() (any, error) {
+	val, coalesced, err := s.flights.Do(waitCtx, key, releaseSlot, func() func() (any, error) {
 		// Leader path, still in this request's frame: transfer a pin
 		// and a server-owned deadline into the flight so it survives
 		// this request abandoning the wait.
@@ -301,6 +327,18 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg stri
 	}
 	csp.End()
 	elapsed := time.Since(start)
+	// A cancellation caused by the client's own disconnect is not a
+	// server error: count it separately, keep the per-shape error
+	// counts clean, and skip the response write (nobody is reading).
+	// Cancellation with a live request context is the server shutting
+	// down — that one still reports 503 through writeQueryError.
+	if err != nil && errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+		s.metrics.ClientGone.Add(1)
+		s.metrics.RecordQuery(shape, alg, elapsed, coalesced, nil)
+		root.Error(err)
+		s.logSlowQuery(shape, alg, tr, elapsed, coalesced, err)
+		return nil, coalesced, false
+	}
 	s.metrics.RecordQuery(shape, alg, elapsed, coalesced, err)
 	root.Error(err)
 	s.logSlowQuery(shape, alg, tr, elapsed, coalesced, err)
@@ -309,6 +347,18 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, shape, alg stri
 		return nil, coalesced, false
 	}
 	return val, coalesced, true
+}
+
+// RetryAfterSeconds derives the 429 Retry-After hint from the
+// admission grace: the request already waited one full grace period
+// without a slot freeing, so a client should back off at least that
+// long (floored at the header's 1-second resolution) before retrying.
+func RetryAfterSeconds(wait time.Duration) string {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // slowQueryLog is the JSON shape of one -log-json slow-query line.
@@ -384,23 +434,39 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	if !checkAdaptive(w, req.Eps, req.Delta) {
+		return
+	}
 	h := s.engine()
 	defer h.release()
 	if !s.checkVertices(w, h, req.U, req.V) {
 		return
 	}
 	key := fmt.Sprintf("score|g%d|%s|%d|%d", h.gen, alg, req.U, req.V)
+	key = adaptiveKey(key, req.Eps, req.Delta)
 	key = debugKey(key, req.Debug)
+	adaptive := req.Eps > 0
+	ao := usimrank.AdaptiveOptions{Eps: req.Eps, Delta: req.Delta}
 	tr, root := s.traceFor(r, "score", req.Debug)
-	val, coalesced, ok := s.execute(w, r, "score", alg.String(), req.TimeoutMs, key, h, tr, root, func(ctx context.Context) (any, error) {
+	val, coalesced, ok := s.execute(w, r, "score", alg.String(), req.TimeoutMs, adaptive, key, h, tr, root, func(ctx context.Context) (any, error) {
+		if adaptive {
+			return h.eng.AdaptiveComputeCtx(ctx, alg, req.U, req.V, ao)
+		}
 		return h.eng.ComputeCtx(ctx, alg, req.U, req.V)
 	})
 	if !ok {
 		return
 	}
 	resp := ScoreResponse{
-		Alg: alg.String(), U: req.U, V: req.V,
-		Score: val.(float64), Coalesced: coalesced,
+		Alg: alg.String(), U: req.U, V: req.V, Coalesced: coalesced,
+	}
+	if adaptive {
+		res := val.(usimrank.AdaptiveResult)
+		resp.Score = res.Score
+		resp.Adaptive = s.noteAdaptive(res, req.Eps, req.Delta, coalesced)
+		resp.Partial = res.Partial
+	} else {
+		resp.Score = val.(float64)
 	}
 	if req.Debug {
 		root.End()
@@ -420,6 +486,67 @@ func debugKey(key string, debug bool) string {
 		return key + "|dbg"
 	}
 	return key
+}
+
+// checkAdaptive validates a request's eps/delta accuracy target,
+// writing a 400 on the first violation. eps == 0 (with delta == 0)
+// selects the classic fixed-budget path.
+func checkAdaptive(w http.ResponseWriter, eps, delta float64) bool {
+	if eps < 0 {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("eps = %g < 0", eps))
+		return false
+	}
+	if delta != 0 {
+		if eps == 0 {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest,
+				`"delta" is only valid together with "eps"`)
+			return false
+		}
+		if delta < 0 || delta >= 1 {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("delta = %g outside (0, 1)", delta))
+			return false
+		}
+	}
+	return true
+}
+
+// adaptiveKey appends the accuracy target to a flight key: an
+// eps-bearing query must never share a flight with a full-budget one
+// (different engine call, different response shape), nor with one
+// targeting a different (ε, δ). Exact bit patterns keep distinct float
+// spellings distinct.
+func adaptiveKey(key string, eps, delta float64) string {
+	if eps <= 0 {
+		return key
+	}
+	return fmt.Sprintf("%s|e%x|d%x", key, math.Float64bits(eps), math.Float64bits(delta))
+}
+
+// noteAdaptive converts an engine AdaptiveResult into the response's
+// adaptive block and, for flight leaders, records the adaptive serving
+// counters (followers shared the leader's sampling, so they add to
+// none of them).
+func (s *Server) noteAdaptive(res usimrank.AdaptiveResult, eps, delta float64, coalesced bool) *AdaptiveInfo {
+	if !coalesced {
+		s.metrics.AdaptiveQueries.Add(1)
+		s.metrics.AdaptiveRounds.Add(uint64(res.Rounds))
+		if res.Partial {
+			s.metrics.PartialResults.Add(1)
+		}
+		if res.Converged && res.Walks > 0 {
+			s.metrics.AdaptiveEarlyStops.Add(1)
+		}
+	}
+	if delta == 0 {
+		delta = usimrank.AdaptiveDefaultDelta
+	}
+	return &AdaptiveInfo{
+		Eps: eps, Delta: delta,
+		Radius: res.Radius, Walks: res.Walks, Rounds: res.Rounds,
+		Converged: res.Converged,
+	}
 }
 
 // AlgIndexed is the source-only algorithm name selecting the
@@ -445,6 +572,9 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		}
 		algName = alg.String()
 	}
+	if !checkAdaptive(w, req.Eps, req.Delta) {
+		return
+	}
 	h := s.engine()
 	defer h.release()
 	if indexed && h.idx == nil {
@@ -462,14 +592,25 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		candKey = DigestInts(req.Candidates)
 	}
 	key := fmt.Sprintf("source|g%d|%s|%d|%s", h.gen, algName, req.U, candKey)
+	key = adaptiveKey(key, req.Eps, req.Delta)
 	key = debugKey(key, req.Debug)
+	adaptive := req.Eps > 0
+	ao := usimrank.AdaptiveOptions{Eps: req.Eps, Delta: req.Delta}
 	tr, root := s.traceFor(r, "source", req.Debug)
-	val, coalesced, ok := s.execute(w, r, "source", algName, req.TimeoutMs, key, h, tr, root, func(ctx context.Context) (any, error) {
+	val, coalesced, ok := s.execute(w, r, "source", algName, req.TimeoutMs, adaptive, key, h, tr, root, func(ctx context.Context) (any, error) {
 		switch {
+		case indexed && adaptive && req.Candidates == nil:
+			return h.eng.AdaptiveSingleSourceIndexedCtx(ctx, h.idx, req.U, ao)
+		case indexed && adaptive:
+			return h.eng.AdaptiveSingleSourceIndexedAgainstCtx(ctx, h.idx, req.U, req.Candidates, ao)
 		case indexed && req.Candidates == nil:
 			return h.eng.SingleSourceIndexedCtx(ctx, h.idx, req.U)
 		case indexed:
 			return h.eng.SingleSourceIndexedAgainstCtx(ctx, h.idx, req.U, req.Candidates)
+		case adaptive && req.Candidates == nil:
+			return h.eng.AdaptiveSingleSourceCtx(ctx, alg, req.U, ao)
+		case adaptive:
+			return h.eng.AdaptiveSingleSourceAgainstCtx(ctx, alg, req.U, req.Candidates, ao)
 		case req.Candidates == nil:
 			return h.eng.SingleSourceCtx(ctx, alg, req.U)
 		default:
@@ -494,8 +635,15 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := SourceResponse{
-		Alg: algName, U: req.U, Candidates: req.Candidates,
-		Scores: val.([]float64), Coalesced: coalesced,
+		Alg: algName, U: req.U, Candidates: req.Candidates, Coalesced: coalesced,
+	}
+	if adaptive {
+		res := val.(usimrank.AdaptiveResult)
+		resp.Scores = res.Scores
+		resp.Adaptive = s.noteAdaptive(res, req.Eps, req.Delta, coalesced)
+		resp.Partial = res.Partial
+	} else {
+		resp.Scores = val.([]float64)
 	}
 	if req.Debug {
 		root.End()
@@ -520,6 +668,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.U != nil && req.Sources != nil {
 		WriteError(w, http.StatusBadRequest, CodeBadRequest, `"sources" is only valid for pairs queries (omit "u")`)
+		return
+	}
+	if !checkAdaptive(w, req.Eps, req.Delta) {
 		return
 	}
 	h := s.engine()
@@ -547,33 +698,59 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	} else {
 		key = fmt.Sprintf("topk|g%d|%s|pairs|k%d", h.gen, alg, req.K)
 	}
+	key = adaptiveKey(key, req.Eps, req.Delta)
 	key = debugKey(key, req.Debug)
+	adaptive := req.Eps > 0
+	ao := usimrank.AdaptiveOptions{Eps: req.Eps, Delta: req.Delta}
 	tr, root := s.traceFor(r, "topk", req.Debug)
-	val, coalesced, ok := s.execute(w, r, "topk", alg.String(), req.TimeoutMs, key, h, tr, root, func(ctx context.Context) (any, error) {
-		if req.U != nil {
+	val, coalesced, ok := s.execute(w, r, "topk", alg.String(), req.TimeoutMs, adaptive, key, h, tr, root, func(ctx context.Context) (any, error) {
+		switch {
+		case adaptive && req.U != nil:
+			ranked, res, err := usimrank.TopKSimilarAdaptiveCtx(ctx, h.eng, alg, *req.U, req.K, ao)
+			return adaptiveTopK{ranked, res}, err
+		case adaptive:
+			ranked, res, err := usimrank.TopKPairsAdaptiveCtx(ctx, h.eng, alg, req.K, req.Sources, ao)
+			return adaptiveTopK{ranked, res}, err
+		case req.U != nil:
 			return usimrank.TopKSimilarCtx(ctx, h.eng, alg, *req.U, req.K)
-		}
-		if req.Sources != nil {
+		case req.Sources != nil:
 			return usimrank.TopKPairsAmongCtx(ctx, h.eng, alg, req.K, req.Sources)
+		default:
+			return usimrank.TopKPairsCtx(ctx, h.eng, alg, req.K)
 		}
-		return usimrank.TopKPairsCtx(ctx, h.eng, alg, req.K)
 	})
 	if !ok {
 		return
 	}
-	results := val.([]usimrank.TopKResult)
+	resp := TopKResponse{
+		Alg: alg.String(), U: req.U, K: req.K, Coalesced: coalesced,
+	}
+	var results []usimrank.TopKResult
+	if adaptive {
+		at := val.(adaptiveTopK)
+		results = at.results
+		resp.Adaptive = s.noteAdaptive(at.res, req.Eps, req.Delta, coalesced)
+		resp.Partial = at.res.Partial
+	} else {
+		results = val.([]usimrank.TopKResult)
+	}
 	out := make([]PairScore, len(results))
 	for i, res := range results {
 		out[i] = PairScore{U: res.U, V: res.V, Score: res.Score}
 	}
-	resp := TopKResponse{
-		Alg: alg.String(), U: req.U, K: req.K, Results: out, Coalesced: coalesced,
-	}
+	resp.Results = out
 	if req.Debug {
 		root.End()
 		resp.Profile = tr.Profile()
 	}
 	WriteJSON(w, http.StatusOK, resp)
+}
+
+// adaptiveTopK bundles a ranked list with its sweep's accuracy report
+// through execute's any-typed flight value.
+type adaptiveTopK struct {
+	results []usimrank.TopKResult
+	res     usimrank.AdaptiveResult
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -602,7 +779,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("batch|g%d|%s|%s", h.gen, alg, DigestInts(flat))
 	key = debugKey(key, req.Debug)
 	tr, root := s.traceFor(r, "batch", req.Debug)
-	val, coalesced, ok := s.execute(w, r, "batch", alg.String(), req.TimeoutMs, key, h, tr, root, func(ctx context.Context) (any, error) {
+	val, coalesced, ok := s.execute(w, r, "batch", alg.String(), req.TimeoutMs, false, key, h, tr, root, func(ctx context.Context) (any, error) {
 		return usimrank.BatchCtx(ctx, h.eng, alg, req.Pairs, 0)
 	})
 	if !ok {

@@ -1,0 +1,60 @@
+// Concentration bounds for the adaptive (ε, δ) stopping rule. The
+// progressive estimator averages i.i.d. per-walk-pair scores X_i in
+// [0, b] (b is the coefficient mass of the truncated SimRank series,
+// Eq. 12: 1 for a fully sampled query, c^(l+1) when an exact prefix of
+// depth l is subtracted first) and stops once a confidence radius drops
+// below the requested ε. Two radii are available; the tight one wins:
+//
+//   - Hoeffding (the paper's Eq. 14 bound, rearranged for a fixed n):
+//     range-only, best for tiny samples or near-worst-case variance.
+//   - Empirical Bernstein (Audibert–Munos–Szepesvári 2009, Thm 1):
+//     uses the observed sample variance, so low-variance (easy) queries
+//     stop after far fewer walks than the range bound allows.
+//
+// Both are two-sided: P(|mean − E[X]| ≥ radius) ≤ δ.
+package stats
+
+import "math"
+
+// HoeffdingRadius returns the two-sided Hoeffding confidence radius
+// b·sqrt(ln(2/δ) / (2n)) for the mean of n samples in [0, b]. It
+// returns +Inf when n is zero so callers can take min() fearlessly.
+func HoeffdingRadius(b float64, n int, delta float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return b * math.Sqrt(math.Log(2/delta)/(2*float64(n)))
+}
+
+// BernsteinRadius returns the two-sided empirical-Bernstein radius
+//
+//	sqrt(2·V̂·ln(3/δ) / n) + 3·b·ln(3/δ) / n
+//
+// for the mean of n samples in [0, b] with sample variance V̂. It
+// returns +Inf when n is zero.
+func BernsteinRadius(variance, b float64, n int, delta float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	if variance < 0 {
+		variance = 0 // guard FP cancellation in the caller's V̂
+	}
+	ln := math.Log(3 / delta)
+	return math.Sqrt(2*variance*ln/float64(n)) + 3*b*ln/float64(n)
+}
+
+// HoeffdingSamples inverts HoeffdingRadius: the number of samples in
+// [0, b] guaranteeing radius ≤ eps at confidence 1−δ,
+// ⌈b²·ln(2/δ) / (2ε²)⌉ — the fixed-N budget of the paper's Theorem 3
+// analysis, used as the adaptive walk cap (beyond it even a worst-case
+// variance sample has converged).
+func HoeffdingSamples(b, eps, delta float64) int {
+	if eps <= 0 || b <= 0 {
+		return 0
+	}
+	n := math.Ceil(b * b * math.Log(2/delta) / (2 * eps * eps))
+	if n > 1<<40 {
+		return 1 << 40
+	}
+	return int(n)
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHoeffdingRadius(t *testing.T) {
+	// Closed form at friendly values.
+	got := HoeffdingRadius(1, 200, 0.05)
+	want := math.Sqrt(math.Log(2/0.05) / 400)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("HoeffdingRadius(1,200,0.05) = %v, want %v", got, want)
+	}
+	// Scales linearly with the range.
+	if r := HoeffdingRadius(0.5, 200, 0.05); math.Abs(r-want/2) > 1e-15 {
+		t.Fatalf("range scaling: got %v, want %v", r, want/2)
+	}
+	// Shrinks with n, grows as delta shrinks.
+	if HoeffdingRadius(1, 800, 0.05) >= got {
+		t.Fatal("radius did not shrink with more samples")
+	}
+	if HoeffdingRadius(1, 200, 0.001) <= got {
+		t.Fatal("radius did not grow with tighter delta")
+	}
+	if r := HoeffdingRadius(1, 0, 0.05); !math.IsInf(r, 1) {
+		t.Fatalf("n=0 radius = %v, want +Inf", r)
+	}
+}
+
+func TestBernsteinRadius(t *testing.T) {
+	ln := math.Log(3 / 0.05)
+	got := BernsteinRadius(0.01, 1, 1000, 0.05)
+	want := math.Sqrt(2*0.01*ln/1000) + 3*ln/1000
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("BernsteinRadius = %v, want %v", got, want)
+	}
+	// Zero-variance samples leave only the range term.
+	if r := BernsteinRadius(0, 1, 1000, 0.05); math.Abs(r-3*ln/1000) > 1e-15 {
+		t.Fatalf("zero-variance radius = %v, want %v", r, 3*ln/1000)
+	}
+	// Negative variance (FP cancellation upstream) is clamped, not NaN.
+	if r := BernsteinRadius(-1e-18, 1, 1000, 0.05); math.IsNaN(r) {
+		t.Fatal("negative variance produced NaN")
+	}
+	if r := BernsteinRadius(0.01, 1, 0, 0.05); !math.IsInf(r, 1) {
+		t.Fatalf("n=0 radius = %v, want +Inf", r)
+	}
+	// On a low-variance sample Bernstein beats Hoeffding — the whole
+	// point of the empirical bound.
+	if BernsteinRadius(0.001, 1, 10000, 0.05) >= HoeffdingRadius(1, 10000, 0.05) {
+		t.Fatal("Bernstein not tighter than Hoeffding on low variance")
+	}
+}
+
+func TestHoeffdingSamples(t *testing.T) {
+	// Inverse relation: at the returned n the radius is within eps.
+	for _, tc := range []struct{ b, eps, delta float64 }{
+		{1, 0.05, 0.05},
+		{0.6, 0.01, 0.001},
+		{0.36, 0.1, 0.2},
+	} {
+		n := HoeffdingSamples(tc.b, tc.eps, tc.delta)
+		if n < 1 {
+			t.Fatalf("HoeffdingSamples(%v) = %d", tc, n)
+		}
+		if r := HoeffdingRadius(tc.b, n, tc.delta); r > tc.eps*(1+1e-12) {
+			t.Fatalf("radius %v at n=%d exceeds eps %v", r, n, tc.eps)
+		}
+		// One fewer sample must not already satisfy the bound (ceil is
+		// tight), except when n == 1.
+		if n > 1 {
+			if r := HoeffdingRadius(tc.b, n-1, tc.delta); r <= tc.eps {
+				t.Fatalf("n=%d not minimal: radius %v at n-1 already ≤ %v", n, r, tc.eps)
+			}
+		}
+	}
+	if HoeffdingSamples(1, 0, 0.05) != 0 || HoeffdingSamples(0, 0.1, 0.05) != 0 {
+		t.Fatal("degenerate inputs should return 0")
+	}
+	// Absurdly tight budgets clamp instead of overflowing int.
+	if n := HoeffdingSamples(1, 1e-12, 1e-12); n != 1<<40 {
+		t.Fatalf("clamp: got %d", n)
+	}
+}

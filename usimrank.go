@@ -313,3 +313,96 @@ func TopKPairsCtx(ctx context.Context, e *Engine, alg Algorithm, k int) ([]TopKR
 func TopKPairsAmongCtx(ctx context.Context, e *Engine, alg Algorithm, k int, sources []int) ([]TopKResult, error) {
 	return topk.AllPairsSubsetCtx(ctx, e, alg, k, sources)
 }
+
+// AdaptiveOptions carries a per-request (ε, δ) accuracy target for the
+// adaptive query methods (Engine.AdaptiveCompute and friends): sample
+// in geometric rounds, stop as soon as the confidence radius reaches
+// Eps.
+type AdaptiveOptions = core.AdaptiveOptions
+
+// AdaptiveResult reports an adaptive query's estimate together with
+// the achieved radius, walk spend, and convergence state.
+type AdaptiveResult = core.AdaptiveResult
+
+// AdaptiveDefaultDelta is the failure probability assumed when an
+// adaptive request names only eps.
+const AdaptiveDefaultDelta = core.AdaptiveDefaultDelta
+
+// TopKSimilarAdaptiveCtx is TopKSimilar with a per-request accuracy
+// target: the single-source sweep behind the ranking runs adaptively,
+// so every candidate score is within ±res.Radius of its exact
+// possible-world value (with probability ≥ 1−δ) and easy queries stop
+// sampling early. res.Scores carries the ranked scores' provenance
+// (radius, walks, rounds); Partial marks a ranking computed from a
+// deadline-truncated sweep.
+func TopKSimilarAdaptiveCtx(ctx context.Context, e *Engine, alg Algorithm, u, k int, ao AdaptiveOptions) ([]TopKResult, AdaptiveResult, error) {
+	n := e.Graph().NumVertices()
+	candidates := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != u {
+			candidates = append(candidates, v)
+		}
+	}
+	res, err := e.AdaptiveSingleSourceAgainstCtx(ctx, alg, u, candidates, ao)
+	if err != nil {
+		return nil, AdaptiveResult{}, err
+	}
+	list := make([]topk.Result, len(candidates))
+	for i, v := range candidates {
+		list[i] = topk.Result{U: u, V: v, Score: res.Scores[i]}
+	}
+	ranked := topk.Merge(k, list)
+	res.Scores = nil
+	return ranked, res, nil
+}
+
+// TopKPairsAdaptiveCtx is TopKPairsAmongCtx (or, with nil sources, the
+// full TopKPairs sweep) under a per-request accuracy target. Each
+// source's candidate sweep runs adaptively; the aggregate
+// AdaptiveResult reports the worst radius, total walks, deepest round
+// count, and whether every sweep converged. A deadline that truncates
+// one sweep marks the whole ranking Partial and skips the remaining
+// sources — the merged list is then a best-effort ranking over the
+// sources completed so far.
+func TopKPairsAdaptiveCtx(ctx context.Context, e *Engine, alg Algorithm, k int, sources []int, ao AdaptiveOptions) ([]TopKResult, AdaptiveResult, error) {
+	n := e.Graph().NumVertices()
+	if sources == nil {
+		sources = make([]int, n)
+		for u := range sources {
+			sources[u] = u
+		}
+	}
+	agg := AdaptiveResult{Converged: true}
+	lists := make([][]topk.Result, 0, len(sources))
+	for _, u := range sources {
+		candidates := make([]int, 0, n-u-1)
+		for v := u + 1; v < n; v++ {
+			candidates = append(candidates, v)
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		res, err := e.AdaptiveSingleSourceAgainstCtx(ctx, alg, u, candidates, ao)
+		if err != nil {
+			return nil, AdaptiveResult{}, err
+		}
+		list := make([]topk.Result, len(candidates))
+		for i, v := range candidates {
+			list[i] = topk.Result{U: u, V: v, Score: res.Scores[i]}
+		}
+		lists = append(lists, topk.Merge(k, list))
+		if res.Radius > agg.Radius {
+			agg.Radius = res.Radius
+		}
+		agg.Walks += res.Walks
+		if res.Rounds > agg.Rounds {
+			agg.Rounds = res.Rounds
+		}
+		agg.Converged = agg.Converged && res.Converged
+		if res.Partial {
+			agg.Partial = true
+			break
+		}
+	}
+	return topk.Merge(k, lists...), agg, nil
+}
