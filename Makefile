@@ -11,7 +11,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/core ./internal/parallel ./internal/topk ./internal/cache ./internal/server ./internal/cluster
+	go test -race ./internal/core ./internal/parallel ./internal/topk ./internal/cache ./internal/server ./internal/cluster ./internal/sub
 
 check: build
 	go vet ./...

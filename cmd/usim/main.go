@@ -12,6 +12,14 @@
 //
 //	usim -graph g.ug -u 3 -v 17 -update "reweight:3,17,0.9;delete:4,1;insert:0,9,0.5"
 //
+// -subscribe follows a standing query against a running usimd instead
+// of computing locally: it opens the node's /v1/subscribe SSE stream,
+// prints the initial snapshot, then prints one event per server push
+// (the shape comes from the same -u/-v/-source/-topk flags):
+//
+//	usim -subscribe http://localhost:8471 -source 3 -alg srsp
+//	usim -subscribe http://localhost:8471 -u 3 -v 17 -alg sampling -staleness 2s
+//
 // Single-source and top-k queries run on the engine's one-pass
 // single-source kernels, so the source's sampling work is done once for
 // the whole query; scores are bit-identical to the pairwise shape.
@@ -22,14 +30,20 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"usimrank"
+	"usimrank/internal/sub"
 )
 
 // baselineAlgs are the -alg values outside the shared engine (the
@@ -55,8 +69,15 @@ func main() {
 		update    = flag.String("update", "", `arc mutations applied before the query: "op:u,v[,p]" triples separated by ';' (op: insert | delete | reweight)`)
 		eps       = flag.Float64("eps", 0, "adaptive accuracy: sample until the confidence radius is ≤ eps instead of spending the full -N budget (0 = fixed budget)")
 		delta     = flag.Float64("delta", 0, "adaptive failure probability (requires -eps; 0 selects the default 0.05)")
+		subscribe = flag.String("subscribe", "", "follow mode: base URL of a running usimd (e.g. http://localhost:8471); streams the standing query named by -u/-v/-source/-topk instead of computing locally")
+		staleness = flag.Duration("staleness", 0, "with -subscribe: staleness SLA — how long the server may batch updates before pushing")
 	)
 	flag.Parse()
+
+	if *subscribe != "" {
+		followSubscription(*subscribe, *alg, *u, *v, *source, *topK, *staleness)
+		return
+	}
 
 	// Validate every flag up front: bad input exits 2 with a usage
 	// message instead of surfacing as an engine error (or worse, a
@@ -265,6 +286,66 @@ func main() {
 	fmt.Printf("truncation bound (Thm 2): %.2g\n", usimrank.ErrorBound(*c, *n))
 	if adaptiveRes != nil {
 		printAdaptive(*adaptiveRes)
+	}
+}
+
+// followSubscription opens a /v1/subscribe stream on a running usimd
+// and prints every event: an "event=<name> id=<generation>" line, then
+// the payload verbatim (the exact JSON body a cold query of the same
+// shape would return). Keep-alive comments are skipped. Exits 0 when
+// the server shuts the stream down cleanly, 1 on a terminal error.
+func followSubscription(base, alg string, u, v, source, topK int, staleness time.Duration) {
+	q := url.Values{}
+	q.Set("alg", alg)
+	switch {
+	case source >= 0 && topK > 0:
+		q.Set("shape", "topk")
+		q.Set("u", strconv.Itoa(source))
+		q.Set("k", strconv.Itoa(topK))
+	case source >= 0:
+		q.Set("shape", "source")
+		q.Set("u", strconv.Itoa(source))
+	case topK > 0:
+		usage("-subscribe needs -source with -topk (the best-pairs shape is not subscribable)")
+	default:
+		q.Set("shape", "score")
+		q.Set("u", strconv.Itoa(u))
+		q.Set("v", strconv.Itoa(v))
+	}
+	if staleness > 0 {
+		q.Set("staleness_ms", strconv.FormatInt(staleness.Milliseconds(), 10))
+	}
+	resp, err := http.Get(strings.TrimSuffix(base, "/") + "/v1/subscribe?" + q.Encode())
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("subscribe: %s\n%s", resp.Status, body))
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		f, err := sub.ReadFrame(br)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			fatal(fmt.Errorf("subscribe stream: %w", err))
+		}
+		if f.Comment() {
+			continue
+		}
+		fmt.Printf("event=%s id=%d\n", f.Name(), f.ID())
+		if d := f.Data(); d != nil {
+			os.Stdout.Write(d)
+		}
+		switch f.Name() {
+		case "shutdown":
+			return
+		case "gone", "error":
+			os.Exit(1)
+		}
 	}
 }
 

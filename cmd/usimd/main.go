@@ -23,6 +23,7 @@
 //	POST /v1/source        the single-source vector s(u, ·)
 //	POST /v1/topk          top-k similar vertices, or pairs
 //	POST /v1/batch         many pairs, grouped by source
+//	GET  /v1/subscribe     standing query over SSE: snapshot, then a push per affecting update
 //	GET  /v1/stats         metrics snapshot
 //	POST /v1/admin/reload  zero-downtime graph hot-swap
 //	POST /v1/admin/update  incremental arc mutations (insert/delete/reweight)
@@ -85,6 +86,8 @@ func main() {
 		admitWait      = flag.Duration("admission-wait", 100*time.Millisecond, "max wait for an in-flight slot before 429 (negative: reject immediately)")
 		admitReserve   = flag.Int("admission-reserve", 0, "in-flight slots reserved for adaptive (eps-bearing) queries when the general pool is saturated (0 disables)")
 		drain          = flag.Duration("drain-timeout", 15*time.Second, "max wait for old-engine requests after a hot-swap")
+		subStaleness   = flag.Duration("sub-max-staleness", 30*time.Second, "cap on the staleness SLA a /v1/subscribe client may request")
+		subHeartbeat   = flag.Duration("sub-heartbeat", 15*time.Second, "keep-alive comment period on idle subscription streams")
 		logEvery       = flag.Duration("log-every", time.Minute, "period of the metrics log line (0 disables)")
 		slowQueryMs    = flag.Int("slow-query-ms", 0, "log a structured slow-query line (with trace id and span timings) for queries at or above this many milliseconds (0 disables)")
 		logJSON        = flag.Bool("log-json", false, "emit slow-query lines as single-line JSON instead of key=value text")
@@ -154,7 +157,7 @@ func main() {
 		}
 		logger.Printf("coordinating %d shards (%d endpoints) at generation %d on %s",
 			len(shards), endpoints, co.Generation(), *addr)
-		serve(*addr, co.Handler(), co.Close, logger)
+		serve(*addr, co.Handler(), co.DrainSubscriptions, co.Close, logger)
 		return
 	}
 
@@ -192,6 +195,8 @@ func main() {
 		AdmissionWait:    *admitWait,
 		AdmissionReserve: *admitReserve,
 		DrainTimeout:     *drain,
+		SubMaxStaleness:  *subStaleness,
+		SubHeartbeat:     *subHeartbeat,
 		LogEvery:         *logEvery,
 		Logger:           logger,
 		SlowQuery:        time.Duration(*slowQueryMs) * time.Millisecond,
@@ -207,7 +212,7 @@ func main() {
 		logger.Printf("warmed SR-SP filter pools in %s", time.Since(warmStart).Round(time.Millisecond))
 	}
 	logger.Printf("serving %s (%d vertices, %d arcs) on %s", *graphPath, g.NumVertices(), g.NumArcs(), *addr)
-	serve(*addr, srv.Handler(), srv.Close, logger)
+	serve(*addr, srv.Handler(), srv.DrainSubscriptions, srv.Close, logger)
 }
 
 // rejectForeignFlags exits 2 when a flag belonging to the inactive
@@ -219,6 +224,7 @@ func rejectForeignFlags(coordinator bool) {
 		"c": true, "n": true, "N": true, "l": true, "seed": true,
 		"workers": true, "rowcache": true, "warm": true, "index": true,
 		"max-update-batch": true, "drain-timeout": true,
+		"sub-max-staleness": true, "sub-heartbeat": true,
 	}
 	coordOnly := map[string]bool{
 		"replicas": true, "shard-timeout": true, "hedge-delay": true,
@@ -240,9 +246,11 @@ func rejectForeignFlags(coordinator bool) {
 }
 
 // serve runs the HTTP listener with graceful SIGINT/SIGTERM drain —
-// shared by both modes.
-func serve(addr string, handler http.Handler, closeFn func(), logger *log.Logger) {
-	httpSrv := &http.Server{Addr: addr, Handler: handler}
+// shared by both modes. The listener comes from server.NewHTTPServer,
+// which sets the slowloris/idle-connection timeouts but no blanket
+// write deadline (a WriteTimeout would kill every subscription stream).
+func serve(addr string, handler http.Handler, drainFn func() bool, closeFn func(), logger *log.Logger) {
+	httpSrv := server.NewHTTPServer(addr, handler)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
@@ -251,6 +259,13 @@ func serve(addr string, handler http.Handler, closeFn func(), logger *log.Logger
 	select {
 	case sig := <-sigCh:
 		logger.Printf("received %v, draining", sig)
+		// Subscription streams first: http.Server.Shutdown waits for
+		// active connections, and an SSE stream never goes idle on its
+		// own — each must receive its terminal shutdown event and close
+		// before Shutdown can complete.
+		if !drainFn() {
+			logger.Printf("shutdown: subscription streams did not drain in time")
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

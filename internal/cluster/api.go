@@ -63,4 +63,5 @@ type StatsResponse struct {
 	Serving       server.ServingStats          `json:"serving"`
 	Coalescing    server.CoalescingStats       `json:"coalescing"`
 	Queries       map[string]server.QueryStats `json:"queries"`
+	Subscriptions *server.SubscriptionStats    `json:"subscriptions,omitempty"`
 }

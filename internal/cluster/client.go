@@ -68,6 +68,11 @@ func (c *Client) Counters() []ShardCounters {
 	return out
 }
 
+// noteStale records a stale-generation rejection detected outside Do
+// (the subscription relay performs its own generation check on the
+// streamed response).
+func (c *Client) noteStale(shard int) { c.counters[shard].stale.Add(1) }
+
 // NewClient builds a fan-out client over the per-shard endpoint lists.
 func NewClient(endpoints [][]string, httpClient *http.Client, shardTimeout, hedgeDelay time.Duration) *Client {
 	return &Client{

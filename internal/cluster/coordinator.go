@@ -21,6 +21,7 @@ import (
 	"usimrank"
 	"usimrank/internal/obs"
 	"usimrank/internal/server"
+	"usimrank/internal/sub"
 )
 
 // Config configures a Coordinator. Shards is required; everything else
@@ -142,6 +143,11 @@ type Coordinator struct {
 	flights *server.FlightGroup
 	metrics *server.MetricsRegistry
 
+	// subs tracks live relay streams: active count for stats, shutdown
+	// broadcast and drain for graceful exit. Vertex-level wake filtering
+	// happens on the owning nodes, so relays register no vertices here.
+	subs *sub.Registry
+
 	// The stats endpoint's endpoint-health probe is cached briefly and
 	// single-flighted behind probeMu: /v1/stats bypasses admission (it
 	// must work when the query plane is saturated), so an aggressive
@@ -187,6 +193,7 @@ func New(cfg Config) (*Coordinator, error) {
 		adm:     server.NewTieredAdmission(cfg.MaxInFlight, cfg.AdmissionReserve, cfg.AdmissionWait),
 		flights: server.NewFlightGroup(),
 		metrics: server.NewMetricsRegistry(),
+		subs:    sub.NewRegistry(),
 		baseCtx: ctx,
 		cancel:  cancel,
 		start:   time.Now(),
@@ -204,6 +211,7 @@ func New(cfg Config) (*Coordinator, error) {
 	co.mux.HandleFunc("POST /v1/topk", co.handleTopK)
 	co.mux.HandleFunc("POST /v1/batch", co.handleBatch)
 	co.mux.HandleFunc("GET /v1/stats", co.handleStats)
+	co.mux.HandleFunc("GET /v1/subscribe", co.handleSubscribe)
 	co.mux.HandleFunc("GET /metrics", co.handleMetrics)
 	co.mux.HandleFunc("POST /v1/admin/reload", co.handleReload)
 	co.mux.HandleFunc("POST /v1/admin/update", co.handleUpdate)
@@ -1030,6 +1038,18 @@ func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Header("usimrank_admin_ops_total", "counter", "Admin mutations applied across the fleet.")
 	pw.Uint("usimrank_admin_ops_total", nil, co.adminOps.Load())
 
+	ss := co.subs.Snapshot()
+	pw.Header("usimrank_subscriptions_active", "gauge", "Live relayed subscription streams.")
+	pw.Int("usimrank_subscriptions_active", nil, ss.Active)
+	pw.Header("usimrank_sub_wakeups_total", "counter", "Subscription wake-ups delivered.")
+	pw.Uint("usimrank_sub_wakeups_total", nil, ss.Wakeups)
+	pw.Header("usimrank_sub_pushes_total", "counter", "Update events relayed to subscribers.")
+	pw.Uint("usimrank_sub_pushes_total", nil, ss.Pushes)
+	pw.Header("usimrank_sub_coalesced_total", "counter", "Generations coalesced into a newer pending push.")
+	pw.Uint("usimrank_sub_coalesced_total", nil, ss.Coalesced)
+	pw.Header("usimrank_sub_dropped_total", "counter", "Subscriptions ended by a terminal error or gone event.")
+	pw.Uint("usimrank_sub_dropped_total", nil, ss.Dropped)
+
 	pw.Header("usimrank_client_hedges_total", "counter", "Replica attempts launched by the hedge timer.")
 	counters := co.client.Counters()
 	for s, c := range counters {
@@ -1110,10 +1130,11 @@ func (co *Coordinator) Stats() StatsResponse {
 			Arcs:       st.arcs,
 			AdminOps:   co.adminOps.Load(),
 		},
-		Shards:     health,
-		Serving:    co.metrics.ServingStats(co.cfg.MaxInFlight),
-		Coalescing: co.metrics.CoalescingStats(),
-		Queries:    co.metrics.QueryStats(),
+		Shards:        health,
+		Serving:       co.metrics.ServingStats(co.cfg.MaxInFlight),
+		Coalescing:    co.metrics.CoalescingStats(),
+		Queries:       co.metrics.QueryStats(),
+		Subscriptions: server.SubscriptionStatsFrom(co.subs),
 	}
 }
 

@@ -99,4 +99,9 @@
 //     generation-skew 502 ({"code":"generation_skew"}) naming every
 //     divergent endpoint. Mutations are serialised behind one mutex,
 //     mirroring the single node's admin serialisation.
+//   - Subscriptions (GET /v1/subscribe) are relayed frame-by-frame
+//     from the shard owning the query's source vertex, with failover:
+//     a draining node's terminal shutdown event is swallowed and the
+//     stream resumes on a replica via Last-Event-ID, so one node
+//     bouncing is invisible to the cluster client (see subscribe.go).
 package cluster

@@ -38,6 +38,22 @@ type UpdateStats struct {
 	// FilterVerticesRebuilt is the number of per-vertex filter rebuilds
 	// across the patched pools (0 when FiltersPatched is false).
 	FilterVerticesRebuilt int
+	// TouchedSources is the sorted set of source vertices whose
+	// reverse-walk distribution can have changed: vertices that reach a
+	// net-changed arc head within Steps−1 forward hops of the union of
+	// the old and new graphs (the invalidation BFS run to the full walk
+	// horizon, not just the cached-row horizon). The contract is
+	// per-SIDE: a query answer is provably bit-identical across the
+	// update iff every constituent source — each side of every pair the
+	// shape evaluates — is outside this set. A pairwise score s(u,v)
+	// needs u and v untouched; shapes that evaluate u against every
+	// vertex (top-k of u, the unrestricted single-source vector) can
+	// change whenever the set is non-empty, because a touched v-side
+	// row moves that candidate's score even when u itself is
+	// unaffected. Empty when the batch nets out to no real change — the
+	// serving plane's subscription wake-up keys off this, so a no-op
+	// batch must wake nobody.
+	TouchedSources []int32
 	// Generation is the successor engine's generation number.
 	Generation uint64
 }
@@ -104,6 +120,26 @@ func (e *Engine) ApplyUpdates(updates []ugraph.ArcUpdate) (*Engine, *UpdateStats
 	var dist []int32
 	if len(heads) > 0 && len(keys) > 0 {
 		dist = ugraph.BoundedDistances(heads, maxDepth, e.g, newG)
+	}
+
+	// Touched-source set for downstream consumers (the subscription
+	// plane): a second BFS seeded only by the net-changed heads, run to
+	// the full walk horizon Steps−1. It is deliberately separate from
+	// the eviction BFS above — eviction stays conservative over every
+	// staged head (a netted-out arc costs at most a spurious eviction),
+	// while wake-ups must be precise (a netted-out batch changes no
+	// answer and must produce an empty set).
+	if netHeads := d.NetChangedHeads(); len(netHeads) > 0 {
+		horizon := e.opt.Steps - 1
+		if horizon < 0 {
+			horizon = 0
+		}
+		wdist := ugraph.BoundedDistances(netHeads, horizon, e.g, newG)
+		for v, dv := range wdist {
+			if dv >= 0 && int(dv) <= horizon {
+				stats.TouchedSources = append(stats.TouchedSources, int32(v))
+			}
+		}
 	}
 	newRows := cache.New[int, []matrix.Vec](e.opt.RowCacheSize)
 	for i, src := range keys {

@@ -300,6 +300,27 @@ type StatsResponse struct {
 	// Index is present only while the server holds a reverse-walk index
 	// for the resident generation.
 	Index *IndexStats `json:"index,omitempty"`
+	// Subscriptions covers the /v1/subscribe continuous-query plane.
+	Subscriptions *SubscriptionStats `json:"subscriptions,omitempty"`
+}
+
+// SubscriptionStats covers the push-subscription plane.
+type SubscriptionStats struct {
+	// Active is the number of open subscription streams.
+	Active int64 `json:"active"`
+	// Lookups counts inverted-index probes by update wake-ups — exactly
+	// one per BFS-touched vertex per admin mutation, independent of how
+	// many subscriptions are registered (the idle-cost invariant).
+	Lookups uint64 `json:"lookups"`
+	// Wakeups counts clean→dirty subscription transitions; Coalesced
+	// counts wake-ups folded into an already-pending push (a burst of
+	// update batches costs one recompute, not one per batch).
+	Wakeups   uint64 `json:"wakeups"`
+	Coalesced uint64 `json:"coalesced"`
+	// Pushes counts delivered update events (snapshots excluded);
+	// Dropped counts streams torn down by a failed push.
+	Pushes  uint64 `json:"pushes"`
+	Dropped uint64 `json:"dropped"`
 }
 
 // IndexStats covers the reverse-walk index serving path.

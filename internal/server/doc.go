@@ -108,5 +108,15 @@
 // rejects the whole batch with 400 and the resident engine is
 // untouched. Batch size is bounded by Config.MaxUpdateBatch.
 //
+// GET /v1/subscribe — the continuous-query plane: a long-lived
+// Server-Sent Events stream for one standing query shape
+// (shape=score|source|topk plus the shape's operands). The client
+// receives an initial "snapshot" event, then an "update" event
+// whenever an admin mutation's invalidation BFS proves the answer can
+// have changed; every event's id is the graph generation its payload
+// was computed at, and every payload is byte-identical to the cold
+// POST response of the same shape at that generation. See subscribe.go
+// and the internal/sub package for the wake-up machinery.
+//
 // GET /healthz — liveness: 200 "ok" once the server can serve.
 package server

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/hex"
@@ -20,6 +21,7 @@ import (
 
 	"usimrank"
 	"usimrank/internal/obs"
+	"usimrank/internal/sub"
 )
 
 // Config configures a Server. The zero value selects sane serving
@@ -56,9 +58,17 @@ type Config struct {
 	// ≥ MaxInFlight are clamped to leave at least one general slot.
 	AdmissionReserve int
 	// DrainTimeout bounds how long a reload waits for requests pinned
-	// to the replaced engine before reporting drained=false. Default
-	// 15s.
+	// to the replaced engine before reporting drained=false, and how
+	// long DrainSubscriptions waits for live subscription streams to
+	// send their terminal event and close. Default 15s.
 	DrainTimeout time.Duration
+	// SubMaxStaleness caps the staleness SLA a /v1/subscribe client may
+	// request via staleness_ms (how long the server may sit on a wake-up
+	// coalescing further generations before it must push). Default 30s.
+	SubMaxStaleness time.Duration
+	// SubHeartbeat is the keep-alive comment period on idle subscription
+	// streams. Default 15s.
+	SubHeartbeat time.Duration
 	// MaxUpdateBatch bounds the number of arc mutations one
 	// /v1/admin/update request may carry. Default 4096; negative
 	// disables the endpoint (every request is rejected with 400).
@@ -97,6 +107,12 @@ func (c Config) withDefaults(parallelism int) Config {
 	if c.MaxUpdateBatch == 0 {
 		c.MaxUpdateBatch = 4096
 	}
+	if c.SubMaxStaleness <= 0 {
+		c.SubMaxStaleness = 30 * time.Second
+	}
+	if c.SubHeartbeat <= 0 {
+		c.SubHeartbeat = 15 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "usimd ", log.LstdFlags)
 	}
@@ -133,6 +149,9 @@ type Server struct {
 	adm     *Admission
 	flights *FlightGroup
 	metrics *MetricsRegistry
+	// subs tracks live /v1/subscribe streams; admin mutations wake the
+	// affected ones (see subscribe.go).
+	subs *sub.Registry
 
 	// baseCtx parents every flight's execution context, so Close
 	// cancels in-flight engine work.
@@ -163,6 +182,7 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 		adm:     NewTieredAdmission(cfg.MaxInFlight, cfg.AdmissionReserve, cfg.AdmissionWait),
 		flights: NewFlightGroup(),
 		metrics: NewMetricsRegistry(),
+		subs:    sub.NewRegistry(),
 		baseCtx: ctx,
 		cancel:  cancel,
 		start:   time.Now(),
@@ -173,6 +193,7 @@ func New(g *usimrank.Graph, source string, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/source", s.handleSource)
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
@@ -856,10 +877,11 @@ func (s *Server) Stats() StatsResponse {
 			RowCacheCap:       opt.RowCacheSize,
 			RowCacheEvictions: rcEvict,
 		},
-		Serving:    s.metrics.ServingStats(s.cfg.MaxInFlight),
-		Coalescing: s.metrics.CoalescingStats(),
-		Queries:    s.metrics.QueryStats(),
-		Index:      idxStats,
+		Serving:       s.metrics.ServingStats(s.cfg.MaxInFlight),
+		Coalescing:    s.metrics.CoalescingStats(),
+		Queries:       s.metrics.QueryStats(),
+		Index:         idxStats,
+		Subscriptions: subscriptionStats(s.subs),
 	}
 }
 
@@ -925,10 +947,13 @@ func (s *Server) Reload(path string, warm bool, indexPath string) (*ReloadRespon
 	next := newEngineHandle(eng, g, path, old.gen+1, idx)
 	s.cur.Store(next)
 	old.release() // drop the server's ownership reference
+	// A reload replaces the whole graph, so every subscription's answer
+	// may have changed: no invalidation set exists, wake them all.
+	woken := s.subs.WakeAll(next.gen)
 	drained := old.awaitDrain(s.cfg.DrainTimeout)
 	s.reloads.Add(1)
-	s.cfg.Logger.Printf("reload: generation %d -> %d (%s, %d vertices, %d arcs, build %dms, drained=%v)",
-		old.gen, next.gen, path, g.NumVertices(), g.NumArcs(), buildMs, drained)
+	s.cfg.Logger.Printf("reload: generation %d -> %d (%s, %d vertices, %d arcs, build %dms, drained=%v, subs woken=%d)",
+		old.gen, next.gen, path, g.NumVertices(), g.NumArcs(), buildMs, drained, woken)
 	return &ReloadResponse{
 		Generation: next.gen,
 		Vertices:   g.NumVertices(),
@@ -1019,11 +1044,18 @@ func (s *Server) ApplyUpdates(ups []usimrank.ArcUpdate) (*UpdateResponse, error)
 	next := newEngineHandle(derived, g, old.source, old.gen+1, idx)
 	s.cur.Store(next)
 	old.release() // drop the server's ownership reference
+	// Wake exactly the subscriptions whose answer can have changed: the
+	// engine's invalidation BFS says which sources reach a net-changed
+	// arc head within the walk horizon (empty for a netted-out batch),
+	// and the registry intersects that set with its vertex index in one
+	// lookup per touched vertex. Woken after the swap is published, so a
+	// woken stream always finds the new generation current.
+	woken := s.subs.Wake(stats.TouchedSources, next.gen)
 	drained := old.awaitDrain(s.cfg.DrainTimeout)
 	s.updates.Add(1)
 	s.arcsUpdated.Add(uint64(stats.Applied))
-	s.cfg.Logger.Printf("update: generation %d -> %d (%d arcs changed, rows evicted %d / retained %d, filters patched %v, index rows patched %d, apply %dms, drained=%v)",
-		old.gen, next.gen, stats.Applied, stats.RowsEvicted, stats.RowsRetained, stats.FiltersPatched, idxPatched, applyMs, drained)
+	s.cfg.Logger.Printf("update: generation %d -> %d (%d arcs changed, rows evicted %d / retained %d, filters patched %v, index rows patched %d, apply %dms, drained=%v, subs woken=%d/%d touched)",
+		old.gen, next.gen, stats.Applied, stats.RowsEvicted, stats.RowsRetained, stats.FiltersPatched, idxPatched, applyMs, drained, woken, len(stats.TouchedSources))
 	return &UpdateResponse{
 		Generation:       next.gen,
 		Applied:          stats.Applied,
@@ -1081,16 +1113,33 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bo
 	return true
 }
 
+// MarshalBody encodes v exactly as WriteJSON would write it —
+// two-space-indented, trailing newline. Subscription pushes go through
+// it so a pushed payload is byte-identical to the body of a cold query
+// of the same shape at the same generation.
+func MarshalBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // WriteJSON writes v as the two-space-indented JSON the whole serving
 // plane (single node and cluster coordinator) emits. Merged cluster
 // responses must encode exactly like single-node ones, so every
-// response body flows through this one encoder.
+// response body flows through this one encoder (and MarshalBody for
+// subscription pushes).
 func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	body, err := MarshalBody(v)
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(body)
 }
 
 // WriteError writes the uniform error envelope.

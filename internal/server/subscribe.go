@@ -1,0 +1,535 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"usimrank"
+	"usimrank/internal/sub"
+)
+
+// GET /v1/subscribe — the continuous-query plane. A client opens one
+// long-lived SSE stream per standing query shape and receives:
+//
+//   - an initial "snapshot" event carrying the answer at the current
+//     generation (skipped when Last-Event-ID already matches it);
+//   - "update" events whenever an admin mutation can have changed the
+//     answer, each carrying the full recomputed body at the latest
+//     generation (a burst of updates coalesces into one push);
+//   - ": hb" comment frames as keep-alives on idle streams;
+//   - a terminal "shutdown" ("gone", "error") event before the server
+//     closes the stream.
+//
+// Every event's id is the graph generation its payload was computed
+// at, and every payload is byte-identical to the response body of a
+// cold POST query of the same shape at that generation. Reconnecting
+// with Last-Event-ID resumes: the server re-sends a snapshot only when
+// the generation moved while the client was away.
+//
+// Query parameters: shape=score|source|topk, alg (an engine algorithm;
+// "indexed" additionally allowed for shape=source on an index-serving
+// node), u, v (score only), k (topk only), candidates (source only,
+// comma-separated), staleness_ms (how long the server may sit on a
+// wake-up coalescing further generations before it must push; capped
+// by -sub-max-staleness).
+
+// Event names of the subscription stream.
+const (
+	EventSnapshot = "snapshot"
+	EventUpdate   = "update"
+	// EventShutdown is terminal: the server is draining; resubscribe
+	// with Last-Event-ID to resume. EventGone is terminal: the watched
+	// vertices no longer exist (a reload shrank the graph). EventError
+	// is terminal: a push failed; the payload carries the error envelope.
+	EventShutdown = "shutdown"
+	EventGone     = "gone"
+	EventError    = "error"
+)
+
+// Timeouts NewHTTPServer installs on every usimd listener.
+const (
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers — the slowloris guard.
+	ReadHeaderTimeout = 10 * time.Second
+	// IdleTimeout reaps kept-alive connections with no request in
+	// flight. It does not apply to a connection actively serving a
+	// request, so subscription streams are unaffected.
+	IdleTimeout = 120 * time.Second
+)
+
+// NewHTTPServer builds the http.Server every usimd process listens on.
+// It deliberately sets no WriteTimeout: a blanket write deadline would
+// kill every /v1/subscribe stream at the timeout no matter how healthy,
+// since net/http arms it once per connection, not per write. Slow-peer
+// protection comes from ReadHeaderTimeout and IdleTimeout instead;
+// TestHTTPServerTimeouts pins the invariant.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
+// DrainSubscriptions tells every live subscription stream to send its
+// terminal shutdown event and close, then waits (bounded by the drain
+// timeout) for them to finish. Call it before http.Server.Shutdown:
+// Shutdown waits for active connections, and an SSE stream left to its
+// own devices never becomes inactive.
+func (s *Server) DrainSubscriptions() bool {
+	s.subs.Shutdown()
+	return s.subs.AwaitIdle(s.cfg.DrainTimeout)
+}
+
+// SubscriptionStatsFrom converts a registry snapshot into the stats
+// wire shape (shared with the cluster coordinator's relay registry).
+func SubscriptionStatsFrom(r *sub.Registry) *SubscriptionStats {
+	st := r.Snapshot()
+	return &SubscriptionStats{
+		Active:    st.Active,
+		Lookups:   st.Lookups,
+		Wakeups:   st.Wakeups,
+		Coalesced: st.Coalesced,
+		Pushes:    st.Pushes,
+		Dropped:   st.Dropped,
+	}
+}
+
+func subscriptionStats(r *sub.Registry) *SubscriptionStats { return SubscriptionStatsFrom(r) }
+
+// subQuery is one subscription's parsed query shape: everything needed
+// to recompute its answer against any engine handle.
+type subQuery struct {
+	shape      string // "score" | "source" | "topk"
+	algName    string
+	alg        usimrank.Algorithm // undefined when indexed
+	indexed    bool
+	u, v, k    int
+	candidates []int
+}
+
+// watched is the vertex set registered in the inverted index: both
+// endpoints for a score shape, the source plus any explicit candidates
+// for a source shape, the source for a top-k shape. A subscription is
+// woken when an update's invalidation BFS reaches one of these.
+// watched is the vertex set whose touched-source membership forces a
+// recompute. The invalidation BFS reports per-SIDE sources: an answer
+// is bit-identical across an update only when every constituent
+// source — each side of each pair the shape evaluates — stays outside
+// the touched set. Score and candidate-restricted source enumerate
+// their constituents; top-k of u and the unrestricted single-source
+// vector evaluate a pair against EVERY vertex, so any touched v-side
+// row can move their answer even when u itself is unaffected — they
+// watch sub.AnyVertex and wake on every non-empty invalidation set.
+func (q *subQuery) watched() []int32 {
+	switch q.shape {
+	case "score":
+		if q.u == q.v {
+			return []int32{int32(q.u)}
+		}
+		return []int32{int32(q.u), int32(q.v)}
+	case "source":
+		if len(q.candidates) == 0 {
+			return []int32{sub.AnyVertex}
+		}
+		vs := []int32{int32(q.u)}
+		for _, c := range q.candidates {
+			if c != q.u {
+				vs = append(vs, int32(c))
+			}
+		}
+		return vs
+	default: // topk
+		return []int32{sub.AnyVertex}
+	}
+}
+
+// vertexArgs is every vertex id the shape references, for range checks.
+func (q *subQuery) vertexArgs() []int {
+	switch q.shape {
+	case "score":
+		return []int{q.u, q.v}
+	case "source":
+		return append([]int{q.u}, q.candidates...)
+	default:
+		return []int{q.u}
+	}
+}
+
+// flightKey builds the same coalescing key the cold handler of this
+// shape would use (minus execute's timeout suffix), so a push shares
+// its flight with concurrent identical pushes and cold queries — one
+// computation per (shape, operand, generation).
+func (q *subQuery) flightKey(gen uint64) string {
+	switch q.shape {
+	case "score":
+		return fmt.Sprintf("score|g%d|%s|%d|%d", gen, q.algName, q.u, q.v)
+	case "source":
+		candKey := "all"
+		if q.candidates != nil {
+			candKey = DigestInts(q.candidates)
+		}
+		return fmt.Sprintf("source|g%d|%s|%d|%s", gen, q.algName, q.u, candKey)
+	default:
+		return fmt.Sprintf("topk|g%d|%s|u%d|k%d", gen, q.algName, q.u, q.k)
+	}
+}
+
+// run computes the shape's answer on h — the same engine calls the
+// cold handlers make.
+func (q *subQuery) run(ctx context.Context, h *engineHandle) (any, error) {
+	if q.indexed && h.idx == nil {
+		return nil, fmt.Errorf("no reverse-walk index loaded for generation %d", h.gen)
+	}
+	switch q.shape {
+	case "score":
+		return h.eng.ComputeCtx(ctx, q.alg, q.u, q.v)
+	case "source":
+		switch {
+		case q.indexed && q.candidates == nil:
+			return h.eng.SingleSourceIndexedCtx(ctx, h.idx, q.u)
+		case q.indexed:
+			return h.eng.SingleSourceIndexedAgainstCtx(ctx, h.idx, q.u, q.candidates)
+		case q.candidates == nil:
+			return h.eng.SingleSourceCtx(ctx, q.alg, q.u)
+		default:
+			return h.eng.SingleSourceAgainstCtx(ctx, q.alg, q.u, q.candidates)
+		}
+	default:
+		return usimrank.TopKSimilarCtx(ctx, h.eng, q.alg, q.u, q.k)
+	}
+}
+
+// response wraps a computed value in the shape's wire struct, exactly
+// as the cold handler builds it for an uncoalesced, non-debug request.
+func (q *subQuery) response(val any) any {
+	switch q.shape {
+	case "score":
+		return ScoreResponse{Alg: q.algName, U: q.u, V: q.v, Score: val.(float64)}
+	case "source":
+		return SourceResponse{Alg: q.algName, U: q.u, Candidates: q.candidates, Scores: val.([]float64)}
+	default:
+		results := val.([]usimrank.TopKResult)
+		out := make([]PairScore, len(results))
+		for i, res := range results {
+			out[i] = PairScore{U: res.U, V: res.V, Score: res.Score}
+		}
+		u := q.u
+		return TopKResponse{Alg: q.algName, U: &u, K: q.k, Results: out}
+	}
+}
+
+// parseSubQuery validates the request's query parameters into a
+// subQuery, writing the 400 itself on failure.
+func (s *Server) parseSubQuery(w http.ResponseWriter, r *http.Request) (*subQuery, bool) {
+	qp := r.URL.Query()
+	q := &subQuery{shape: qp.Get("shape")}
+	switch q.shape {
+	case "score", "source", "topk":
+	default:
+		WriteError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("shape %q must be score, source or topk", q.shape))
+		return nil, false
+	}
+	rawAlg := qp.Get("alg")
+	q.indexed = q.shape == "source" && strings.EqualFold(rawAlg, AlgIndexed)
+	if q.indexed {
+		q.algName = AlgIndexed
+	} else {
+		alg, err := usimrank.ParseAlgorithm(rawAlg)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return nil, false
+		}
+		q.alg, q.algName = alg, alg.String()
+	}
+	var ok bool
+	if q.u, ok = intParam(w, qp.Get("u"), "u", true); !ok {
+		return nil, false
+	}
+	switch q.shape {
+	case "score":
+		if q.v, ok = intParam(w, qp.Get("v"), "v", true); !ok {
+			return nil, false
+		}
+	case "topk":
+		if q.k, ok = intParam(w, qp.Get("k"), "k", true); !ok {
+			return nil, false
+		}
+		if q.k < 1 {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("k = %d < 1", q.k))
+			return nil, false
+		}
+	case "source":
+		if raw := qp.Get("candidates"); raw != "" {
+			for _, part := range strings.Split(raw, ",") {
+				c, ok := intParam(w, part, "candidates", true)
+				if !ok {
+					return nil, false
+				}
+				q.candidates = append(q.candidates, c)
+			}
+		}
+	}
+	return q, true
+}
+
+// intParam parses one integer query parameter, writing the 400 itself.
+func intParam(w http.ResponseWriter, raw, name string, required bool) (int, bool) {
+	if raw == "" {
+		if required {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("%q is required", name))
+		}
+		return 0, !required
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad %q: %v", name, err))
+		return 0, false
+	}
+	return v, true
+}
+
+// pushBody computes the subscription's answer against h and encodes it
+// exactly as the cold handler would. The computation rides the shared
+// FlightGroup under the cold key, so concurrent identical pushes (and
+// cold queries) collapse into one engine call, and it takes a regular
+// admission slot, so a thundering herd of woken subscriptions
+// recomputes in bounded batches rather than all at once. The caller
+// keeps ownership of its pin on h; the flight takes its own.
+//
+// Pushes deliberately do not record into the per-shape query metrics:
+// they are server-initiated work, and counting them would skew the
+// client-facing latency and coalesce-rate numbers.
+func (s *Server) pushBody(q *subQuery, h *engineHandle) ([]byte, error) {
+	timeout := s.cfg.QueryTimeout
+	key := fmt.Sprintf("%s|t%d", q.flightKey(h.gen), timeout.Milliseconds())
+	waitCtx, cancelWait := context.WithTimeout(s.baseCtx, timeout)
+	defer cancelWait()
+
+	release := s.adm.AcquireTier(waitCtx, false)
+	if release == nil {
+		s.metrics.AdmissionRejected.Add(1)
+		return nil, fmt.Errorf("push rejected: server saturated (%d queries in flight)", s.cfg.MaxInFlight)
+	}
+	s.metrics.InFlight.Add(1)
+	var relOnce sync.Once
+	releaseSlot := func() {
+		relOnce.Do(func() {
+			s.metrics.InFlight.Add(-1)
+			release()
+		})
+	}
+	defer releaseSlot()
+
+	val, _, err := s.flights.Do(waitCtx, key, releaseSlot, func() func() (any, error) {
+		h.tryAcquire()
+		fctx, cancelFlight := context.WithTimeout(s.baseCtx, timeout)
+		return func() (any, error) {
+			defer h.release()
+			defer cancelFlight()
+			return q.run(fctx, h)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return MarshalBody(q.response(val))
+}
+
+// writeTerminal emits a terminal event (shutdown/gone/error) carrying
+// the uniform error envelope as its payload, then flushes. Best-effort:
+// the client may already be gone.
+func writeTerminal(w http.ResponseWriter, fl http.Flusher, event string, id uint64, code, msg string) {
+	body, err := MarshalBody(ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
+	if err != nil {
+		return
+	}
+	if sub.WriteEvent(w, event, id, body) == nil {
+		fl.Flush()
+	}
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		WriteError(w, http.StatusInternalServerError, CodeEngineError,
+			"streaming unsupported by this connection")
+		return
+	}
+	q, ok := s.parseSubQuery(w, r)
+	if !ok {
+		return
+	}
+	staleness := time.Duration(0)
+	if raw := r.URL.Query().Get("staleness_ms"); raw != "" {
+		ms, ok := intParam(w, raw, "staleness_ms", true)
+		if !ok {
+			return
+		}
+		if staleness = time.Duration(ms) * time.Millisecond; staleness > s.cfg.SubMaxStaleness {
+			staleness = s.cfg.SubMaxStaleness
+		}
+		if staleness < 0 {
+			staleness = 0
+		}
+	}
+
+	// Validate the shape against the current graph, then let go of the
+	// handle: a subscription pins an engine only for the duration of a
+	// push, never for the stream's lifetime, so idle subscribers cannot
+	// wedge a hot-swap's drain.
+	h := s.engine()
+	if !s.checkVertices(w, h, q.vertexArgs()...) {
+		h.release()
+		return
+	}
+	if q.indexed && h.idx == nil {
+		h.release()
+		WriteError(w, http.StatusBadRequest, CodeBadRequest,
+			"no reverse-walk index loaded for this generation; start usimd with -index, or reload with an index")
+		return
+	}
+	bootGen := h.gen
+	h.release()
+
+	su := s.subs.Subscribe(q.watched(), staleness)
+	if su == nil {
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, "server shutting down")
+		return
+	}
+	defer s.subs.Unsubscribe(su)
+
+	// Resume: a client that already holds the answer for the current
+	// generation (its Last-Event-ID matches) skips the snapshot and goes
+	// straight to waiting for updates.
+	lastSent := uint64(0)
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		if id, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			lastSent = id
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set(GenerationHeader, strconv.FormatUint(bootGen, 10))
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// Initial snapshot. The subscription is already registered, so a
+	// mutation landing between the snapshot's pin and the first wait is
+	// never lost — it marks the subscription dirty and the loop below
+	// picks it up (pushes with gen ≤ lastSent are skipped, so nothing is
+	// sent twice either).
+	if sh := s.engine(); sh.gen != lastSent {
+		body, err := s.pushBody(q, sh)
+		if err != nil {
+			sh.release()
+			s.subs.NoteDropped()
+			writeTerminal(w, fl, EventError, 0, CodeEngineError, "snapshot failed: "+err.Error())
+			return
+		}
+		if sub.WriteEvent(w, EventSnapshot, sh.gen, body) != nil {
+			sh.release()
+			return
+		}
+		fl.Flush()
+		lastSent = sh.gen
+		sh.release()
+	} else {
+		sh.release()
+	}
+
+	hb := time.NewTicker(s.cfg.SubHeartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.subs.ShuttingDown():
+			writeTerminal(w, fl, EventShutdown, lastSent, CodeUnavailable,
+				"server shutting down; resubscribe with Last-Event-ID to resume")
+			return
+		case <-s.baseCtx.Done():
+			writeTerminal(w, fl, EventShutdown, lastSent, CodeUnavailable,
+				"server shutting down; resubscribe with Last-Event-ID to resume")
+			return
+		case <-hb.C:
+			if sub.WriteComment(w, "hb") != nil {
+				return
+			}
+			fl.Flush()
+		case <-su.Wait():
+			// Staleness SLA: the subscription may sit on the wake-up for
+			// its negotiated window, folding further generations into one
+			// push (claimed below, so the push carries the newest).
+			if d := su.Staleness(); d > 0 {
+				t := time.NewTimer(d)
+			stale:
+				for {
+					select {
+					case <-t.C:
+						break stale
+					case <-hb.C:
+						if sub.WriteComment(w, "hb") != nil {
+							t.Stop()
+							return
+						}
+						fl.Flush()
+					case <-ctx.Done():
+						t.Stop()
+						return
+					case <-s.subs.ShuttingDown():
+						t.Stop()
+						writeTerminal(w, fl, EventShutdown, lastSent, CodeUnavailable,
+							"server shutting down; resubscribe with Last-Event-ID to resume")
+						return
+					}
+				}
+				t.Stop()
+			}
+			target := su.Claim()
+			if target == 0 || target <= lastSent {
+				continue
+			}
+			ph := s.engine()
+			if ph.gen <= lastSent {
+				ph.release()
+				continue
+			}
+			// A reload may have shrunk the graph under the subscription.
+			n := ph.graph.NumVertices()
+			for _, v := range q.vertexArgs() {
+				if v < 0 || v >= n {
+					ph.release()
+					s.subs.NoteDropped()
+					writeTerminal(w, fl, EventGone, lastSent, CodeBadRequest,
+						fmt.Sprintf("vertex %d out of range [0,%d) after reload", v, n))
+					return
+				}
+			}
+			body, err := s.pushBody(q, ph)
+			gen := ph.gen
+			ph.release()
+			if err != nil {
+				s.subs.NoteDropped()
+				writeTerminal(w, fl, EventError, lastSent, CodeEngineError, "push failed: "+err.Error())
+				return
+			}
+			if sub.WriteEvent(w, EventUpdate, gen, body) != nil {
+				s.subs.NoteDropped()
+				return
+			}
+			fl.Flush()
+			lastSent = gen
+			s.subs.NotePush()
+		}
+	}
+}

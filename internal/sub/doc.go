@@ -1,0 +1,45 @@
+// Package sub is the continuous-query plane's subscription substrate:
+// the bookkeeping that lets a serving process hold an arbitrary number
+// of idle push subscriptions at ~zero cost and wake exactly the ones an
+// update batch can have affected.
+//
+// # Model
+//
+// A [Subscription] watches the vertices whose reverse-walk
+// distributions its answer depends on — both endpoints of a score
+// shape, the source plus every candidate of a restricted single-source
+// shape. The [Registry] keeps a vertex→subscriptions inverted index,
+// so waking the subscribers of an update batch is one map lookup per
+// touched vertex (O(k) for a batch whose invalidation BFS touched k
+// sources), never a scan over the subscription population. Idle
+// subscriptions consume one registry entry per watched vertex and one
+// parked goroutine on their HTTP stream; the update path never
+// allocates, signals, or iterates on their behalf.
+//
+// Shapes that evaluate their source against every vertex — top-k of u
+// and the unrestricted single-source vector — cannot enumerate a small
+// watch set: a changed v-side row moves a candidate's score even when
+// u itself is untouched. They watch the [AnyVertex] sentinel and are
+// woken by every batch with a non-empty invalidation set, paying O(1)
+// per non-empty batch each; a netted-out batch still wakes nobody.
+//
+// Wake-ups carry the graph generation whose answers they invalidate. A
+// subscription holds at most one pending generation: waking an
+// already-dirty subscription folds the newer generation into the
+// pending push (counted as a coalesce), so a burst of update batches
+// costs each subscriber one recompute carrying the latest generation,
+// not one per batch. The subscriber side claims the pending generation,
+// recomputes, and pushes — under whatever staleness SLA it negotiated.
+//
+// # Wire format
+//
+// The serving plane streams subscriptions as Server-Sent Events;
+// [WriteEvent], [WriteComment], and [ReadFrame] implement the framing
+// (event/id/data lines, comment keep-alives, frame reassembly). The
+// event payload is the exact JSON body a cold query of the same shape
+// would return, so a pushed answer is byte-identical to a polled one.
+//
+// The package has no HTTP or engine dependencies: internal/server wires
+// it to the engine's invalidation BFS and the SSE endpoint, and
+// internal/cluster reuses the registry to track relayed streams.
+package sub

@@ -1,0 +1,148 @@
+package sub
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Server-Sent Events framing. One frame is a group of lines terminated
+// by a blank line; field lines are "name: value"; lines starting with
+// ':' are comments (keep-alives). The payload of an event is its data
+// lines joined by newlines — WriteEvent and Frame.Data are exact
+// inverses, so a payload round-trips byte-identically through the wire.
+
+// WriteEvent writes one event frame: the event name, a numeric id (the
+// graph generation; 0 omits the id line), and the payload split into
+// data lines. The payload's single trailing newline, if present, is
+// carried by the framing itself and restored by Frame.Data.
+func WriteEvent(w io.Writer, event string, id uint64, payload []byte) error {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "event: %s\n", event)
+	if id > 0 {
+		fmt.Fprintf(&b, "id: %d\n", id)
+	}
+	for _, line := range bytes.Split(bytes.TrimSuffix(payload, []byte("\n")), []byte("\n")) {
+		b.WriteString("data: ")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// WriteComment writes a comment frame — the SSE keep-alive heartbeat.
+func WriteComment(w io.Writer, text string) error {
+	_, err := fmt.Fprintf(w, ": %s\n\n", text)
+	return err
+}
+
+// Frame is one raw SSE frame as read off the wire.
+type Frame struct {
+	// Lines are the frame's lines without their trailing newlines and
+	// without the blank terminator.
+	Lines []string
+}
+
+// field returns the value of the first "name: value" line, "" if none.
+func (f *Frame) field(name string) (string, bool) {
+	prefix := name + ": "
+	for _, l := range f.Lines {
+		if strings.HasPrefix(l, prefix) {
+			return l[len(prefix):], true
+		}
+	}
+	return "", false
+}
+
+// Name returns the frame's event name ("" for comment frames).
+func (f *Frame) Name() string {
+	v, _ := f.field("event")
+	return v
+}
+
+// ID returns the frame's numeric event id, 0 when absent or malformed.
+func (f *Frame) ID() uint64 {
+	v, ok := f.field("id")
+	if !ok {
+		return 0
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// Comment reports whether the frame carries only comment lines.
+func (f *Frame) Comment() bool {
+	for _, l := range f.Lines {
+		if !strings.HasPrefix(l, ":") {
+			return false
+		}
+	}
+	return len(f.Lines) > 0
+}
+
+// Data reassembles the frame's payload: data lines joined by newlines
+// plus the trailing newline WriteEvent trimmed. Nil when the frame has
+// no data lines.
+func (f *Frame) Data() []byte {
+	var b bytes.Buffer
+	found := false
+	for _, l := range f.Lines {
+		if strings.HasPrefix(l, "data: ") {
+			if found {
+				b.WriteByte('\n')
+			}
+			b.WriteString(l[len("data: "):])
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+// Forward writes the frame back out verbatim, blank terminator
+// included — the cluster relay's forwarding primitive.
+func (f *Frame) Forward(w io.Writer) error {
+	var b bytes.Buffer
+	for _, l := range f.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// ReadFrame reads the next frame, blocking until its blank terminator
+// arrives. io.EOF before any line means the stream ended cleanly
+// between frames; EOF mid-frame surfaces as io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader) (*Frame, error) {
+	var f Frame
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && len(f.Lines) > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		line = strings.TrimSuffix(strings.TrimSuffix(line, "\n"), "\r")
+		if line == "" {
+			if len(f.Lines) == 0 {
+				continue // tolerate extra blank lines between frames
+			}
+			return &f, nil
+		}
+		f.Lines = append(f.Lines, line)
+	}
+}

@@ -166,6 +166,30 @@ func (d *Delta) NetChanges() int {
 	return n
 }
 
+// NetChangedHeads returns the sorted distinct heads (target vertices)
+// of the arcs NetChanges counts — the staged arcs whose final state
+// really differs from the base graph. Unlike TouchedHeads, a staged
+// sequence that nets out (insert undone by delete, reweight back to
+// the original bits) contributes nothing: these are the BFS seeds for
+// consumers that must not react to no-op batches, such as the
+// continuous-query plane's subscription wake-up.
+func (d *Delta) NetChangedHeads() []int32 {
+	seen := make(map[int32]bool, len(d.staged))
+	var heads []int32
+	for key, st := range d.staged {
+		basep := d.base.Prob(int(key[0]), int(key[1]))
+		changed := (st.exists && basep == 0) ||
+			(!st.exists && basep > 0) ||
+			(st.exists && basep > 0 && math.Float64bits(st.p) != math.Float64bits(basep))
+		if changed && !seen[key[1]] {
+			seen[key[1]] = true
+			heads = append(heads, key[1])
+		}
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	return heads
+}
+
 // Base returns the graph the overlay is staged over.
 func (d *Delta) Base() *Graph { return d.base }
 
